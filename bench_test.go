@@ -1,0 +1,98 @@
+// Package paella_test hosts the benchmark harness: one testing.B benchmark
+// per table/figure of the paper, each regenerating the corresponding
+// artifact (Quick sweeps under -short, full sweeps otherwise), plus
+// micro-benchmarks of the public API's critical path.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// or via the CLI: go run ./cmd/paella-bench -exp all
+package paella_test
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"paella"
+	"paella/internal/experiments"
+)
+
+// benchExperiment runs one named experiment once per benchmark iteration.
+// Output goes to stdout on the first iteration (so `go test -bench` leaves
+// the regenerated tables in the log) and is discarded afterwards.
+func benchExperiment(b *testing.B, name string) {
+	exp, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	detail := experiments.Full
+	if testing.Short() {
+		detail = experiments.Quick
+	}
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if i == 0 {
+			w = os.Stdout
+		}
+		if err := exp.Run(w, detail); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1SchedulingTimelines(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig2HoLBlocking(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3TritonOverhead(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4SyncMethods(b *testing.B)         { benchExperiment(b, "fig4") }
+func BenchmarkFig9SchedulingDelay(b *testing.B)     { benchExperiment(b, "fig9") }
+func BenchmarkFig10OverheadBreakdown(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11MainComparison(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12ShortVsLong(b *testing.B)        { benchExperiment(b, "fig12") }
+func BenchmarkFig13FairnessThreshold(b *testing.B)  { benchExperiment(b, "fig13") }
+func BenchmarkFig14ClientCPU(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15Instrumentation(b *testing.B)    { benchExperiment(b, "fig15") }
+func BenchmarkTable2ModelZoo(b *testing.B)          { benchExperiment(b, "table2") }
+func BenchmarkTable3Systems(b *testing.B)           { benchExperiment(b, "table3") }
+func BenchmarkAblationOvershootB(b *testing.B)      { benchExperiment(b, "ablation-b") }
+func BenchmarkAblationQueueCount(b *testing.B)      { benchExperiment(b, "ablation-queues") }
+func BenchmarkAblationAggregation(b *testing.B)     { benchExperiment(b, "ablation-agg") }
+func BenchmarkAblationBatching(b *testing.B)        { benchExperiment(b, "ablation-batching") }
+func BenchmarkAblationEDF(b *testing.B)             { benchExperiment(b, "ablation-edf") }
+func BenchmarkAblationCluster(b *testing.B)         { benchExperiment(b, "ablation-cluster") }
+func BenchmarkAblationBigGPU(b *testing.B)          { benchExperiment(b, "ablation-biggpu") }
+
+// BenchmarkPredictReadResult measures the public API's request round trip
+// (virtual-time dispatch machinery cost per request, real wall clock).
+func BenchmarkPredictReadResult(b *testing.B) {
+	srv := paella.NewServer(paella.ServerConfig{})
+	m, err := paella.ZooModel("resnet18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.MustDeploy(m)
+	cl := srv.NewClient(paella.Hybrid)
+	b.ResetTimer()
+	srv.Go("bench-client", func(p *paella.Proc) {
+		for i := 0; i < b.N; i++ {
+			cl.Predict(p, "resnet18")
+			cl.ReadResult(p)
+		}
+	})
+	srv.Run()
+}
+
+// BenchmarkDeploy measures model compilation (instrumentation + profiling).
+func BenchmarkDeploy(b *testing.B) {
+	m, err := paella.ZooModel("resnet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		srv := paella.NewServer(paella.ServerConfig{})
+		if err := srv.Deploy(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

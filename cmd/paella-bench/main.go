@@ -1,0 +1,65 @@
+// Command paella-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	paella-bench -list
+//	paella-bench -exp fig11
+//	paella-bench -exp all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"paella/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (or 'all')")
+		quick = flag.Bool("quick", false, "run reduced sweeps")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-16s %s\n", e.Name, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <name> or -exp all")
+		}
+		return
+	}
+
+	detail := experiments.Full
+	if *quick {
+		detail = experiments.Quick
+	}
+
+	run := func(e experiments.Experiment) {
+		fmt.Printf("==== %s — %s ====\n", e.Name, e.Title)
+		start := time.Now()
+		if err := e.Run(os.Stdout, detail); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %v ----\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, err := experiments.ByName(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run(e)
+}

@@ -1,0 +1,138 @@
+// Command paella-sim runs one serving system against one workload and
+// prints throughput/latency statistics — the interactive counterpart to
+// the fixed experiment sweeps of paella-bench.
+//
+// Example:
+//
+//	paella-sim -system Paella -models resnet18,inceptionv3 -rate 300 \
+//	           -jobs 1000 -sigma 2 -clients 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "Paella", "serving system (see Table 3; 'list' to enumerate)")
+		models  = flag.String("models", "all", "comma-separated zoo models, or 'all'")
+		rate    = flag.Float64("rate", 200, "offered load (req/s)")
+		jobs    = flag.Int("jobs", 500, "number of requests")
+		sigma   = flag.Float64("sigma", 2, "lognormal inter-arrival shape")
+		clients = flag.Int("clients", 8, "number of clients")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		device  = flag.String("gpu", "t4", "gpu preset: t4 | p100 | gtx1660s")
+		perMod  = flag.Bool("per-model", false, "print per-model percentiles")
+		asJSON  = flag.Bool("json", false, "dump per-request records as JSON")
+		traceIn = flag.String("trace", "", "replay a JSON trace file instead of generating one")
+	)
+	flag.Parse()
+
+	if *system == "list" {
+		for _, row := range serving.Table3() {
+			fmt.Printf("  %-16s dispatch=%-7s sched=%s\n", row.Name, row.Dispatch, row.Scheduler)
+		}
+		return
+	}
+
+	opts := serving.DefaultOptions()
+	switch *device {
+	case "t4":
+	case "p100":
+		opts.DevCfg = gpu.TeslaP100()
+	case "gtx1660s":
+		opts.DevCfg = gpu.GTX1660Super()
+	default:
+		fatal("unknown gpu preset %q", *device)
+	}
+	if *models != "all" {
+		opts.Models = nil
+		for _, name := range strings.Split(*models, ",") {
+			m, err := model.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal("%v", err)
+			}
+			opts.Models = append(opts.Models, m)
+		}
+	}
+	names := make([]string, len(opts.Models))
+	for i, m := range opts.Models {
+		names[i] = m.Name
+	}
+
+	var trace []workload.Request
+	var err error
+	if *traceIn != "" {
+		f, ferr := os.Open(*traceIn)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		trace, err = workload.ReadJSON(f)
+		f.Close()
+		if err == nil && len(trace) > 0 {
+			*jobs = len(trace)
+		}
+	} else {
+		trace, err = workload.Generate(workload.Spec{
+			Mix:        workload.Uniform(names...),
+			Sigma:      *sigma,
+			RatePerSec: *rate,
+			Jobs:       *jobs,
+			Clients:    *clients,
+			Seed:       *seed,
+		})
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(trace) == 0 {
+		fatal("empty trace")
+	}
+	opts.MaxSimTime = trace[len(trace)-1].At + 10*sim.Second
+
+	sys, err := serving.NewSystem(*system)
+	if err != nil {
+		fatal("%v", err)
+	}
+	col, err := serving.RunTrace(sys, trace, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *asJSON {
+		if err := col.WriteJSON(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	fmt.Printf("system     : %s\n", *system)
+	fmt.Printf("workload   : %d jobs, %.0f req/s offered, σ=%.1f, %d clients, models=%s\n",
+		*jobs, *rate, *sigma, *clients, strings.Join(names, ","))
+	fmt.Printf("completed  : %d (%.1f%%)\n", col.Len(), 100*float64(col.Len())/float64(*jobs))
+	fmt.Printf("throughput : %.1f req/s\n", col.Throughput())
+	fmt.Printf("latency    : p50=%v p99=%v mean=%v\n", col.P50(), col.P99(), col.MeanJCT())
+	if *perMod {
+		for _, name := range names {
+			sub := col.FilterModel(name)
+			if sub.Len() == 0 {
+				continue
+			}
+			fmt.Printf("  %-16s n=%-5d p50=%-12v p99=%-12v mean=%v\n",
+				name, sub.Len(), sub.P50(), sub.P99(), sub.MeanJCT())
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

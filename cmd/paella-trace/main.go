@@ -1,0 +1,165 @@
+// Command paella-trace generates workload traces and renders per-SM GPU
+// execution timelines, for inspecting scheduling behaviour directly.
+//
+// Subcommands:
+//
+//	paella-trace workload -rate 200 -jobs 20 -sigma 2       # print a trace
+//	paella-trace gpu -system Paella -jobs 6                 # render SM timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/cudart"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "workload":
+		workloadCmd(os.Args[2:])
+	case "gpu":
+		gpuCmd(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: paella-trace workload|gpu [flags]")
+	os.Exit(2)
+}
+
+func workloadCmd(args []string) {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	rate := fs.Float64("rate", 200, "offered load (req/s)")
+	jobs := fs.Int("jobs", 20, "requests to generate")
+	sigma := fs.Float64("sigma", 2, "lognormal shape")
+	clients := fs.Int("clients", 4, "clients")
+	seed := fs.Int64("seed", 1, "seed")
+	out := fs.String("out", "", "write the trace as JSON to this file (for paella-sim -trace)")
+	fs.Parse(args)
+
+	trace, err := workload.Generate(workload.Spec{
+		Mix:        workload.Uniform(model.Names()...),
+		Sigma:      *sigma,
+		RatePerSec: *rate,
+		Jobs:       *jobs,
+		Clients:    *clients,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteJSON(f, trace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d requests to %s\n", len(trace), *out)
+		return
+	}
+	fmt.Printf("%-14s %-16s %s\n", "arrival", "model", "client")
+	for _, r := range trace {
+		fmt.Printf("%-14v %-16s %d\n", r.At, r.Model, r.Client)
+	}
+	fmt.Printf("\nobserved rate: %.1f req/s\n", workload.ObservedRate(trace))
+}
+
+func gpuCmd(args []string) {
+	fs := flag.NewFlagSet("gpu", flag.ExitOnError)
+	system := fs.String("system", "Paella", "Paella | CUDA-MS | CUDA-SS")
+	jobs := fs.Int("jobs", 6, "concurrent jobs to trace")
+	sms := fs.Int("sms", 4, "SMs on the didactic device")
+	kernels := fs.Int("kernels", 3, "kernels per job")
+	asJSON := fs.Bool("json", false, "emit the trace as JSON instead of ASCII")
+	fs.Parse(args)
+
+	devCfg := gpu.TwoSM(gpu.Kepler, 32)
+	devCfg.NumSMs = *sms
+	tr := gpu.NewTrace()
+	env := sim.NewEnv()
+
+	mk := func(name string) *model.Model {
+		k := &gpu.KernelSpec{
+			Name: name + "_k", Blocks: 1, ThreadsPerBlock: 1024,
+			RegsPerThread: 16, BlockDuration: 10 * sim.Microsecond,
+		}
+		seq := make([]int, *kernels)
+		return &model.Model{Name: name, Kernels: []*gpu.KernelSpec{k}, Seq: seq, PinnedOutput: true}
+	}
+	labels := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+	switch *system {
+	case "Paella":
+		cfg := core.DefaultConfig(sched.NewSRPT())
+		cfg.OvershootBlocks = 0
+		devCfg.NotifDelay = 0
+		d := core.NewWithDevice(env, devCfg, cfg)
+		d.Device().SetTrace(tr)
+		for i := 0; i < *jobs; i++ {
+			name := string(labels[i%len(labels)])
+			ins := compiler.MustCompile(mk(name), compiler.Config{}, devCfg, 1)
+			if err := d.RegisterModel(ins); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			conn := d.Connect()
+			id, nm, cn := uint64(i+1), name, conn
+			env.At(0, func() {
+				cn.Submit(core.Request{ID: id, Model: nm, Client: cn.ID, Submit: 0})
+			})
+		}
+		d.Start()
+	case "CUDA-MS", "CUDA-SS":
+		dev := gpu.NewDevice(env, devCfg, nil)
+		dev.SetTrace(tr)
+		ctx := cudart.NewContext(env, dev, cudart.Config{})
+		shared := ctx.StreamCreate()
+		for i := 0; i < *jobs; i++ {
+			name := string(labels[i%len(labels)])
+			m := mk(name)
+			stream := shared
+			if *system == "CUDA-MS" {
+				stream = ctx.StreamCreate()
+			}
+			env.Spawn(name, func(p *sim.Proc) {
+				for _, ki := range m.Seq {
+					stream.LaunchKernel(p, m.Kernels[ki], cudart.LaunchOpts{JobTag: m.Name})
+				}
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(1)
+	}
+	env.Run()
+	if *asJSON {
+		if err := tr.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s on %d SMs — one column = 10µs:\n\n", *system, *sms)
+	fmt.Print(tr.Render(*sms, 10*sim.Microsecond))
+	fmt.Printf("\nmakespan: %v\n", tr.Makespan())
+}

@@ -1,0 +1,75 @@
+// Customjob: a user-defined adaptor in the style of the paper's Figure 8.
+// Instead of a linear kernel sequence, this "job definition" issues two
+// independent branches on separate virtual CUDA streams and joins them —
+// the dispatcher's per-job waitlists (Figure 7) preserve the stream
+// semantics while scheduling every kernel individually, so the branches
+// overlap on the GPU.
+//
+//	go run ./examples/customjob
+package main
+
+import (
+	"fmt"
+
+	"paella"
+)
+
+// branchyModel is a 2-branch kernel graph: branch A and branch B are
+// independent; a final join kernel consumes both.
+func branchyModel() *paella.Model {
+	mk := func(name string, dur paella.Time) *paella.KernelSpec {
+		return &paella.KernelSpec{
+			Name: name, Blocks: 8, ThreadsPerBlock: 256,
+			RegsPerThread: 16, BlockDuration: dur,
+		}
+	}
+	return &paella.Model{
+		Name:        "branchy",
+		InputBytes:  64 << 10,
+		OutputBytes: 16 << 10,
+		Kernels: []*paella.KernelSpec{
+			mk("branchA", 200*paella.Microsecond),
+			mk("branchB", 200*paella.Microsecond),
+			mk("join", 100*paella.Microsecond),
+		},
+		Seq:          []int{0, 1, 2}, // profile sees the serial order
+		PinnedOutput: true,
+	}
+}
+
+func main() {
+	m := branchyModel()
+
+	// The adaptor (cf. Figure 8's MyJob.run): issue the input copy, run
+	// the two branches on separate streams, then the join on the default
+	// stream (which serializes against both), and synchronize.
+	adaptor := paella.AdaptorFunc(func(p *paella.Proc, ctx *paella.Runtime) {
+		sA, sB := ctx.StreamCreate(), ctx.StreamCreate()
+		sA.MemcpyAsync(nil, paella.HostToDevice, m.InputBytes)
+		sA.LaunchKernelAsync(m.Kernels[0], paella.LaunchOpts{})
+		sB.LaunchKernelAsync(m.Kernels[1], paella.LaunchOpts{})
+		// Default stream: waits for every prior op across streams (legacy
+		// CUDA semantics, enforced by the dispatcher's waitlist).
+		ctx.DefaultStream().LaunchKernelAsync(m.Kernels[2], paella.LaunchOpts{})
+		ctx.DeviceSynchronize(p)
+	})
+
+	srv := paella.NewServer(paella.ServerConfig{GPU: paella.TeslaT4()})
+	if err := srv.DeployAdaptor(m, adaptor); err != nil {
+		panic(err)
+	}
+	cl := srv.NewClient(paella.Hybrid)
+	srv.Go("client", func(p *paella.Proc) {
+		for i := 0; i < 3; i++ {
+			start := srv.Now()
+			cl.Predict(p, "branchy")
+			cl.ReadResult(p)
+			fmt.Printf("branchy request done in %v\n", srv.Now()-start)
+		}
+	})
+	srv.Run()
+
+	fmt.Println("\nSerial kernel time is 500µs (200+200+100); with the two branches")
+	fmt.Println("overlapped the request completes in ≈300µs + copy + overheads —")
+	fmt.Println("custom job structure, same Paella scheduling (Figures 7/8).")
+}

@@ -1,0 +1,55 @@
+// HoL blocking: the paper's §2.1 motivating pathology, live. The Figure 2
+// workload (8 dependent kernels per job; 176 kernels could run
+// concurrently on a GTX 1660 SUPER) is submitted job-by-job — filling the
+// 32 hardware queues with kernels that are not ready — and then through
+// the Paella dispatcher, which releases each kernel exactly when it can be
+// placed.
+//
+//	go run ./examples/holblocking
+package main
+
+import (
+	"fmt"
+
+	"paella/internal/compiler"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func main() {
+	job := model.Fig2Job()
+	dev := gpu.GTX1660Super()
+	fmt.Printf("workload: %d kernels/job × %v each; device fits %d concurrently\n\n",
+		job.NumExecutions(), job.Kernels[0].BlockDuration,
+		job.Kernels[0].MaxResident(dev))
+
+	opts := serving.Options{
+		DevCfg:      dev,
+		Models:      []*model.Model{job},
+		CompilerCfg: compiler.DefaultConfig(),
+		ProfileRuns: 1,
+	}
+	trace := workload.MustGenerate(workload.Spec{
+		Mix:        workload.Uniform(job.Name),
+		Sigma:      1.5,
+		RatePerSec: 20000,
+		Jobs:       3000,
+		Clients:    8,
+		Seed:       2,
+	})
+	opts.MaxSimTime = trace[len(trace)-1].At + 4*sim.Second
+
+	fmt.Printf("%-24s %14s %12s\n", "submission method", "goodput(req/s)", "p99 JCT")
+	for _, sys := range []struct{ name, label string }{
+		{"CUDA-MS", "job-by-job (hardware)"},
+		{"Paella-FIFO", "Paella dispatching"},
+	} {
+		col := serving.MustRunTrace(serving.MustNewSystem(sys.name), trace, opts)
+		fmt.Printf("%-24s %14.1f %12v\n", sys.label, col.Throughput(), col.P99())
+	}
+	fmt.Println("\nEverything is identical except *when* kernels enter the hardware")
+	fmt.Println("queues: informed dispatch roughly doubles goodput (paper Figure 2).")
+}

@@ -1,0 +1,45 @@
+// Quickstart: deploy a model on a Paella server, submit requests from a
+// client, and read results — the full §5 pipeline in ~40 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"paella"
+)
+
+func main() {
+	// A server owns a simulated Tesla T4 and the Paella dispatcher with
+	// the paper's default policy (SRPT bounded by deficit-counter
+	// fairness).
+	srv := paella.NewServer(paella.ServerConfig{GPU: paella.TeslaT4()})
+
+	// Deploy compiles the model: the instrumentation pass adds block
+	// start/end notifications to every kernel and profiling runs learn the
+	// per-kernel timings SRPT needs.
+	m, err := paella.ZooModel("resnet18")
+	if err != nil {
+		panic(err)
+	}
+	srv.MustDeploy(m)
+
+	// Clients talk to the dispatcher over zero-copy shared-memory rings
+	// and use the hybrid interrupt-then-poll wakeup for results.
+	cl := srv.NewClient(paella.Hybrid)
+
+	srv.Go("client", func(p *paella.Proc) {
+		for i := 0; i < 5; i++ {
+			start := srv.Now()
+			id := cl.Predict(p, "resnet18")
+			got := cl.ReadResult(p)
+			fmt.Printf("request %d completed as %d in %v\n", id, got, srv.Now()-start)
+		}
+	})
+
+	srv.Run()
+
+	fmt.Printf("\nthroughput: %.1f req/s   p99: %v   GPU util: %.1f%%   client CPU: %.1f%%\n",
+		srv.Throughput(), srv.P99(), srv.GPUUtilization()*100, cl.CPUUtilization()*100)
+}

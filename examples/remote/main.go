@@ -1,0 +1,49 @@
+// Remote: inference from across the network. A local gateway acts as the
+// RPC server (§5.1), forwarding remote requests into the dispatcher's
+// shared-memory channels over an eRPC-class kernel-bypass network — and a
+// MIG-partitioned second tenant (§8) shows strong isolation.
+//
+//	go run ./examples/remote
+package main
+
+import (
+	"fmt"
+
+	"paella"
+)
+
+func main() {
+	// Slice a T4 into two static MIG partitions (§8) and give each tenant
+	// its own server — MIG's isolation is total.
+	parts, err := paella.SplitMIG(paella.TeslaT4(), []int{20, 20})
+	if err != nil {
+		panic(err)
+	}
+
+	m, err := paella.ZooModel("squeezenet1.1")
+	if err != nil {
+		panic(err)
+	}
+
+	for i, part := range parts {
+		srv := paella.NewServer(paella.ServerConfig{GPU: part})
+		srv.MustDeploy(m)
+
+		// Tenant connects remotely through the gateway.
+		rc := srv.NewRemoteClient(paella.DefaultNet())
+		srv.Go("remote-tenant", func(p *paella.Proc) {
+			for r := 0; r < 3; r++ {
+				start := srv.Now()
+				id := rc.Predict(p, m.Name, 224*224*3*4, 1000*4)
+				rc.Wait(p, id)
+				fmt.Printf("partition %d: remote request %d done in %v\n",
+					i, id, srv.Now()-start)
+			}
+		})
+		srv.Run()
+	}
+
+	fmt.Println("\nRemote requests pay ~RTT + tensor transfer over the local path;")
+	fmt.Println("the kernel-bypass gateway adds only µs of CPU (§5.1). Each MIG")
+	fmt.Println("partition runs its own dispatcher with full Paella semantics (§8).")
+}

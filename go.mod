@@ -1,0 +1,3 @@
+module paella
+
+go 1.22

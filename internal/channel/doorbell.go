@@ -1,0 +1,121 @@
+package channel
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Doorbell is the interrupt half of the hybrid client wakeup (§5.3): a
+// one-slot edge-triggered signal, standing in for the Unix-socket write the
+// dispatcher performs when a job is "almost finished". Ring never blocks;
+// coalesced rings deliver a single wakeup, which is safe because the waiter
+// switches to polling after the first wakeup.
+type Doorbell struct {
+	ch chan struct{}
+}
+
+// NewDoorbell returns a ready-to-use doorbell.
+func NewDoorbell() *Doorbell {
+	return &Doorbell{ch: make(chan struct{}, 1)}
+}
+
+// Ring delivers (or coalesces) a wakeup. It never blocks.
+func (d *Doorbell) Ring() {
+	select {
+	case d.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Wait blocks until the doorbell is rung. This is the "interrupt" phase:
+// the goroutine consumes no CPU while parked.
+func (d *Doorbell) Wait() { <-d.ch }
+
+// TryWait consumes a pending ring without blocking.
+func (d *Doorbell) TryWait() bool {
+	select {
+	case <-d.ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// WaitStats records how a HybridWaiter spent its time, for the CPU
+// utilization accounting of Figure 14.
+type WaitStats struct {
+	// Interrupts counts sleeps on the doorbell (zero-CPU waits).
+	Interrupts uint64
+	// Spins counts poll iterations that found nothing (busy CPU).
+	Spins uint64
+	// Immediate counts reads satisfied without waiting at all.
+	Immediate uint64
+}
+
+// HybridWaiter implements the client side of the GPU→client channel: a
+// completion ring of request ids plus a doorbell. A blocking read first
+// checks the ring, then parks on the doorbell (interrupt phase), then spins
+// on the ring (poll phase). The dispatcher rings the doorbell at the
+// almost-finished annotation and pushes the id when outputs are readable,
+// so the spin phase only covers the tail of the job.
+type HybridWaiter struct {
+	Ring *SPSC[uint64]
+	Bell *Doorbell
+
+	interrupts atomic.Uint64
+	spins      atomic.Uint64
+	immediate  atomic.Uint64
+}
+
+// NewHybridWaiter returns a waiter with a completion ring of the given
+// capacity (a power of two).
+func NewHybridWaiter(capacity int) *HybridWaiter {
+	return &HybridWaiter{
+		Ring: NewSPSC[uint64](capacity),
+		Bell: NewDoorbell(),
+	}
+}
+
+// TryRead performs a non-blocking read (the NONBLOCK flag of
+// paella.readResult); ok is false if no completion is available.
+func (w *HybridWaiter) TryRead() (reqID uint64, ok bool) {
+	return w.Ring.Pop()
+}
+
+// Read blocks until a completion is available and returns its request id.
+func (w *HybridWaiter) Read() uint64 {
+	if id, ok := w.Ring.Pop(); ok {
+		w.immediate.Add(1)
+		return id
+	}
+	// Interrupt phase: park until the almost-finished signal.
+	w.Bell.Wait()
+	w.interrupts.Add(1)
+	// Poll phase: the completion is imminent; spin for it.
+	for {
+		if id, ok := w.Ring.Pop(); ok {
+			return id
+		}
+		w.spins.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// Complete is called by the dispatcher side: it publishes the finished
+// request id. It reports false if the completion ring is full.
+func (w *HybridWaiter) Complete(reqID uint64) bool {
+	return w.Ring.Push(reqID)
+}
+
+// AlmostFinished is called by the dispatcher side at the almost-finished
+// annotation (§4.2) to move the client from interrupt to poll mode.
+func (w *HybridWaiter) AlmostFinished() { w.Bell.Ring() }
+
+// Stats returns a snapshot of the waiter's accounting counters.
+func (w *HybridWaiter) Stats() WaitStats {
+	return WaitStats{
+		Interrupts: w.interrupts.Load(),
+		Spins:      w.spins.Load(),
+		Immediate:  w.immediate.Load(),
+	}
+}

@@ -1,0 +1,225 @@
+// Package cluster fronts multiple independent Paella instances — one
+// dispatcher per GPU — with a cluster-level balancer. The paper's §8 notes
+// that cluster-level scheduling composes with Paella through the standard
+// hierarchical-scheduling literature; this package provides that hook: a
+// request is routed to a GPU by a pluggable Balancer, then scheduled on
+// that GPU by the full Paella machinery.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/gpu"
+	"paella/internal/metrics"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+// GPUView is the balancer's read-only view of one GPU's load.
+type GPUView struct {
+	// Index identifies the GPU within the cluster.
+	Index int
+	// InFlight is the number of admitted-but-unfinished jobs.
+	InFlight int
+	// Capacity is the GPU's thread-slot count (for heterogeneous
+	// clusters).
+	Capacity int
+}
+
+// Balancer routes a request to a GPU.
+type Balancer interface {
+	// Name returns the balancer's short name.
+	Name() string
+	// Pick selects the target GPU for a request to the named model.
+	Pick(modelName string, gpus []GPUView) int
+}
+
+// roundRobin cycles through GPUs regardless of load.
+type roundRobin struct{ next int }
+
+// NewRoundRobin returns a load-oblivious rotating balancer.
+func NewRoundRobin() Balancer { return &roundRobin{} }
+
+func (b *roundRobin) Name() string { return "round-robin" }
+
+func (b *roundRobin) Pick(_ string, gpus []GPUView) int {
+	i := b.next % len(gpus)
+	b.next++
+	return i
+}
+
+// leastLoaded picks the GPU with the fewest in-flight jobs per unit of
+// capacity.
+type leastLoaded struct{}
+
+// NewLeastLoaded returns a capacity-normalized least-outstanding balancer.
+func NewLeastLoaded() Balancer { return leastLoaded{} }
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Pick(_ string, gpus []GPUView) int {
+	best, bestLoad := 0, -1.0
+	for _, g := range gpus {
+		cap := float64(g.Capacity)
+		if cap <= 0 {
+			cap = 1
+		}
+		load := float64(g.InFlight) / cap
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = g.Index, load
+		}
+	}
+	return best
+}
+
+// modelAffinity hashes each model onto a home GPU (maximizing warm-model
+// locality, as real clusters do to avoid reloading weights), spilling to
+// the least-loaded GPU when the home is overloaded beyond the spill
+// factor.
+type modelAffinity struct {
+	spill float64
+}
+
+// NewModelAffinity returns an affinity balancer that spills when the home
+// GPU carries more than spillFactor× the cluster-average load.
+func NewModelAffinity(spillFactor float64) Balancer {
+	if spillFactor <= 0 {
+		spillFactor = 2
+	}
+	return &modelAffinity{spill: spillFactor}
+}
+
+func (b *modelAffinity) Name() string { return "model-affinity" }
+
+func (b *modelAffinity) Pick(modelName string, gpus []GPUView) int {
+	h := fnv.New32a()
+	h.Write([]byte(modelName))
+	home := int(h.Sum32()) % len(gpus)
+	if home < 0 {
+		home += len(gpus)
+	}
+	total := 0
+	for _, g := range gpus {
+		total += g.InFlight
+	}
+	avg := float64(total) / float64(len(gpus))
+	if avg > 0 && float64(gpus[home].InFlight) > b.spill*avg {
+		return leastLoaded{}.Pick(modelName, gpus)
+	}
+	return home
+}
+
+// Cluster is a set of Paella instances behind one balancer.
+type Cluster struct {
+	env      *sim.Env
+	disps    []*core.Dispatcher
+	balancer Balancer
+	views    []GPUView
+	// inflight counts requests routed to each GPU and not yet completed —
+	// maintained at the balancer, where the routing decision is made
+	// (backend admission counters lag by the channel latency).
+	inflight []int
+}
+
+// New builds a cluster with one dispatcher per device configuration
+// (possibly heterogeneous). Each dispatcher gets a fresh policy from
+// mkPolicy.
+func New(env *sim.Env, devs []gpu.Config, mkPolicy func() sched.Policy, b Balancer) (*Cluster, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("cluster: no devices")
+	}
+	c := &Cluster{env: env, balancer: b, inflight: make([]int, len(devs))}
+	for i, dev := range devs {
+		d := core.NewWithDevice(env, dev, core.DefaultConfig(mkPolicy()))
+		d.Start()
+		c.disps = append(c.disps, d)
+		c.views = append(c.views, GPUView{
+			Index:    i,
+			Capacity: dev.NumSMs * dev.SM.MaxThreads,
+		})
+	}
+	return c, nil
+}
+
+// Size returns the number of GPUs.
+func (c *Cluster) Size() int { return len(c.disps) }
+
+// Dispatcher returns the i-th GPU's dispatcher.
+func (c *Cluster) Dispatcher(i int) *core.Dispatcher { return c.disps[i] }
+
+// RegisterModel compiles the model per device configuration and registers
+// it everywhere (heterogeneous clusters profile separately per GPU).
+func (c *Cluster) RegisterModel(m *model.Model, cfg compiler.Config, profileRuns int) error {
+	for _, d := range c.disps {
+		ins, err := compiler.Compile(m, cfg, d.Device().Config(), profileRuns)
+		if err != nil {
+			return err
+		}
+		if err := d.RegisterModel(ins); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conn is a client connection spanning the whole cluster: one shared
+// memory region per GPU, with completions funneled to a single callback.
+type Conn struct {
+	cluster *Cluster
+	conns   []*core.ClientConn
+
+	// OnComplete receives every finished request id, whichever GPU served
+	// it.
+	OnComplete func(reqID uint64)
+}
+
+// Connect attaches a client to every GPU in the cluster.
+func (c *Cluster) Connect() *Conn {
+	cn := &Conn{cluster: c}
+	for g, d := range c.disps {
+		g := g
+		conn := d.Connect()
+		conn.OnComplete = func(id uint64) {
+			c.inflight[g]--
+			if cn.OnComplete != nil {
+				cn.OnComplete(id)
+			}
+		}
+		cn.conns = append(cn.conns, conn)
+	}
+	return cn
+}
+
+// Submit routes the request through the balancer to one GPU. It returns
+// the chosen GPU index, or -1 if that GPU's ring was full.
+func (cn *Conn) Submit(req core.Request) int {
+	c := cn.cluster
+	for i := range c.views {
+		c.views[i].InFlight = c.inflight[i]
+	}
+	g := c.balancer.Pick(req.Model, c.views)
+	if g < 0 || g >= len(cn.conns) {
+		panic(fmt.Sprintf("cluster: balancer %q picked GPU %d of %d", c.balancer.Name(), g, len(cn.conns)))
+	}
+	req.Client = cn.conns[g].ID
+	if !cn.conns[g].Submit(req) {
+		return -1
+	}
+	c.inflight[g]++
+	return g
+}
+
+// Collector returns a merged view of all GPUs' completion records.
+func (c *Cluster) Collector() *metrics.Collector {
+	merged := metrics.NewCollector()
+	for _, d := range c.disps {
+		for _, r := range d.Collector().Records() {
+			merged.Add(r)
+		}
+	}
+	return merged
+}

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"testing"
+
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+func mkCluster(t *testing.T, b Balancer, devs ...gpu.Config) (*sim.Env, *Cluster) {
+	t.Helper()
+	env := sim.NewEnv()
+	if len(devs) == 0 {
+		devs = []gpu.Config{gpu.TeslaT4(), gpu.TeslaT4()}
+	}
+	c, err := New(env, devs, func() sched.Policy { return sched.NewPaella(10000) }, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterModel(model.TinyNet(), compiler.DefaultConfig(), 1); err != nil {
+		t.Fatal(err)
+	}
+	return env, c
+}
+
+func TestClusterAllComplete(t *testing.T) {
+	env, c := mkCluster(t, NewRoundRobin())
+	conn := c.Connect()
+	done := 0
+	conn.OnComplete = func(uint64) { done++ }
+	for i := 0; i < 40; i++ {
+		id := uint64(i + 1)
+		env.At(sim.Time(i)*20*sim.Microsecond, func() {
+			conn.Submit(core.Request{ID: id, Model: "tinynet", Submit: env.Now()})
+		})
+	}
+	env.Run()
+	if done != 40 {
+		t.Fatalf("completed %d of 40", done)
+	}
+	if c.Collector().Len() != 40 {
+		t.Fatalf("merged collector has %d records", c.Collector().Len())
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	env, c := mkCluster(t, NewRoundRobin())
+	conn := c.Connect()
+	counts := map[int]int{}
+	for i := 0; i < 10; i++ {
+		id := uint64(i + 1)
+		env.At(0, func() {
+			counts[conn.Submit(core.Request{ID: id, Model: "tinynet", Submit: 0})]++
+		})
+	}
+	env.Run()
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("round robin spread = %v", counts)
+	}
+}
+
+func TestLeastLoadedAvoidsBusyGPU(t *testing.T) {
+	env, c := mkCluster(t, NewLeastLoaded())
+	conn := c.Connect()
+	// Pre-load GPU 0 through the balancer's own accounting.
+	c.inflight[0] = 10
+	picked := -1
+	env.At(0, func() {
+		picked = conn.Submit(core.Request{ID: 1, Model: "tinynet", Submit: 0})
+	})
+	env.Run()
+	if picked != 1 {
+		t.Fatalf("least-loaded picked GPU %d, want 1", picked)
+	}
+}
+
+func TestLeastLoadedCapacityNormalized(t *testing.T) {
+	// A big and a small GPU, equally idle: both are fine; load one job on
+	// the big GPU — per-capacity load still favours the big one over a
+	// tiny GPU with one job.
+	big := gpu.TeslaT4() // 40 SMs
+	small := gpu.TeslaT4()
+	small.NumSMs = 4
+	views := []GPUView{
+		{Index: 0, InFlight: 2, Capacity: big.NumSMs * big.SM.MaxThreads},
+		{Index: 1, InFlight: 1, Capacity: small.NumSMs * small.SM.MaxThreads},
+	}
+	if got := NewLeastLoaded().Pick("m", views); got != 0 {
+		t.Fatalf("capacity-normalized pick = %d, want 0 (big GPU)", got)
+	}
+}
+
+func TestModelAffinityStable(t *testing.T) {
+	b := NewModelAffinity(100) // never spill
+	views := []GPUView{{Index: 0}, {Index: 1}, {Index: 2}}
+	first := b.Pick("resnet18", views)
+	for i := 0; i < 5; i++ {
+		if got := b.Pick("resnet18", views); got != first {
+			t.Fatalf("affinity not stable: %d then %d", first, got)
+		}
+	}
+	// Different models should (for these names) not all land together.
+	spread := map[int]bool{first: true}
+	for _, m := range []string{"mobilenetv2", "inceptionv3", "densenet", "googlenet"} {
+		spread[b.Pick(m, views)] = true
+	}
+	if len(spread) < 2 {
+		t.Fatal("affinity hashed every model to one GPU")
+	}
+}
+
+func TestModelAffinitySpills(t *testing.T) {
+	b := NewModelAffinity(1.5)
+	views := []GPUView{{Index: 0, InFlight: 0, Capacity: 1}, {Index: 1, InFlight: 0, Capacity: 1}}
+	home := b.Pick("resnet18", views)
+	// Overload the home GPU: with spill factor 1.5 and average load 5,
+	// home load 10 > 7.5 ⇒ spill to the other GPU.
+	views[home].InFlight = 10
+	views[1-home].InFlight = 0
+	if got := b.Pick("resnet18", views); got == home {
+		t.Fatalf("affinity did not spill from overloaded home %d", home)
+	}
+}
+
+func TestHeterogeneousCluster(t *testing.T) {
+	env, c := mkCluster(t, NewLeastLoaded(), gpu.TeslaT4(), gpu.TeslaP100())
+	conn := c.Connect()
+	done := 0
+	conn.OnComplete = func(uint64) { done++ }
+	for i := 0; i < 20; i++ {
+		id := uint64(i + 1)
+		env.At(sim.Time(i)*50*sim.Microsecond, func() {
+			conn.Submit(core.Request{ID: id, Model: "tinynet", Submit: env.Now()})
+		})
+	}
+	env.Run()
+	if done != 20 {
+		t.Fatalf("completed %d of 20", done)
+	}
+}
+
+func TestEmptyClusterRejected(t *testing.T) {
+	env := sim.NewEnv()
+	if _, err := New(env, nil, func() sched.Policy { return sched.NewFIFO() }, NewRoundRobin()); err == nil {
+		t.Fatal("empty cluster constructed")
+	}
+}
+
+// TestClusterScalesThroughput: two GPUs drain a saturating burst in about
+// half the time one GPU takes.
+func TestClusterScalesThroughput(t *testing.T) {
+	run := func(devs ...gpu.Config) sim.Time {
+		env := sim.NewEnv()
+		c, err := New(env, devs, func() sched.Policy { return sched.NewPaella(10000) }, NewLeastLoaded())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := model.Generate(model.Table2()[4]) // resnet50
+		if err := c.RegisterModel(m, compiler.DefaultConfig(), 1); err != nil {
+			t.Fatal(err)
+		}
+		conn := c.Connect()
+		var last sim.Time
+		done := 0
+		conn.OnComplete = func(uint64) { done++; last = env.Now() }
+		const jobs = 60
+		for i := 0; i < jobs; i++ {
+			id := uint64(i + 1)
+			env.At(0, func() {
+				conn.Submit(core.Request{ID: id, Model: m.Name, Submit: 0})
+			})
+		}
+		env.Run()
+		if done != jobs {
+			t.Fatalf("completed %d of %d", done, jobs)
+		}
+		return last
+	}
+	one := run(gpu.TeslaT4())
+	two := run(gpu.TeslaT4(), gpu.TeslaT4())
+	ratio := float64(one) / float64(two)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("2-GPU speedup = %.2f×, want ≈2×", ratio)
+	}
+}

@@ -1,0 +1,176 @@
+package compiler
+
+import (
+	"fmt"
+
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sim"
+)
+
+// KernelStat holds the learned execution statistics of one unique kernel,
+// identified (as in the paper) by its location in the compiled library —
+// here, its name.
+type KernelStat struct {
+	Name string
+	// Count is the average number of executions per job (C̄ᵢ).
+	Count float64
+	// MeanTime is the average wall-clock execution time (T̄ᵢ).
+	MeanTime sim.Time
+
+	samples int
+	total   sim.Time
+}
+
+// Profile aggregates per-kernel statistics for one model, plus the derived
+// suffix table the dispatcher uses for O(1) remaining-time estimates.
+type Profile struct {
+	ModelName string
+	stats     map[string]*KernelStat
+	// remainingAfter[j] is the estimated time to finish a job that has
+	// completed j kernel executions: Σ_{i≥j} T̄(Seq[i]).
+	remainingAfter []sim.Time
+	// dirty counts observations since the last suffix-table rebuild.
+	dirty int
+}
+
+// Observe folds one measured kernel execution into the profile (the
+// paper's online refinement).
+func (p *Profile) Observe(kernel string, dur sim.Time) {
+	st, ok := p.stats[kernel]
+	if !ok {
+		st = &KernelStat{Name: kernel}
+		p.stats[kernel] = st
+	}
+	st.samples++
+	st.total += dur
+	st.MeanTime = st.total / sim.Time(st.samples)
+	p.dirty++
+}
+
+// RefreshEvery rebuilds the remaining-time suffix table once `every`
+// observations have accumulated since the last rebuild, keeping the online
+// refinement's amortized cost O(1) per observation. It reports whether a
+// rebuild happened.
+func (p *Profile) RefreshEvery(m *model.Model, every int) bool {
+	if every <= 0 || p.dirty < every {
+		return false
+	}
+	p.dirty = 0
+	p.rebuild(m)
+	return true
+}
+
+// Stat returns the statistics of the named kernel, or nil.
+func (p *Profile) Stat(kernel string) *KernelStat { return p.stats[kernel] }
+
+// TotalTime returns the estimated execution time of a fresh job.
+func (p *Profile) TotalTime() sim.Time {
+	if len(p.remainingAfter) == 0 {
+		return 0
+	}
+	return p.remainingAfter[0]
+}
+
+// RemainingAfter returns the estimated remaining execution time of a job
+// that has completed executed kernel launches. Arguments beyond the end of
+// the sequence return zero.
+func (p *Profile) RemainingAfter(executed int) sim.Time {
+	if executed < 0 {
+		executed = 0
+	}
+	if executed >= len(p.remainingAfter) {
+		return 0
+	}
+	return p.remainingAfter[executed]
+}
+
+// RemainingByFormula evaluates the paper's §6 estimate directly:
+// Σᵢ max(0, C̄ᵢ − cᵢ)·T̄ᵢ given per-kernel executed counts. It is used by
+// tests to validate the suffix table and by schedulers that cannot assume
+// deterministic sequences.
+func (p *Profile) RemainingByFormula(executedCounts map[string]int) sim.Time {
+	var total sim.Time
+	for name, st := range p.stats {
+		rem := st.Count - float64(executedCounts[name])
+		if rem > 0 {
+			total += sim.Time(rem * float64(st.MeanTime))
+		}
+	}
+	return total
+}
+
+// rebuild recomputes the suffix table from the model sequence and current
+// means.
+func (p *Profile) rebuild(m *model.Model) {
+	p.dirty = 0
+	p.remainingAfter = make([]sim.Time, len(m.Seq)+1)
+	for j := len(m.Seq) - 1; j >= 0; j-- {
+		k := m.Kernels[m.Seq[j]]
+		mean := sim.Time(0)
+		if st := p.stats[k.Name]; st != nil {
+			mean = st.MeanTime
+		}
+		p.remainingAfter[j] = p.remainingAfter[j+1] + mean
+	}
+}
+
+// ProfileModel runs the paper's profiling phase: it executes the model
+// `runs` times back-to-back on an idle simulated device, measuring each
+// kernel execution's wall time, and returns the resulting profile. The
+// profiling device uses the given configuration so occupancy waves are
+// reflected in the means.
+func ProfileModel(ins *Instrumented, devCfg gpu.Config, runs int) (*Profile, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("compiler: profiling needs at least one run")
+	}
+	m := ins.Model
+	p := &Profile{ModelName: m.Name, stats: make(map[string]*KernelStat)}
+	env := sim.NewEnv()
+	dev := gpu.NewDevice(env, devCfg, nil)
+	env.Spawn("profiler", func(proc *sim.Proc) {
+		for r := 0; r < runs; r++ {
+			for _, ki := range m.Seq {
+				spec := m.Kernels[ki]
+				start := env.Now()
+				done := sim.NewCompletion(env)
+				dev.Submit(0, &gpu.Launch{Spec: spec, OnComplete: done.Fire})
+				proc.Wait(done)
+				p.Observe(spec.Name, env.Now()-start)
+			}
+		}
+	})
+	env.Run()
+	// Per-job execution counts are exact for deterministic sequences.
+	counts := m.Counts()
+	for i, k := range m.Kernels {
+		if st := p.stats[k.Name]; st != nil {
+			st.Count = float64(counts[i])
+		}
+	}
+	p.rebuild(m)
+	ins.Profile = p
+	return p, nil
+}
+
+// Compile is the full pipeline users invoke when submitting a model to the
+// service: instrument, then profile on the target device configuration.
+func Compile(m *model.Model, cfg Config, devCfg gpu.Config, profileRuns int) (*Instrumented, error) {
+	ins, err := Instrument(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ProfileModel(ins, devCfg, profileRuns); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// MustCompile is Compile for known-good inputs; it panics on error.
+func MustCompile(m *model.Model, cfg Config, devCfg gpu.Config, profileRuns int) *Instrumented {
+	ins, err := Compile(m, cfg, devCfg, profileRuns)
+	if err != nil {
+		panic(err)
+	}
+	return ins
+}

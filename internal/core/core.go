@@ -1,0 +1,426 @@
+// Package core implements the Paella dispatcher (§5): the single-core
+// service that receives inference requests over per-client shared-memory
+// rings, tracks ground-truth GPU occupancy through the instrumented
+// notification queue, and releases each job's CUDA operations to the device
+// exactly when they can be placed — bypassing the hardware scheduler's FIFO
+// queues and applying an arbitrary software scheduling policy (§6).
+//
+// The dispatcher supports the paper's ablation modes (Table 3):
+//
+//   - ModeGated ("Paella"): kernel-granularity dispatch gated by the
+//     occupancy mirror, ordered by a sched.Policy (SRPT+deficit by
+//     default, or SJF/RR/FIFO).
+//   - ModeKernelByKernel ("Paella-MS-kbk"): kernel-granularity release —
+//     each kernel is issued to the job's own CUDA stream when its
+//     predecessor completes — but with no occupancy information and no
+//     policy (hardware scheduling order).
+//   - ModeJobByJob ("Paella-MS-jbj"): whole jobs are issued to a fresh
+//     CUDA stream on admission (hardware scheduling, Paella frontend).
+//   - ModeSingleStream ("Paella-SS"): whole jobs are issued to one shared
+//     CUDA stream on admission (strict FIFO).
+//
+// All modes share the frontend: zero-copy request rings, the hybrid
+// interrupt/poll client wakeup, and single-core cost accounting.
+package core
+
+import (
+	"fmt"
+
+	"paella/internal/channel"
+	"paella/internal/compiler"
+	"paella/internal/cudart"
+	"paella/internal/gpu"
+	"paella/internal/metrics"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+// Mode selects the dispatch strategy (Table 3 variants).
+type Mode int
+
+const (
+	// ModeGated is full Paella: software-defined, occupancy-gated,
+	// policy-ordered kernel dispatch.
+	ModeGated Mode = iota
+	// ModeKernelByKernel releases kernels one at a time per job, without
+	// occupancy gating.
+	ModeKernelByKernel
+	// ModeJobByJob releases whole jobs to per-job CUDA streams.
+	ModeJobByJob
+	// ModeSingleStream releases whole jobs to one shared CUDA stream.
+	ModeSingleStream
+)
+
+// String returns the Table 3 label of the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeGated:
+		return "Paella"
+	case ModeKernelByKernel:
+		return "Paella-MS-kbk"
+	case ModeJobByJob:
+		return "Paella-MS-jbj"
+	case ModeSingleStream:
+		return "Paella-SS"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes the dispatcher.
+type Config struct {
+	Mode Mode
+	// Policy orders runnable jobs in ModeGated (ignored otherwise).
+	Policy sched.Policy
+	// OvershootBlocks is B (§6): how many thread blocks beyond full
+	// utilization to keep queued at the device so it never starves during
+	// the notification round trip.
+	OvershootBlocks int
+	// DispatchScan bounds how many policy candidates the dispatcher
+	// examines per decision when the front of the order does not fit.
+	DispatchScan int
+	// RefineOnline enables §6's online profile refinement: observed
+	// placement→completion times (from the notification channel) update
+	// the per-kernel means that drive SRPT.
+	RefineOnline bool
+	// RefineEvery is how many observations accumulate between suffix-table
+	// rebuilds (default 64 when RefineOnline is set).
+	RefineEvery int
+
+	// AdmitCost is dispatcher CPU time to accept one request from a ring.
+	AdmitCost sim.Time
+	// DispatchCost is dispatcher CPU time to release one GPU operation.
+	DispatchCost sim.Time
+	// SchedDelay is extra synthetic per-decision delay (the Figure 9
+	// knob); zero in normal operation.
+	SchedDelay sim.Time
+	// PollCost is the fixed cost of one notifQ poll that returns data.
+	PollCost sim.Time
+	// PerNotifCost is the per-record processing cost.
+	PerNotifCost sim.Time
+	// ShmLatency is the one-way client↔dispatcher shared-memory latency.
+	ShmLatency sim.Time
+
+	// MemcpyLatency and PCIeBytesPerNs model DMA transfers issued by the
+	// dispatcher.
+	MemcpyLatency  sim.Time
+	PCIeBytesPerNs float64
+
+	// RingCapacity sizes each client's request ring (power of two).
+	RingCapacity int
+	// NotifQCapacity sizes the device notification queue (power of two).
+	NotifQCapacity int
+}
+
+// DefaultConfig returns dispatcher costs calibrated to the paper's
+// measurements (single Xeon Silver core; Figure 10's µs-scale overheads).
+func DefaultConfig(policy sched.Policy) Config {
+	return Config{
+		Mode:            ModeGated,
+		Policy:          policy,
+		OvershootBlocks: 96,
+		DispatchScan:    16,
+		AdmitCost:       1500 * sim.Nanosecond,
+		DispatchCost:    2 * sim.Microsecond,
+		PollCost:        300 * sim.Nanosecond,
+		PerNotifCost:    60 * sim.Nanosecond,
+		ShmLatency:      400 * sim.Nanosecond,
+		MemcpyLatency:   10 * sim.Microsecond,
+		PCIeBytesPerNs:  12.0,
+		RingCapacity:    1024,
+		NotifQCapacity:  1 << 14,
+	}
+}
+
+// Request is one inference request as carried by a client ring: the
+// shared-memory analogue of paella.predict's arguments (§5.1). The input
+// and output tensors live in the client's shared region; only sizes travel
+// here (zero-copy).
+type Request struct {
+	ID     uint64
+	Model  string
+	Client int
+	// Submit is the client-side call time.
+	Submit sim.Time
+	// Deadline is an optional absolute completion deadline, carried
+	// through the channel for deadline-aware policies (EDF). Zero means
+	// best-effort.
+	Deadline sim.Time
+}
+
+// ClientConn is the dispatcher's end of one client's shared-memory region.
+type ClientConn struct {
+	ID   int
+	ring *channel.SPSC[Request]
+	d    *Dispatcher
+
+	// OnAlmostFinished is rung (once per request) when the request's
+	// output is imminent — the hybrid wakeup's interrupt (§5.3).
+	OnAlmostFinished func(reqID uint64)
+	// OnComplete delivers the finished request id (the completion ring).
+	OnComplete func(reqID uint64)
+}
+
+// Submit pushes a request into the ring and wakes the dispatcher after the
+// shared-memory propagation latency. It reports false if the ring is full
+// (the client should back off and retry).
+func (c *ClientConn) Submit(req Request) bool {
+	if !c.ring.Push(req) {
+		return false
+	}
+	c.d.env.After(c.d.cfg.ShmLatency, c.d.wakeNow)
+	return true
+}
+
+// Cancel aborts the identified request: undispatched kernels and copies
+// are dropped; kernels already on the device run to completion (GPU
+// thread blocks cannot be preempted, §2.1), after which the job finishes
+// immediately with its record marked cancelled. This job-level preemption
+// is exactly what the hardware's FIFO queues cannot offer. Cancellation
+// applies to gated model-path jobs; the request is located after the
+// channel latency, so a request that already completed is a no-op.
+func (c *ClientConn) Cancel(reqID uint64) {
+	c.d.env.After(c.d.cfg.ShmLatency, func() { c.d.cancel(reqID) })
+}
+
+// inflightKernel tracks one dispatched-but-unfinished kernel in ModeGated.
+type inflightKernel struct {
+	job           *Job
+	spec          *gpu.KernelSpec
+	placed        int
+	completed     int
+	firstPlacedAt sim.Time
+	// op links back to the waitlist entry for adaptor-backed jobs (nil for
+	// the standard model path).
+	op *wlOp
+}
+
+// Dispatcher is the Paella service. Construct with New, register models,
+// connect clients, then Start.
+type Dispatcher struct {
+	env    *sim.Env
+	dev    *gpu.Device
+	cfg    Config
+	notifQ *channel.NotifQueue
+
+	models   map[string]*compiler.Instrumented
+	adaptors map[string]*adaptorEntry
+	clients  []*ClientConn
+
+	wake    *sim.Cond
+	awake   bool
+	stopped bool
+
+	mirror       mirror
+	jobs         map[uint64]*Job // live gated model-path jobs by request id
+	inflight     map[uint32]*inflightKernel
+	nextKernelID uint32
+	queueCursor  int
+	nbuf         []channel.Notification
+
+	rtCtx        *cudart.Context
+	sharedStream *cudart.Stream
+
+	collector *metrics.Collector
+	stats     Stats
+}
+
+// Stats counts dispatcher activity.
+type Stats struct {
+	Admitted      uint64
+	Completed     uint64
+	KernelsSent   uint64
+	CopiesSent    uint64
+	NotifsHandled uint64
+	LoopWakeups   uint64
+	// BusyNs is the dispatcher core's cumulative busy time (the paper's
+	// single-core claim is checkable: BusyNs / elapsed is its utilization).
+	BusyNs sim.Time
+}
+
+// New builds a dispatcher bound to a device. In ModeGated the device must
+// have been created with the dispatcher's notification queue — use
+// NewWithDevice for the common case.
+func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) *Dispatcher {
+	if cfg.Mode == ModeGated && cfg.Policy == nil {
+		panic("core: ModeGated requires a policy")
+	}
+	d := &Dispatcher{
+		env:       env,
+		dev:       dev,
+		cfg:       cfg,
+		notifQ:    notifQ,
+		models:    make(map[string]*compiler.Instrumented),
+		wake:      sim.NewCond(env),
+		jobs:      make(map[uint64]*Job),
+		inflight:  make(map[uint32]*inflightKernel),
+		nbuf:      make([]channel.Notification, 256),
+		collector: metrics.NewCollector(),
+	}
+	d.mirror = newMirror(dev.Config(), cfg.OvershootBlocks)
+	// The ablation modes drive the device through an unhooked CUDA
+	// runtime; dispatch costs are charged by the dispatcher loop, so the
+	// runtime's own host costs are zeroed.
+	d.rtCtx = cudart.NewContext(env, dev, cudart.Config{
+		MemcpyLatency:  cfg.MemcpyLatency,
+		PCIeBytesPerNs: cfg.PCIeBytesPerNs,
+	})
+	if cfg.Mode == ModeSingleStream {
+		d.sharedStream = d.rtCtx.StreamCreate()
+	}
+	if notifQ != nil {
+		dev.OnNotifPosted(d.wakeNow)
+	}
+	return d
+}
+
+// NewWithDevice builds the notification queue, device and dispatcher
+// together (the common setup path).
+func NewWithDevice(env *sim.Env, devCfg gpu.Config, cfg Config) *Dispatcher {
+	cap := cfg.NotifQCapacity
+	if cap == 0 {
+		cap = 1 << 14
+	}
+	nq := channel.NewNotifQueue(cap)
+	dev := gpu.NewDevice(env, devCfg, nq)
+	return New(env, dev, nq, cfg)
+}
+
+// Env returns the simulation environment.
+func (d *Dispatcher) Env() *sim.Env { return d.env }
+
+// Device returns the GPU the dispatcher manages.
+func (d *Dispatcher) Device() *gpu.Device { return d.dev }
+
+// Collector returns the per-request metrics collector.
+func (d *Dispatcher) Collector() *metrics.Collector { return d.collector }
+
+// Stats returns a snapshot of dispatcher counters.
+func (d *Dispatcher) Stats() Stats { return d.stats }
+
+// RegisterModel adds a compiled model to the library of launchable jobs
+// (§5.1). The model must have been profiled (for SRPT estimates).
+func (d *Dispatcher) RegisterModel(ins *compiler.Instrumented) error {
+	if ins.Profile == nil {
+		return fmt.Errorf("core: model %q registered without a profile", ins.Model.Name)
+	}
+	if _, dup := d.models[ins.Model.Name]; dup {
+		return fmt.Errorf("core: model %q already registered", ins.Model.Name)
+	}
+	for _, k := range ins.Model.Kernels {
+		if !k.FitsSM(d.dev.Config().SM) {
+			return fmt.Errorf("core: model %q kernel %q can never fit an SM of %s",
+				ins.Model.Name, k.Name, d.dev.Config().Name)
+		}
+	}
+	d.models[ins.Model.Name] = ins
+	return nil
+}
+
+// Model returns a registered model.
+func (d *Dispatcher) Model(name string) (*compiler.Instrumented, bool) {
+	ins, ok := d.models[name]
+	return ins, ok
+}
+
+// Connect allocates a client's shared-memory region (request ring plus
+// completion hooks) and returns the connection handle.
+func (d *Dispatcher) Connect() *ClientConn {
+	cap := d.cfg.RingCapacity
+	if cap == 0 {
+		cap = 1024
+	}
+	c := &ClientConn{
+		ID:   len(d.clients),
+		ring: channel.NewSPSC[Request](cap),
+		d:    d,
+	}
+	d.clients = append(d.clients, c)
+	return c
+}
+
+// Start launches the dispatcher loop on its dedicated core.
+func (d *Dispatcher) Start() {
+	d.env.Spawn("paella-dispatcher", d.loop)
+}
+
+// Stop makes the loop exit at its next wakeup (test hygiene).
+func (d *Dispatcher) Stop() {
+	d.stopped = true
+	d.wakeNow()
+}
+
+func (d *Dispatcher) wakeNow() {
+	if !d.awake {
+		d.wake.Broadcast()
+	}
+}
+
+// charge burns dispatcher-core time and accounts it.
+func (d *Dispatcher) charge(p *sim.Proc, cost sim.Time) {
+	if cost <= 0 {
+		return
+	}
+	d.stats.BusyNs += cost
+	p.Sleep(cost)
+}
+
+// loop is the dispatcher's single-core main loop: poll client rings
+// round-robin, fold in GPU notifications, then dispatch while the gating
+// condition holds. Every action charges its CPU cost via Sleep, so the
+// dispatcher saturates realistically (Figure 9).
+func (d *Dispatcher) loop(p *sim.Proc) {
+	d.awake = true
+	for !d.stopped {
+		progressed := false
+		// 1. Client→Paella channel: round-robin ring polling (§5.1).
+		for _, c := range d.clients {
+			for {
+				req, ok := c.ring.Pop()
+				if !ok {
+					break
+				}
+				d.charge(p, d.cfg.AdmitCost)
+				d.admit(p, req)
+				progressed = true
+			}
+		}
+		// 2. Paella↔GPU channel: drain instrumented notifications (§5.2).
+		if d.notifQ != nil {
+			for {
+				n := d.notifQ.Poll(d.nbuf)
+				if n == 0 {
+					break
+				}
+				d.charge(p, d.cfg.PollCost+sim.Time(n)*d.cfg.PerNotifCost)
+				for i := 0; i < n; i++ {
+					d.applyNotif(d.nbuf[i])
+				}
+				progressed = true
+			}
+		}
+		// 3. Software-defined dispatch (§6): release the policy's best
+		// fitting job, scanning past unplaceable candidates for work
+		// conservation.
+		if d.cfg.Mode == ModeGated {
+			fits := func(e *sched.JobEntry) bool {
+				return d.mirror.CanAccept(e.Payload.(*Job).peekKernel())
+			}
+			for {
+				e := d.cfg.Policy.PickFit(fits, d.cfg.DispatchScan)
+				if e == nil {
+					break
+				}
+				d.charge(p, d.cfg.SchedDelay+d.cfg.DispatchCost)
+				d.dispatchKernel(e.Payload.(*Job))
+				progressed = true
+			}
+		}
+		if !progressed {
+			d.awake = false
+			d.stats.LoopWakeups++
+			p.WaitCond(d.wake)
+			d.awake = true
+		}
+	}
+}

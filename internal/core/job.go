@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+
+	"paella/internal/channel"
+	"paella/internal/compiler"
+	"paella/internal/cudart"
+	"paella/internal/gpu"
+	"paella/internal/metrics"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+type jobOpKind int
+
+const (
+	opCopyIn jobOpKind = iota
+	opKernel
+	opCopyOut
+)
+
+type jobOp struct {
+	kind  jobOpKind
+	spec  *gpu.KernelSpec // opKernel only
+	bytes int             // copies only
+}
+
+// Job is one admitted inference request moving through the dispatcher.
+type Job struct {
+	Req  Request
+	Ins  *compiler.Instrumented
+	conn *ClientConn
+
+	ops       []jobOp
+	cursor    int
+	execsDone int // kernel executions completed (SRPT progress)
+
+	entry    sched.JobEntry
+	inPolicy bool
+	// cancelled marks a job aborted by the client; kernelsInFlight counts
+	// its kernels currently on the device (which must drain first);
+	// finished guards against double completion (e.g. cancel racing an
+	// in-flight copy's timer).
+	cancelled       bool
+	finished        bool
+	kernelsInFlight int
+
+	// wl holds the Figure 7 waitlists for adaptor-backed jobs; nil for the
+	// standard model path (whose ops follow the cursor above).
+	wl *waitlist
+
+	stream *cudart.Stream // ablation modes
+	rec    metrics.JobRecord
+	belled bool
+}
+
+// buildOps synthesizes the job's operation list from the model: input
+// copy, the kernel sequence, and (unless the output is pinned) the output
+// copy. instrumented selects the instrumented kernel clones (ModeGated) or
+// the originals (ablation modes, which do not consume notifications).
+func buildOps(ins *compiler.Instrumented, instrumented bool) []jobOp {
+	m := ins.Model
+	if !instrumented {
+		m = ins.Original
+	}
+	ops := make([]jobOp, 0, len(m.Seq)+2)
+	if m.InputBytes > 0 {
+		ops = append(ops, jobOp{kind: opCopyIn, bytes: m.InputBytes})
+	}
+	for _, ki := range m.Seq {
+		ops = append(ops, jobOp{kind: opKernel, spec: m.Kernels[ki]})
+	}
+	if !m.PinnedOutput && m.OutputBytes > 0 {
+		ops = append(ops, jobOp{kind: opCopyOut, bytes: m.OutputBytes})
+	}
+	return ops
+}
+
+// currentKernel returns the spec of the job's current (kernel) op.
+func (j *Job) currentKernel() *gpu.KernelSpec {
+	op := &j.ops[j.cursor]
+	if op.kind != opKernel {
+		panic("core: current op is not a kernel")
+	}
+	return op.spec
+}
+
+// peekKernel returns the kernel the dispatcher would release next: the
+// cursor op for model jobs, or the first active waitlisted kernel for
+// adaptor jobs.
+func (j *Job) peekKernel() *gpu.KernelSpec {
+	if j.wl != nil {
+		o := j.wl.activeKernel()
+		if o == nil {
+			panic("core: job in policy without an active kernel")
+		}
+		return o.spec
+	}
+	return j.currentKernel()
+}
+
+// isFinalGPUOp reports whether the current op is the job's last.
+func (j *Job) isFinalGPUOp() bool { return j.cursor == len(j.ops)-1 }
+
+// admit accepts one request from a client ring (already charged AdmitCost)
+// and starts its first operation. Runs in dispatcher-loop context.
+func (d *Dispatcher) admit(p *sim.Proc, req Request) {
+	ins, ok := d.models[req.Model]
+	if !ok {
+		if ae, isAdaptor := d.adaptors[req.Model]; isAdaptor {
+			d.admitAdaptor(req, ae)
+			return
+		}
+		panic(fmt.Sprintf("core: request for unregistered model %q", req.Model))
+	}
+	now := d.env.Now()
+	j := &Job{
+		Req:  req,
+		Ins:  ins,
+		conn: d.clients[req.Client],
+		ops:  buildOps(ins, d.cfg.Mode == ModeGated),
+		rec: metrics.JobRecord{
+			ID:          req.ID,
+			Model:       req.Model,
+			Client:      req.Client,
+			Submit:      req.Submit,
+			Admit:       now,
+			FrameworkNs: d.cfg.AdmitCost,
+		},
+	}
+	d.stats.Admitted++
+	switch d.cfg.Mode {
+	case ModeGated:
+		j.entry = sched.JobEntry{
+			ID:        req.ID,
+			Client:    req.Client,
+			Arrival:   now,
+			Total:     ins.Profile.TotalTime(),
+			Remaining: ins.Profile.TotalTime(),
+			Deadline:  req.Deadline,
+			Payload:   j,
+		}
+		d.cfg.Policy.JobAdmitted(req.Client)
+		d.jobs[req.ID] = j
+		d.advanceGated(j)
+	case ModeKernelByKernel:
+		j.stream = d.rtCtx.StreamCreate()
+		d.issueNext(p, j)
+	case ModeJobByJob, ModeSingleStream:
+		if d.cfg.Mode == ModeSingleStream {
+			j.stream = d.sharedStream
+		} else {
+			j.stream = d.rtCtx.StreamCreate()
+		}
+		d.issueWholeJob(p, j)
+	}
+}
+
+// --- ModeGated: software-defined scheduling -------------------------------
+
+// advanceGated starts the job's current op, or finishes the job.
+func (d *Dispatcher) advanceGated(j *Job) {
+	if j.cursor >= len(j.ops) {
+		d.finish(j)
+		return
+	}
+	op := &j.ops[j.cursor]
+	switch op.kind {
+	case opKernel:
+		// The job becomes runnable; the loop's dispatch phase releases it
+		// when the policy and the occupancy mirror agree.
+		j.entry.Remaining = j.Ins.Profile.RemainingAfter(j.execsDone)
+		d.cfg.Policy.Add(&j.entry)
+		j.inPolicy = true
+		d.wakeNow()
+	case opCopyIn, opCopyOut:
+		// Copies bypass the SM occupancy gate (they use the DMA engines).
+		if op.kind == opCopyOut {
+			// §4.2: the almost-finished annotation fires before the final
+			// device-to-host copy.
+			d.ringBell(j)
+		}
+		d.stats.CopiesSent++
+		dur := d.memcpyDuration(op.bytes)
+		d.env.After(dur, func() { d.opDone(j) })
+	}
+}
+
+// dispatchKernel releases the job's next kernel to the device. Runs in
+// dispatcher-loop context after the gating check passed.
+func (d *Dispatcher) dispatchKernel(j *Job) {
+	var spec *gpu.KernelSpec
+	var wlop *wlOp
+	if j.wl != nil {
+		wlop = j.wl.activeKernel()
+		wlop.state = wlDispatched
+		spec = wlop.spec
+	} else {
+		spec = j.currentKernel()
+	}
+	d.cfg.Policy.Dispatched(&j.entry)
+	d.cfg.Policy.Remove(&j.entry)
+	j.inPolicy = false
+	if j.rec.FirstDispatch == 0 {
+		j.rec.FirstDispatch = d.env.Now()
+	}
+	j.rec.SchedNs += d.cfg.SchedDelay + d.cfg.DispatchCost
+
+	if j.wl == nil && j.isFinalGPUOp() {
+		// Pinned output: the wakeup precedes the last kernel launch (§4.2).
+		d.ringBell(j)
+	}
+	d.nextKernelID++
+	kid := d.nextKernelID
+	j.kernelsInFlight++
+	d.inflight[kid] = &inflightKernel{job: j, spec: spec, op: wlop}
+	d.mirror.Reserve(spec)
+	d.stats.KernelsSent++
+	// The launch is always Ready: the dispatcher already enforced its
+	// dependencies. Virtual streams bind to hardware queues round-robin at
+	// launch time (§5.2's stream replacement).
+	d.queueCursor = (d.queueCursor + 1) % d.dev.NumQueues()
+	d.dev.Submit(d.queueCursor, &gpu.Launch{
+		Spec:         spec,
+		KernelID:     kid,
+		JobTag:       j.Req.Model,
+		Instrumented: true,
+	})
+	if j.wl != nil {
+		// Another stream of this job may expose a further active kernel.
+		j.wl.reconcilePolicy()
+	}
+}
+
+// applyNotif folds one instrumented notification into the occupancy mirror
+// and job progress. Runs in dispatcher-loop context.
+func (d *Dispatcher) applyNotif(n channel.Notification) {
+	d.stats.NotifsHandled++
+	fl, ok := d.inflight[n.KernelID()]
+	if !ok {
+		panic(fmt.Sprintf("core: notification for unknown kernel %d", n.KernelID()))
+	}
+	count := int(n.GroupCount())
+	switch n.Type() {
+	case channel.Placement:
+		if fl.placed == 0 {
+			fl.firstPlacedAt = d.env.Now()
+		}
+		fl.placed += count
+		d.mirror.Place(fl.spec, count)
+	case channel.Completion:
+		fl.completed += count
+		d.mirror.Complete(fl.spec, count)
+		if fl.completed == fl.spec.Blocks {
+			delete(d.inflight, n.KernelID())
+			fl.job.execsDone++
+			fl.job.kernelsInFlight--
+			if d.cfg.RefineOnline {
+				d.refineProfile(fl)
+			}
+			if fl.op != nil {
+				fl.job.wl.opFinished(fl.op)
+			} else {
+				d.opDone(fl.job)
+			}
+		}
+	default:
+		panic("core: invalid notification type")
+	}
+}
+
+// refineProfile implements §6's online refinement: the observed
+// first-placement→completion span of the kernel (as seen through the
+// notification channel) updates the profile means, and the SRPT suffix
+// table is rebuilt periodically.
+func (d *Dispatcher) refineProfile(fl *inflightKernel) {
+	dur := d.env.Now() - fl.firstPlacedAt
+	if dur <= 0 {
+		return
+	}
+	ins := fl.job.Ins
+	ins.Profile.Observe(fl.spec.Name, dur)
+	every := d.cfg.RefineEvery
+	if every <= 0 {
+		every = 64
+	}
+	ins.Profile.RefreshEvery(ins.Model, every)
+}
+
+// opDone advances the job past its just-completed op.
+func (d *Dispatcher) opDone(j *Job) {
+	if j.cancelled {
+		// Drop remaining work; finish once the device has drained this
+		// job's in-flight kernels.
+		if j.kernelsInFlight == 0 {
+			d.finish(j)
+		}
+		return
+	}
+	j.cursor++
+	if d.cfg.Mode == ModeGated {
+		d.advanceGated(j)
+	}
+}
+
+// cancel implements ClientConn.Cancel on the dispatcher side.
+func (d *Dispatcher) cancel(reqID uint64) {
+	j, ok := d.jobs[reqID]
+	if !ok || j.cancelled {
+		return // unknown, already finished, or already cancelled
+	}
+	j.cancelled = true
+	j.rec.Cancelled = true
+	if j.inPolicy {
+		d.cfg.Policy.Remove(&j.entry)
+		j.inPolicy = false
+	}
+	if j.kernelsInFlight == 0 {
+		d.finish(j)
+	}
+}
+
+// finish completes the job: records metrics and delivers the result over
+// the GPU→client channel.
+func (d *Dispatcher) finish(j *Job) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	now := d.env.Now()
+	j.rec.ExecDone = now
+	j.rec.Delivered = now + d.cfg.ShmLatency
+	d.stats.Completed++
+	delete(d.jobs, j.Req.ID)
+	if d.cfg.Mode == ModeGated {
+		d.cfg.Policy.JobFinished(j.Req.Client)
+	}
+	d.collector.Add(j.rec)
+	d.ringBell(j) // ensure the bell rang even for degenerate op lists
+	if cb := j.conn.OnComplete; cb != nil {
+		id := j.Req.ID
+		d.env.After(d.cfg.ShmLatency, func() { cb(id) })
+	}
+}
+
+// ringBell delivers the almost-finished wakeup exactly once per job.
+func (d *Dispatcher) ringBell(j *Job) {
+	if j.belled {
+		return
+	}
+	j.belled = true
+	if cb := j.conn.OnAlmostFinished; cb != nil {
+		id := j.Req.ID
+		d.env.After(d.cfg.ShmLatency, func() { cb(id) })
+	}
+}
+
+func (d *Dispatcher) memcpyDuration(bytes int) sim.Time {
+	dur := d.cfg.MemcpyLatency
+	if d.cfg.PCIeBytesPerNs > 0 {
+		dur += sim.Time(float64(bytes) / d.cfg.PCIeBytesPerNs)
+	}
+	return dur
+}
+
+// --- Ablation modes: hardware scheduling with the Paella frontend ---------
+
+// issueOp issues the job's op at index idx onto its CUDA stream and
+// returns an event that fires when the op completes.
+func (d *Dispatcher) issueOp(j *Job, idx int) *cudart.Event {
+	op := &j.ops[idx]
+	if j.rec.FirstDispatch == 0 {
+		j.rec.FirstDispatch = d.env.Now()
+	}
+	switch op.kind {
+	case opKernel:
+		d.stats.KernelsSent++
+		j.stream.LaunchKernelAsync(op.spec, cudart.LaunchOpts{JobTag: j.Req.Model})
+	case opCopyIn, opCopyOut:
+		d.stats.CopiesSent++
+		j.stream.MemcpyAsync(nil, copyDirection(op.kind), op.bytes)
+	}
+	return j.stream.EventRecord()
+}
+
+func copyDirection(k jobOpKind) cudart.MemcpyKind {
+	if k == opCopyIn {
+		return cudart.HostToDevice
+	}
+	return cudart.DeviceToHost
+}
+
+// issueWholeJob releases every op of the job immediately (ModeJobByJob and
+// ModeSingleStream), completing when the last op's event fires.
+func (d *Dispatcher) issueWholeJob(p *sim.Proc, j *Job) {
+	var last *cudart.Event
+	for idx := range j.ops {
+		d.charge(p, d.cfg.DispatchCost)
+		j.rec.SchedNs += d.cfg.DispatchCost
+		last = d.issueOp(j, idx)
+	}
+	last.OnFire(func() { d.finish(j) })
+}
+
+// issueNext releases the job's current op and arms its completion to issue
+// the next (ModeKernelByKernel). Per-op dispatch cost is charged to the
+// dispatcher loop via a posted wakeup.
+func (d *Dispatcher) issueNext(p *sim.Proc, j *Job) {
+	if p != nil {
+		d.charge(p, d.cfg.DispatchCost)
+	}
+	j.rec.SchedNs += d.cfg.DispatchCost
+	if j.isFinalGPUOp() {
+		d.ringBell(j)
+	}
+	ev := d.issueOp(j, j.cursor)
+	ev.OnFire(func() {
+		j.cursor++
+		if j.cursor >= len(j.ops) {
+			d.finish(j)
+			return
+		}
+		// Issue the next op outside the loop process; the dispatch cost
+		// has already been modelled for this job's ops.
+		d.issueNext(nil, j)
+	})
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "ablation-biggpu",
+		Title: "Extension (§8): scaling to larger GPUs — multiplexing headroom grows with SM count",
+		Run:   runAblationBigGPU,
+	})
+}
+
+// runAblationBigGPU runs the short-vs-long mix on a T4 and an A100-class
+// device at loads proportional to their capacity. The paper argues (§8)
+// that bigger GPUs create more kernel-level concurrency to multiplex, so
+// software scheduling matters more, not less.
+func runAblationBigGPU(w io.Writer, d Detail) error {
+	jobs := 500
+	if d == Quick {
+		jobs = 150
+	}
+	devices := []struct {
+		cfg  gpu.Config
+		rate float64 // offered load scaled to device capacity
+	}{
+		{gpu.TeslaT4(), 800},
+		{gpu.A100Like(), 4000}, // ~5.3× the thread slots
+	}
+	short, long := "resnet18", "inceptionv3"
+	mix := workload.Weighted([]string{short, long},
+		workload.InverseSizeWeights([]sim.Time{
+			sim.Time(1.58 * float64(sim.Millisecond)),
+			sim.Time(31.2 * float64(sim.Millisecond)),
+		}))
+
+	fmt.Fprintln(w, "Extension — Paella vs CUDA-MS across GPU generations (short/long mix):")
+	fmt.Fprintf(w, "  %-12s %-10s %14s %14s %14s\n", "device", "system", "tput (req/s)", "r18 p99", "i3 p99")
+	for _, dev := range devices {
+		opts := serving.DefaultOptions()
+		opts.DevCfg = dev.cfg
+		opts.Models = []*model.Model{
+			model.Generate(model.Table2()[0]),
+			model.Generate(model.Table2()[7]),
+		}
+		opts.ProfileRuns = 1
+		trace := workload.MustGenerate(workload.Spec{
+			Mix: mix, Sigma: 2, RatePerSec: dev.rate, Jobs: jobs, Clients: 7, Seed: 21,
+		})
+		opts.MaxSimTime = trace[len(trace)-1].At + 8*sim.Second
+		for _, sys := range []string{"CUDA-MS", "Paella"} {
+			col := serving.MustRunTrace(serving.MustNewSystem(sys), trace, opts)
+			fmt.Fprintf(w, "  %-12s %-10s %14.1f %14v %14v\n",
+				dev.cfg.Name, sys, col.Throughput(),
+				col.FilterModel(short).P99(), col.FilterModel(long).P99())
+		}
+	}
+	fmt.Fprintln(w, "\nExpected (§8): on the larger device more jobs are multiplexed at")
+	fmt.Fprintln(w, "once, so the short-job tail gap between informed software dispatch")
+	fmt.Fprintln(w, "and hardware queueing persists or widens — scheduling demand grows")
+	fmt.Fprintln(w, "with concurrency.")
+	return nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paella/internal/cluster"
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "ablation-cluster",
+		Title: "Extension (§8): cluster-level balancing over multiple Paella GPUs",
+		Run:   runAblationCluster,
+	})
+}
+
+// runAblationCluster stacks cluster-level routing on top of per-GPU Paella
+// scheduling (the hierarchical composition §8 points at): two T4s behind
+// round-robin, least-loaded, and model-affinity balancers, under a bursty
+// mixed workload.
+func runAblationCluster(w io.Writer, d Detail) error {
+	jobs := 600
+	if d == Quick {
+		jobs = 150
+	}
+	balancers := []func() cluster.Balancer{
+		cluster.NewRoundRobin,
+		cluster.NewLeastLoaded,
+		func() cluster.Balancer { return cluster.NewModelAffinity(2) },
+	}
+	names := model.Names()
+	trace := workload.MustGenerate(workload.Spec{
+		Mix: workload.Uniform(names...), Sigma: 2,
+		RatePerSec: 800, Jobs: jobs, Clients: 1, Seed: 13,
+	})
+
+	fmt.Fprintln(w, "Extension — 2×T4 cluster at 800 req/s (σ=2, Table 2 mix):")
+	fmt.Fprintf(w, "  %-16s %14s %12s %12s\n", "balancer", "tput (req/s)", "p50", "p99")
+	for _, mk := range balancers {
+		env := sim.NewEnv()
+		b := mk()
+		c, err := cluster.New(env,
+			[]gpu.Config{gpu.TeslaT4(), gpu.TeslaT4()},
+			func() sched.Policy { return sched.NewPaella(10000) }, b)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			m := model.Generate(entryFor(name))
+			if err := c.RegisterModel(m, compiler.DefaultConfig(), 1); err != nil {
+				return err
+			}
+		}
+		conn := c.Connect()
+		for i, r := range trace {
+			id, mdl := uint64(i+1), r.Model
+			at := r.At
+			env.At(at, func() {
+				conn.Submit(core.Request{ID: id, Model: mdl, Submit: env.Now()})
+			})
+		}
+		env.RunUntil(trace[len(trace)-1].At + 8*sim.Second)
+		col := c.Collector()
+		fmt.Fprintf(w, "  %-16s %14.1f %12v %12v\n",
+			b.Name(), col.Throughput(), col.P50(), col.P99())
+	}
+	fmt.Fprintln(w, "\nExpected: least-loaded beats round-robin at the tail under bursty")
+	fmt.Fprintln(w, "arrivals; affinity trades some balance for model locality. Cluster")
+	fmt.Fprintln(w, "routing composes with per-GPU software-defined scheduling (§8).")
+	return nil
+}
+
+func entryFor(name string) model.ZooEntry {
+	for _, e := range model.Table2() {
+		if e.Name == name {
+			return e
+		}
+	}
+	panic("experiments: unknown zoo entry " + name)
+}

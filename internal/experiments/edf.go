@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/gpu"
+	"paella/internal/metrics"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "ablation-edf",
+		Title: "Extension (§2.1/§6): deadline-aware scheduling (EDF) vs deadline-blind policies",
+		Run:   runAblationEDF,
+	})
+}
+
+// runAblationEDF demonstrates a capability the paper's §2.1 calls out as
+// impossible with hardware queues: honouring per-request deadlines. Each
+// request carries a deadline of a few multiples of its model's execution
+// time; goodput counts only requests that met theirs.
+func runAblationEDF(w io.Writer, d Detail) error {
+	jobs := 600
+	if d == Quick {
+		jobs = 150
+	}
+	policies := []struct {
+		label string
+		mk    func() sched.Policy
+	}{
+		{"EDF", sched.NewEDF},
+		{"SRPT", sched.NewSRPT},
+		{"FIFO", sched.NewFIFO},
+	}
+	devCfg := gpu.TeslaT4()
+	models := []*model.Model{
+		model.Generate(model.Table2()[0]), // resnet18
+		model.Generate(model.Table2()[4]), // resnet50
+	}
+
+	fmt.Fprintln(w, "Extension — deadline goodput under a tight-deadline mix under slight overload:")
+	fmt.Fprintf(w, "  %-8s %16s %16s %14s\n", "policy", "deadlines met", "goodput(req/s)", "p99 lateness")
+	for _, pol := range policies {
+		env := sim.NewEnv()
+		cfg := core.DefaultConfig(pol.mk())
+		disp := core.NewWithDevice(env, devCfg, cfg)
+		for _, m := range models {
+			ins := compiler.MustCompile(m, compiler.DefaultConfig(), devCfg, 1)
+			if err := disp.RegisterModel(ins); err != nil {
+				return err
+			}
+		}
+		disp.Start()
+		conn := disp.Connect()
+		// Deterministic request stream: alternate models; deadlines are
+		// tight multiples of each model's serial time; arrival rate slightly
+		// above drain capacity so the policy must triage.
+		rng := rand.New(rand.NewSource(9))
+		deadlines := map[uint64]sim.Time{}
+		var t sim.Time
+		for i := 0; i < jobs; i++ {
+			id := uint64(i + 1)
+			m := models[i%2]
+			t += sim.Time(rng.Intn(1200)) * sim.Microsecond
+			slack := m.KernelTime() * sim.Time(2+rng.Intn(3)) // 2-4× exec
+			at := t
+			dl := at + slack
+			deadlines[id] = dl
+			mdl := m.Name
+			env.At(at, func() {
+				conn.Submit(core.Request{
+					ID: id, Model: mdl, Client: 0, Submit: env.Now(), Deadline: dl,
+				})
+			})
+		}
+		env.Run()
+		recs := disp.Collector().Records()
+		met := 0
+		var lateness []sim.Time
+		for _, r := range recs {
+			dl := deadlines[r.ID]
+			if r.Delivered <= dl {
+				met++
+			} else {
+				lateness = append(lateness, r.Delivered-dl)
+			}
+		}
+		span := recs[len(recs)-1].Delivered - recs[0].Submit
+		fmt.Fprintf(w, "  %-8s %11d/%4d %16.1f %14v\n",
+			pol.label, met, len(recs),
+			float64(met)/span.Seconds(), metrics.Percentile(lateness, 99))
+	}
+	fmt.Fprintln(w, "\nExpected: EDF meets the most deadlines; SRPT is close (short jobs")
+	fmt.Fprintln(w, "have short deadlines here); FIFO misses many. No submission order")
+	fmt.Fprintln(w, "can express this through the hardware queues (§2.1).")
+	return nil
+}

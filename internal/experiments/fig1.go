@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/cudart"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig1",
+		Title: "Figure 1: GPU scheduling under different submission methods (2 SMs, 4 jobs × 3 SM-wide kernels)",
+		Run:   runFig1,
+	})
+}
+
+// fig1Model builds the didactic job: 3 kernels, each one block occupying an
+// entire SM for 10µs.
+func fig1Model(name string) *model.Model {
+	k := &gpu.KernelSpec{
+		Name:            name + "_k",
+		Blocks:          1,
+		ThreadsPerBlock: 1024,
+		RegsPerThread:   16,
+		BlockDuration:   10 * sim.Microsecond,
+	}
+	return &model.Model{
+		Name:         name,
+		Kernels:      []*gpu.KernelSpec{k},
+		Seq:          []int{0, 0, 0},
+		PinnedOutput: true,
+	}
+}
+
+// fig1Direct runs the four jobs through the plain CUDA runtime on the
+// given microarchitecture, one stream per job (or one shared stream).
+func fig1Direct(arch gpu.Microarch, queues int, sharedStream bool) (*gpu.Trace, sim.Time, sim.Time) {
+	env := sim.NewEnv()
+	cfg := gpu.TwoSM(arch, queues)
+	dev := gpu.NewDevice(env, cfg, nil)
+	tr := gpu.NewTrace()
+	dev.SetTrace(tr)
+	ctx := cudart.NewContext(env, dev, cudart.Config{})
+	var meanJCT sim.Time
+	jobs := []string{"A", "B", "C", "D"}
+	shared := ctx.StreamCreate()
+	for _, name := range jobs {
+		name := name
+		m := fig1Model(name)
+		stream := shared
+		if !sharedStream {
+			stream = ctx.StreamCreate()
+		}
+		env.Spawn(name, func(p *sim.Proc) {
+			for _, ki := range m.Seq {
+				stream.LaunchKernel(p, m.Kernels[ki], cudart.LaunchOpts{JobTag: name})
+			}
+			ev := stream.EventRecord()
+			p.Wait(ev.Completion())
+			meanJCT += env.Now()
+		})
+	}
+	env.Run()
+	return tr, tr.Makespan(), meanJCT / sim.Time(len(jobs))
+}
+
+// fig1Paella runs the same jobs through the gated dispatcher (the "Ideal"
+// row: software-defined scheduling interleaves jobs perfectly).
+func fig1Paella() (*gpu.Trace, sim.Time, sim.Time) {
+	env := sim.NewEnv()
+	devCfg := gpu.TwoSM(gpu.Kepler, 32)
+	cfg := core.DefaultConfig(sched.NewSRPT())
+	// Zero the cost model so the timeline is directly comparable to the
+	// idealized hardware rows, and disable the overshoot budget: with
+	// instant notifications the dispatcher can hold everything that does
+	// not immediately fit, retaining full control of execution order.
+	cfg.AdmitCost, cfg.DispatchCost, cfg.ShmLatency = 0, 0, 0
+	cfg.OvershootBlocks = 0
+	devCfg.NotifDelay = 0
+	d := core.NewWithDevice(env, devCfg, cfg)
+	tr := gpu.NewTrace()
+	d.Device().SetTrace(tr)
+	var meanJCT sim.Time
+	done := 0
+	for i, name := range []string{"A", "B", "C", "D"} {
+		ins := compiler.MustCompile(fig1Model(name), compiler.Config{}, devCfg, 1)
+		if err := d.RegisterModel(ins); err != nil {
+			panic(err)
+		}
+		conn := d.Connect()
+		conn.OnComplete = func(uint64) { meanJCT += env.Now(); done++ }
+		id := uint64(i + 1)
+		nm := name
+		cn := conn
+		env.At(0, func() {
+			cn.Submit(core.Request{ID: id, Model: nm, Client: cn.ID, Submit: 0})
+		})
+	}
+	d.Start()
+	env.Run()
+	return tr, tr.Makespan(), meanJCT / 4
+}
+
+func runFig1(w io.Writer, _ Detail) error {
+	type row struct {
+		label string
+		tr    *gpu.Trace
+		span  sim.Time
+		jct   sim.Time
+	}
+	var rows []row
+	tr, span, jct := fig1Direct(gpu.Fermi, 32, false)
+	rows = append(rows, row{"Streams (Fermi and earlier): 1 hw queue", tr, span, jct})
+	tr, span, jct = fig1Direct(gpu.Kepler, 32, false)
+	rows = append(rows, row{"Streams (Kepler and later) / MPS (Volta+)", tr, span, jct})
+	tr, span, jct = fig1Direct(gpu.Kepler, 32, true)
+	rows = append(rows, row{"Baseline (single shared stream)", tr, span, jct})
+	tr, span, jct = fig1Paella()
+	rows = append(rows, row{"Ideal (Paella software-defined dispatch)", tr, span, jct})
+
+	fmt.Fprintln(w, "Figure 1 — kernel timelines (one column = 10µs, letter = job):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "\n%s  [makespan %v, mean JCT %v]\n", r.label, r.span, r.jct)
+		fmt.Fprint(w, r.tr.Render(2, 10*sim.Microsecond))
+	}
+	fmt.Fprintln(w, "\nExpected shape (paper): no hardware submission method achieves the")
+	fmt.Fprintln(w, "ideal schedule; Fermi serializes almost fully, Kepler/MPS overlap")
+	fmt.Fprintln(w, "adjacent jobs, and only software-defined dispatch reaches the ideal")
+	fmt.Fprintln(w, "6-slot makespan with jobs finishing at staggered completion times.")
+	return nil
+}

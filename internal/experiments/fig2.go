@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig2",
+		Title: "Figure 2: HoL blocking — job-by-job submission vs Paella dispatching (GTX 1660 SUPER)",
+		Run:   runFig2,
+	})
+}
+
+// runFig2 reproduces §2.1's motivating experiment: the synthetic workload
+// (8 kernels/job, 128-thread 9-register single-block kernels, ~300µs each)
+// on a GTX 1660 SUPER allows 176 concurrent kernels, but job-by-job
+// submission fills the 32 hardware queues with dependent kernels and
+// strands the device at ~18% occupancy. Paella's informed dispatcher
+// interleaves the independent kernels.
+func runFig2(w io.Writer, d Detail) error {
+	rates := []float64{2000, 5000, 8000, 12000, 16000, 20000, 26000, 32000}
+	jobs := 4000
+	if d == Quick {
+		rates = []float64{2000, 8000, 16000}
+		jobs = 800
+	}
+	opts := serving.Options{
+		DevCfg:      gpu.GTX1660Super(),
+		Models:      []*model.Model{model.Fig2Job()},
+		CompilerCfg: defaultCompiler(),
+		ProfileRuns: 1,
+	}
+	mix := workload.Uniform("fig2job")
+
+	fmt.Fprintln(w, "Figure 2 — p99 JCT vs goodput, synthetic HoL workload:")
+	// "Job-by-job submission": every kernel of a job enters the hardware
+	// queues at arrival (per-job streams). "Paella dispatching": identical
+	// except the dispatcher times each kernel's release (FIFO policy, so
+	// only the dispatch mechanism differs).
+	for _, system := range []string{"CUDA-MS", "Paella-FIFO"} {
+		pts, err := sweep(system, mix, 1.5, rates, jobs, 8, opts, 77)
+		if err != nil {
+			return err
+		}
+		label := "Job-by-job submission"
+		if system == "Paella-FIFO" {
+			label = "Paella dispatching"
+		}
+		printSweep(w, label, pts)
+	}
+	fmt.Fprintln(w, "\nExpected shape (paper): job-by-job submission saturates at roughly")
+	fmt.Fprintln(w, "18% of device concurrency (32 of 176 kernels) while Paella sustains")
+	fmt.Fprintln(w, "≈2.2× higher goodput at comparable tail latency.")
+	return nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paella/internal/compiler"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig3",
+		Title: "Figure 3: serving-platform overhead of a Triton request, batch 1 and 64",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		Name:  "table2",
+		Title: "Table 2: evaluation model zoo",
+		Run:   runTable2,
+	})
+}
+
+func defaultCompiler() compiler.Config { return compiler.DefaultConfig() }
+
+// runFig3 computes, per Figure 3 model, the fraction of end-to-end Triton
+// latency attributable to the serving platform (everything except CUDA
+// kernel executions and memory copies). Batched requests submit the whole
+// batch at once, so serialization scales with batch size while execution
+// amortizes (GPU batching efficiency ~0.75 per the paper's models).
+func runFig3(w io.Writer, _ Detail) error {
+	costs := serving.TritonCosts()
+	const batchEff = 0.75
+	fmt.Fprintln(w, "Figure 3 — Triton communication/framework overhead (% of exec time):")
+	fmt.Fprintf(w, "  %-14s %12s %12s %12s\n", "model", "exec(batch1)", "batch 1", "batch 64")
+	// Per-kernel launch gaps count as overhead under the paper's
+	// definition (end-to-end minus kernel execution and copies): models
+	// with thousands of launches (GPT2) are dominated by this term.
+	const launchGap = 6 * sim.Microsecond
+	overheadPct := func(e model.ZooEntry, batch int) float64 {
+		in := e.InputBytes * batch
+		out := e.OutputBytes * batch
+		exec := float64(e.ExecTime)
+		launches := float64(e.Executions)
+		if batch > 1 {
+			exec *= float64(batch) * batchEff
+		}
+		over := float64(in)*costs.SerializePerByte*2 +
+			float64(out)*costs.SerializePerByte*2 +
+			2*float64(costs.RPCFixed) + float64(costs.ServerProc) +
+			launches*float64(launchGap)
+		return over / exec * 100
+	}
+	for _, e := range model.Fig3Entries() {
+		fmt.Fprintf(w, "  %-14s %12v %11.1f%% %11.1f%%\n",
+			e.Name, e.ExecTime, overheadPct(e, 1), overheadPct(e, 64))
+	}
+	fmt.Fprintln(w, "\nExpected shape (paper): overhead reaches up to ~66% of execution for")
+	fmt.Fprintln(w, "single requests of small models (e.g. MobileNetV2) and remains")
+	fmt.Fprintln(w, "significant — sometimes higher — at batch 64 where serialization of")
+	fmt.Fprintln(w, "the batched input dominates (e.g. YoloV5's large tensors).")
+	return nil
+}
+
+func runTable2(w io.Writer, _ Detail) error {
+	fmt.Fprintln(w, "Table 2 — model zoo (paper exec time vs generated kernel graphs):")
+	fmt.Fprintf(w, "  %-14s %12s %12s %8s %8s %8s\n",
+		"model", "paper exec", "zoo exec", "launches", "unique", "blocks")
+	for _, e := range model.Table2() {
+		m := model.Generate(e)
+		fmt.Fprintf(w, "  %-14s %12v %12v %8d %8d %8d\n",
+			e.Name, e.ExecTime, m.KernelTime(), m.NumExecutions(), m.NumUnique(), m.TotalBlocks())
+	}
+	fmt.Fprintf(w, "\n  (paper model sizes, for reference: ResNet-18 75MB, MobileNetV2 14MB,\n")
+	fmt.Fprintf(w, "   ResNet-34 144MB, SqueezeNet1.1 5.2MB, ResNet-50 124MB, DenseNet 41MB,\n")
+	fmt.Fprintf(w, "   GoogleNet 28MB, InceptionV3 93MB — weights are not modelled.)\n")
+	return nil
+}
+
+// fig3Check is used by tests: overhead percentage for one entry/batch.
+func fig3Check(name string, batch int) (float64, error) {
+	for _, e := range model.Fig3Entries() {
+		if e.Name == name {
+			costs := serving.TritonCosts()
+			in := e.InputBytes * batch
+			out := e.OutputBytes * batch
+			exec := float64(e.ExecTime)
+			if batch > 1 {
+				exec *= float64(batch) * 0.75
+			}
+			over := float64(in)*costs.SerializePerByte*2 +
+				float64(out)*costs.SerializePerByte*2 +
+				2*float64(costs.RPCFixed) + float64(costs.ServerProc) +
+				float64(e.Executions)*float64(6*sim.Microsecond)
+			return over / exec * 100, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: no fig3 model %q", name)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"paella/internal/core"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "fig9",
+		Title: "Figure 9: throughput vs injected per-decision scheduling delay (MNIST-scale model)",
+		Run:   runFig9,
+	})
+}
+
+// runFig9 stresses the late-binding dispatcher: because Paella holds
+// kernels until the last moment, any extra per-decision latency directly
+// throttles dispatch. The paper injects synthetic delay into the default
+// scheduler and measures sustainable throughput on an MNIST-scale model.
+func runFig9(w io.Writer, d Detail) error {
+	delays := []sim.Time{
+		100 * sim.Nanosecond,
+		sim.Microsecond,
+		3 * sim.Microsecond,
+		10 * sim.Microsecond,
+		30 * sim.Microsecond,
+		100 * sim.Microsecond,
+		300 * sim.Microsecond,
+		sim.Millisecond,
+	}
+	jobs := 4000
+	if d == Quick {
+		delays = []sim.Time{sim.Microsecond, 30 * sim.Microsecond, 300 * sim.Microsecond}
+		jobs = 600
+	}
+	opts := serving.DefaultOptions()
+	opts.Models = []*model.Model{model.TinyNet()}
+	opts.ProfileRuns = 1
+
+	fmt.Fprintln(w, "Figure 9 — sustainable throughput vs injected scheduling delay:")
+	fmt.Fprintf(w, "  %14s %18s %14s\n", "added delay", "throughput (req/s)", "core busy")
+	for _, delay := range delays {
+		delay := delay
+		sys := serving.NewPaellaTweaked("Paella", func(c *core.Config) {
+			c.SchedDelay = delay
+		})
+		// Offer far more load than any configuration can absorb so the
+		// measured rate is the dispatcher's capacity.
+		trace := workload.MustGenerate(workload.Spec{
+			Mix: workload.Uniform("tinynet"), Sigma: 1,
+			RatePerSec: 200000, Jobs: jobs, Clients: 8, Seed: 5,
+		})
+		runOpts := opts
+		runOpts.MaxSimTime = trace[len(trace)-1].At + 30*sim.Second
+		col := serving.MustRunTrace(sys, trace, runOpts)
+		disp := sys.(interface{ Dispatcher() *core.Dispatcher }).Dispatcher()
+		// Utilization over the active window (first submit → last delivery),
+		// not the post-drain idle tail.
+		recs := col.Records()
+		span := sim.Time(0)
+		if len(recs) > 0 {
+			first, last := recs[0].Submit, recs[0].Delivered
+			for _, r := range recs {
+				if r.Submit < first {
+					first = r.Submit
+				}
+				if r.Delivered > last {
+					last = r.Delivered
+				}
+			}
+			span = last - first
+		}
+		busy := 0.0
+		if span > 0 {
+			busy = float64(disp.Stats().BusyNs) / float64(span)
+		}
+		fmt.Fprintf(w, "  %14v %18.0f %13.1f%%\n", delay, col.Throughput(), busy*100)
+	}
+	fmt.Fprintln(w, "\nThe dispatcher saturates its single core at every point (the paper's")
+	fmt.Fprintln(w, "late-binding argument); throughput is purely 1/(per-job dispatch cost).")
+	fmt.Fprintln(w, "Expected shape (paper): throughput holds flat for sub-µs to few-µs")
+	fmt.Fprintln(w, "delays, then falls roughly as 1/delay once the injected cost dominates")
+	fmt.Fprintln(w, "the per-kernel dispatch path.")
+	return nil
+}

@@ -1,0 +1,192 @@
+// Package gpu models an NVIDIA-style GPU at the granularity the Paella
+// paper reasons about (§2.1): an array of streaming multiprocessors (SMs)
+// with static per-SM resource limits (Table 1), a limited set of strictly
+// FIFO hardware queues that only ever consider the earliest-launched kernel
+// at their head, and a greedy black-box block scheduler that places thread
+// blocks onto SMs whenever the head kernels' resource demands fit.
+//
+// The model runs on virtual time (internal/sim) and reproduces the
+// architectural behaviours Paella exploits — head-of-line blocking between
+// streams that share a hardware queue, occupancy-gated concurrency, and the
+// differences between microarchitecture generations (Figure 1) — without
+// requiring physical hardware.
+package gpu
+
+import "paella/internal/sim"
+
+// Microarch selects the stream→hardware-queue mapping behaviour of a GPU
+// generation (§2.1, Figure 1).
+type Microarch int
+
+const (
+	// Fermi-era devices expose a single hardware queue: kernels from all
+	// streams serialize into it in issue order.
+	Fermi Microarch = iota
+	// Kepler (and later) devices expose multiple hardware queues (HyperQ);
+	// each stream maps onto one of them.
+	Kepler
+	// VoltaMPS behaves like Kepler but additionally admits kernels from
+	// multiple processes into the same queue set without context switches.
+	VoltaMPS
+)
+
+// String returns the microarchitecture name.
+func (m Microarch) String() string {
+	switch m {
+	case Fermi:
+		return "Fermi"
+	case Kepler:
+		return "Kepler"
+	case VoltaMPS:
+		return "Volta+MPS"
+	default:
+		return "unknown"
+	}
+}
+
+// SMResources are the per-SM physical limits of Table 1. A thread block
+// occupies one block slot, ThreadsPerBlock thread slots,
+// ThreadsPerBlock×RegsPerThread registers, and SharedMemPerBlock bytes of
+// shared memory for its entire residence.
+type SMResources struct {
+	MaxBlocks    int
+	MaxThreads   int
+	MaxRegisters int
+	MaxSharedMem int
+}
+
+// Config describes a device instance.
+type Config struct {
+	Name      string
+	Microarch Microarch
+	NumSMs    int
+	SM        SMResources
+	// NumHWQueues is the number of hardware queues (32 for HyperQ parts;
+	// forced to 1 for Fermi).
+	NumHWQueues int
+	// NotifDelay is the device→host latency of an instrumented kernel's
+	// notifQ write becoming visible to the dispatcher (pinned-memory
+	// round trip, ~1µs on PCIe 3).
+	NotifDelay sim.Time
+	// LaunchOverhead is the fixed cost the hardware/runtime path adds to
+	// each kernel launch before its blocks are considered for placement.
+	LaunchOverhead sim.Time
+	// AggGroup is the block-group size for notification aggregation (§5.2);
+	// the paper uses 16. Zero disables aggregation (one notification per
+	// block).
+	AggGroup int
+}
+
+// GTX1660Super returns the configuration of the GeForce GTX 1660 SUPER used
+// for the paper's Figure 2 experiment: 22 SMs, 1024 threads/SM, 32 hardware
+// queues.
+func GTX1660Super() Config {
+	return Config{
+		Name:      "GTX 1660 SUPER",
+		Microarch: Kepler,
+		NumSMs:    22,
+		SM: SMResources{
+			MaxBlocks:    16,
+			MaxThreads:   1024,
+			MaxRegisters: 65536,
+			MaxSharedMem: 64 << 10,
+		},
+		NumHWQueues:    32,
+		NotifDelay:     1200 * sim.Nanosecond,
+		LaunchOverhead: 4 * sim.Microsecond,
+		AggGroup:       16,
+	}
+}
+
+// TeslaT4 returns the configuration of the Tesla T4 used for the paper's
+// main evaluation (§7): 40 SMs, 1024 threads/SM.
+func TeslaT4() Config {
+	return Config{
+		Name:      "Tesla T4",
+		Microarch: VoltaMPS,
+		NumSMs:    40,
+		SM: SMResources{
+			MaxBlocks:    16,
+			MaxThreads:   1024,
+			MaxRegisters: 65536,
+			MaxSharedMem: 64 << 10,
+		},
+		NumHWQueues:    32,
+		NotifDelay:     1200 * sim.Nanosecond,
+		LaunchOverhead: 4 * sim.Microsecond,
+		AggGroup:       16,
+	}
+}
+
+// TeslaP100 returns the configuration of the Tesla P100 the paper also
+// validated on (trends identical to the T4).
+func TeslaP100() Config {
+	return Config{
+		Name:      "Tesla P100",
+		Microarch: Kepler,
+		NumSMs:    56,
+		SM: SMResources{
+			MaxBlocks:    32,
+			MaxThreads:   2048,
+			MaxRegisters: 65536,
+			MaxSharedMem: 64 << 10,
+		},
+		NumHWQueues:    32,
+		NotifDelay:     1300 * sim.Nanosecond,
+		LaunchOverhead: 4 * sim.Microsecond,
+		AggGroup:       16,
+	}
+}
+
+// A100Like returns an Ampere-class datacenter part (108 SMs, 2048
+// threads/SM), used for the paper's §8 "scaling to larger GPUs"
+// discussion: more SMs mean more concurrent kernels to multiplex, and
+// therefore more scheduling for the dispatcher to do.
+func A100Like() Config {
+	return Config{
+		Name:      "A100-class",
+		Microarch: VoltaMPS,
+		NumSMs:    108,
+		SM: SMResources{
+			MaxBlocks:    32,
+			MaxThreads:   2048,
+			MaxRegisters: 65536,
+			MaxSharedMem: 164 << 10,
+		},
+		NumHWQueues:    32,
+		NotifDelay:     1200 * sim.Nanosecond,
+		LaunchOverhead: 4 * sim.Microsecond,
+		AggGroup:       16,
+	}
+}
+
+// TwoSM returns the didactic two-SM device of Figure 1, where every kernel
+// occupies an entire SM.
+func TwoSM(arch Microarch, queues int) Config {
+	return Config{
+		Name:      "didactic-2SM",
+		Microarch: arch,
+		NumSMs:    2,
+		SM: SMResources{
+			MaxBlocks:    1,
+			MaxThreads:   1024,
+			MaxRegisters: 65536,
+			MaxSharedMem: 48 << 10,
+		},
+		NumHWQueues: queues,
+		NotifDelay:  1 * sim.Microsecond,
+		AggGroup:    16,
+	}
+}
+
+// EffectiveQueues returns the number of hardware queues after applying the
+// microarchitecture rule (Fermi collapses everything to one queue).
+func (c Config) EffectiveQueues() int {
+	if c.Microarch == Fermi {
+		return 1
+	}
+	if c.NumHWQueues < 1 {
+		return 1
+	}
+	return c.NumHWQueues
+}

@@ -1,0 +1,402 @@
+package gpu
+
+import (
+	"fmt"
+
+	"paella/internal/channel"
+	"paella/internal/sim"
+)
+
+// smState tracks the resources currently in use on one SM.
+type smState struct {
+	blocks  int
+	threads int
+	regs    int
+	shmem   int
+}
+
+// hwQueue is one strictly-FIFO hardware queue. Only the head launch is ever
+// considered for block placement; a head whose dependencies are unsatisfied
+// stalls the entire queue (§2.1).
+type hwQueue struct {
+	launches []*Launch
+}
+
+func (q *hwQueue) head() *Launch {
+	if len(q.launches) == 0 {
+		return nil
+	}
+	return q.launches[0]
+}
+
+func (q *hwQueue) popHead() {
+	copy(q.launches, q.launches[1:])
+	q.launches[len(q.launches)-1] = nil
+	q.launches = q.launches[:len(q.launches)-1]
+}
+
+// Stats aggregates device-lifetime counters.
+type Stats struct {
+	KernelsSubmitted uint64
+	KernelsCompleted uint64
+	BlocksPlaced     uint64
+	BlocksCompleted  uint64
+	// ThreadBusyNs integrates (threads in use)×time; divide by
+	// (MaxThreads×NumSMs×elapsed) for utilization.
+	ThreadBusyNs float64
+	// StallNs integrates time during which at least one queue head was
+	// ready but unplaceable OR a queue head was not ready while another
+	// launch behind it was (head-of-line blocking indicator).
+	HoLBlockedKernels uint64
+}
+
+// Device is a simulated GPU. All methods must be called from the simulation
+// event loop (callbacks or processes of the same Env).
+type Device struct {
+	env    *sim.Env
+	cfg    Config
+	sms    []smState
+	queues []hwQueue
+	notifQ *channel.NotifQueue
+	trace  *Trace
+
+	scheduled    bool // a scheduling pass is pending
+	rrCursor     int  // round-robin start queue for fairness
+	smCursor     int  // round-robin start SM for placement spreading
+	stats        Stats
+	lastUtilAt   sim.Time
+	threadsInUse int
+	// onNotifPosted, if set, runs (once per batch) after notifications are
+	// posted to notifQ — the dispatcher uses it as its wakeup hook instead
+	// of continuous polling, with the poll interval modelled separately.
+	onNotifPosted func()
+}
+
+// NewDevice builds a device on the given simulation environment. The
+// notifQ may be nil when no instrumented kernels will run (pure-baseline
+// experiments).
+func NewDevice(env *sim.Env, cfg Config, notifQ *channel.NotifQueue) *Device {
+	nq := cfg.EffectiveQueues()
+	d := &Device{
+		env:    env,
+		cfg:    cfg,
+		sms:    make([]smState, cfg.NumSMs),
+		queues: make([]hwQueue, nq),
+		notifQ: notifQ,
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Env returns the simulation environment the device runs on.
+func (d *Device) Env() *sim.Env { return d.env }
+
+// NumQueues returns the effective hardware queue count.
+func (d *Device) NumQueues() int { return len(d.queues) }
+
+// SetTrace attaches an execution trace recorder (may be nil to disable).
+func (d *Device) SetTrace(t *Trace) { d.trace = t }
+
+// OnNotifPosted registers a callback invoked after instrumented
+// notifications land in the notifQ (the dispatcher's wakeup).
+func (d *Device) OnNotifPosted(fn func()) { d.onNotifPosted = fn }
+
+// Stats returns a snapshot of device counters with utilization integrated
+// up to the current instant.
+func (d *Device) Stats() Stats {
+	d.accrueUtil()
+	return d.stats
+}
+
+// Utilization returns the average fraction of thread slots occupied over
+// [0, now].
+func (d *Device) Utilization() float64 {
+	d.accrueUtil()
+	elapsed := float64(d.env.Now())
+	if elapsed == 0 {
+		return 0
+	}
+	return d.stats.ThreadBusyNs / (elapsed * float64(d.cfg.SM.MaxThreads*d.cfg.NumSMs))
+}
+
+// QueueDepth returns the number of launches waiting in (or placing from)
+// hardware queue q.
+func (d *Device) QueueDepth(q int) int { return len(d.queues[q].launches) }
+
+// TotalQueued returns the number of launches across all hardware queues.
+func (d *Device) TotalQueued() int {
+	n := 0
+	for i := range d.queues {
+		n += len(d.queues[i].launches)
+	}
+	return n
+}
+
+// FreeThreads returns the number of unoccupied thread slots device-wide.
+func (d *Device) FreeThreads() int {
+	free := 0
+	for i := range d.sms {
+		free += d.cfg.SM.MaxThreads - d.sms[i].threads
+	}
+	return free
+}
+
+// ResidentBlocks returns the number of thread blocks currently resident.
+func (d *Device) ResidentBlocks() int {
+	n := 0
+	for i := range d.sms {
+		n += d.sms[i].blocks
+	}
+	return n
+}
+
+// Submit enqueues a launch onto hardware queue q. The launch must not have
+// been submitted before. Submission models the driver-side launch cost
+// (Config.LaunchOverhead) before the kernel becomes visible to the queue.
+func (d *Device) Submit(q int, l *Launch) {
+	if q < 0 || q >= len(d.queues) {
+		panic(fmt.Sprintf("gpu: submit to queue %d of %d", q, len(d.queues)))
+	}
+	if l.state != LaunchQueued || l.toFinish != 0 {
+		panic("gpu: launch resubmitted")
+	}
+	if err := l.Spec.Validate(); err != nil {
+		panic("gpu: " + err.Error())
+	}
+	if !l.Spec.FitsSM(d.cfg.SM) {
+		panic(fmt.Sprintf("gpu: kernel %q can never fit an SM", l.Spec.Name))
+	}
+	l.toPlace = l.Spec.Blocks
+	l.toFinish = l.Spec.Blocks
+	d.stats.KernelsSubmitted++
+	enqueue := func() {
+		l.queuedAt = d.env.Now()
+		d.queues[q].launches = append(d.queues[q].launches, l)
+		d.kick()
+	}
+	if d.cfg.LaunchOverhead > 0 {
+		d.env.After(d.cfg.LaunchOverhead, enqueue)
+	} else {
+		enqueue()
+	}
+}
+
+// Kick requests a scheduling pass (e.g., after a launch's dependencies
+// become satisfied). Multiple kicks coalesce into one pass per instant.
+func (d *Device) Kick() { d.kick() }
+
+func (d *Device) kick() {
+	if d.scheduled {
+		return
+	}
+	d.scheduled = true
+	d.env.After(0, func() {
+		d.scheduled = false
+		d.schedulePass()
+	})
+}
+
+// schedulePass is the block scheduler: it repeatedly scans the hardware
+// queues round-robin, placing blocks from ready head launches onto SMs
+// until nothing more fits. Per §2.1 it never looks past a queue's head.
+func (d *Device) schedulePass() {
+	for {
+		progressed := false
+		nq := len(d.queues)
+		for i := 0; i < nq; i++ {
+			qi := (d.rrCursor + i) % nq
+			q := &d.queues[qi]
+			head := q.head()
+			if head == nil {
+				continue
+			}
+			if head.Ready != nil && !head.Ready() {
+				// Queue stalls on an unready head. If anything is queued
+				// behind it, that is head-of-line blocking.
+				if len(q.launches) > 1 {
+					d.stats.HoLBlockedKernels++
+				}
+				continue
+			}
+			placed := d.placeBlocks(head)
+			if placed > 0 {
+				progressed = true
+			}
+			if head.toPlace == 0 {
+				// Fully placed: the launch leaves the queue, exposing the
+				// next kernel (if any) to the scheduler.
+				head.state = LaunchRunning
+				head.placedAt = d.env.Now()
+				q.popHead()
+				if head.OnAllPlaced != nil {
+					fn := head.OnAllPlaced
+					d.env.After(0, fn)
+				}
+				progressed = true
+			}
+		}
+		d.rrCursor = (d.rrCursor + 1) % nq
+		if !progressed {
+			return
+		}
+	}
+}
+
+// placeBlocks places as many blocks of l as currently fit, spreading them
+// across SMs round-robin. It returns the number placed and schedules their
+// completions and notifications.
+func (d *Device) placeBlocks(l *Launch) int {
+	_, th, rg, sh := l.Spec.BlockCost()
+	totalPlaced := 0
+	nsm := len(d.sms)
+	// perSM[i] counts blocks placed on SM i in this wave so completions and
+	// notifications can be chunked per SM.
+	var perSM map[int]int
+	for l.toPlace > 0 {
+		placedThisRound := false
+		for i := 0; i < nsm && l.toPlace > 0; i++ {
+			smi := (d.smCursor + i) % nsm
+			sm := &d.sms[smi]
+			if sm.blocks+1 > d.cfg.SM.MaxBlocks ||
+				sm.threads+th > d.cfg.SM.MaxThreads ||
+				sm.regs+rg > d.cfg.SM.MaxRegisters ||
+				sm.shmem+sh > d.cfg.SM.MaxSharedMem {
+				continue
+			}
+			d.accrueUtil()
+			sm.blocks++
+			sm.threads += th
+			sm.regs += rg
+			sm.shmem += sh
+			d.threadsInUse += th
+			l.toPlace--
+			l.state = LaunchPlacing
+			d.stats.BlocksPlaced++
+			if perSM == nil {
+				perSM = make(map[int]int, 4)
+			}
+			perSM[smi]++
+			totalPlaced++
+			placedThisRound = true
+		}
+		if !placedThisRound {
+			break
+		}
+	}
+	d.smCursor = (d.smCursor + 1) % nsm
+	if totalPlaced == 0 {
+		return 0
+	}
+	now := d.env.Now()
+	for smi, n := range perSM {
+		smi, n := smi, n
+		if d.trace != nil {
+			d.trace.add(segment{SM: smi, Kernel: l.Spec.Name, Job: l.JobTag, KernelID: l.KernelID, Blocks: n, Start: now, End: now + l.Spec.BlockDuration})
+		}
+		d.emitNotifs(l, channel.Placement, uint8(smi), n)
+		d.env.After(l.Spec.BlockDuration, func() {
+			d.completeBlocks(l, smi, n)
+		})
+	}
+	return totalPlaced
+}
+
+// completeBlocks returns the resources of n blocks of l on SM smi and
+// advances the launch's completion accounting.
+func (d *Device) completeBlocks(l *Launch, smi, n int) {
+	_, th, rg, sh := l.Spec.BlockCost()
+	d.accrueUtil()
+	sm := &d.sms[smi]
+	sm.blocks -= n
+	sm.threads -= n * th
+	sm.regs -= n * rg
+	sm.shmem -= n * sh
+	d.threadsInUse -= n * th
+	if sm.blocks < 0 || sm.threads < 0 || sm.regs < 0 || sm.shmem < 0 {
+		panic("gpu: SM resource accounting went negative")
+	}
+	l.toFinish -= n
+	d.stats.BlocksCompleted += uint64(n)
+	d.emitNotifs(l, channel.Completion, uint8(smi), n)
+	if l.toFinish == 0 {
+		l.state = LaunchDone
+		l.completedAt = d.env.Now()
+		d.stats.KernelsCompleted++
+		if l.OnComplete != nil {
+			d.env.After(0, l.OnComplete)
+		}
+	}
+	// Freed resources may unblock queue heads.
+	d.kick()
+}
+
+// emitNotifs advances the launch's kernel-wide notification counters by n
+// blocks on SM sm and posts aggregated notifQ records (§5.2, Figure 6):
+// the instrumented kernel's designated threads maintain one atomic counter
+// per direction, and a record is written every AggGroup-th block plus once
+// at the final block. Between crossings, up to AggGroup−1 blocks are
+// placed/finished but not yet visible to the dispatcher — the accepted
+// cost of aggregation.
+func (d *Device) emitNotifs(l *Launch, t channel.NotifType, sm uint8, n int) {
+	if !l.Instrumented || d.notifQ == nil {
+		return
+	}
+	group := d.cfg.AggGroup
+	if group <= 0 {
+		group = 1
+	}
+	total := l.Spec.Blocks
+	count, notified := &l.placedCount, &l.placedNotified
+	if t == channel.Completion {
+		count, notified = &l.completedCount, &l.completedNotified
+	}
+	*count += n
+	newNotified := (*count / group) * group
+	if *count == total {
+		newNotified = total
+	}
+	delta := newNotified - *notified
+	if delta <= 0 {
+		return
+	}
+	*notified = newNotified
+	var records []channel.Notification
+	for delta > 0 {
+		g := min(delta, group)
+		records = append(records, channel.Pack(t, sm, uint16(g), l.KernelID))
+		delta -= g
+	}
+	d.env.After(d.cfg.NotifDelay, func() {
+		for _, r := range records {
+			d.notifQ.Push(r)
+		}
+		if d.onNotifPosted != nil {
+			d.onNotifPosted()
+		}
+	})
+}
+
+// accrueUtil integrates thread occupancy up to now.
+func (d *Device) accrueUtil() {
+	now := d.env.Now()
+	if now > d.lastUtilAt {
+		d.stats.ThreadBusyNs += float64(d.threadsInUse) * float64(now-d.lastUtilAt)
+		d.lastUtilAt = now
+	}
+}
+
+// CheckInvariants panics if any SM's accounting is out of bounds; tests
+// call it between steps.
+func (d *Device) CheckInvariants() {
+	for i := range d.sms {
+		sm := &d.sms[i]
+		if sm.blocks < 0 || sm.blocks > d.cfg.SM.MaxBlocks ||
+			sm.threads < 0 || sm.threads > d.cfg.SM.MaxThreads ||
+			sm.regs < 0 || sm.regs > d.cfg.SM.MaxRegisters ||
+			sm.shmem < 0 || sm.shmem > d.cfg.SM.MaxSharedMem {
+			panic(fmt.Sprintf("gpu: SM %d out of bounds: %+v", i, *sm))
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package gpu
+
+import (
+	"fmt"
+
+	"paella/internal/sim"
+)
+
+// KernelSpec is the static execution configuration of a CUDA kernel — the
+// ≪Dg, Db, Ns≫ triple plus the post-compilation register count (§4.1). All
+// four are knowable before launch, which is what lets the Paella dispatcher
+// predict placement without consulting the hardware.
+type KernelSpec struct {
+	Name string
+	// Blocks is the grid size Dg: the number of thread blocks.
+	Blocks int
+	// ThreadsPerBlock is the block size Db.
+	ThreadsPerBlock int
+	// RegsPerThread is the compiled register demand per thread.
+	RegsPerThread int
+	// SharedMemPerBlock is Ns, the dynamic shared memory per block in bytes.
+	SharedMemPerBlock int
+	// BlockDuration is how long one block occupies its SM once placed.
+	BlockDuration sim.Time
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (k *KernelSpec) Validate() error {
+	switch {
+	case k.Blocks <= 0:
+		return fmt.Errorf("kernel %q: grid size %d", k.Name, k.Blocks)
+	case k.ThreadsPerBlock <= 0:
+		return fmt.Errorf("kernel %q: block size %d", k.Name, k.ThreadsPerBlock)
+	case k.RegsPerThread < 0 || k.SharedMemPerBlock < 0:
+		return fmt.Errorf("kernel %q: negative resource demand", k.Name)
+	case k.BlockDuration < 0:
+		return fmt.Errorf("kernel %q: negative duration", k.Name)
+	}
+	return nil
+}
+
+// BlockCost returns the per-SM resource vector one block consumes, in the
+// order (blocks, threads, registers, shared memory) of Table 1.
+func (k *KernelSpec) BlockCost() (blocks, threads, regs, shmem int) {
+	return 1, k.ThreadsPerBlock, k.ThreadsPerBlock * k.RegsPerThread, k.SharedMemPerBlock
+}
+
+// FitsSM reports whether a single block can ever be placed on an SM with
+// the given limits.
+func (k *KernelSpec) FitsSM(r SMResources) bool {
+	_, th, rg, sh := k.BlockCost()
+	return th <= r.MaxThreads && rg <= r.MaxRegisters && sh <= r.MaxSharedMem && r.MaxBlocks >= 1
+}
+
+// MaxResidentPerSM returns the occupancy limit: how many blocks of this
+// kernel can be resident on one SM simultaneously.
+func (k *KernelSpec) MaxResidentPerSM(r SMResources) int {
+	if !k.FitsSM(r) {
+		return 0
+	}
+	_, th, rg, sh := k.BlockCost()
+	n := r.MaxBlocks
+	if th > 0 {
+		n = min(n, r.MaxThreads/th)
+	}
+	if rg > 0 {
+		n = min(n, r.MaxRegisters/rg)
+	}
+	if sh > 0 {
+		n = min(n, r.MaxSharedMem/sh)
+	}
+	return n
+}
+
+// MaxResident returns the device-wide occupancy limit for this kernel.
+func (k *KernelSpec) MaxResident(c Config) int {
+	return k.MaxResidentPerSM(c.SM) * c.NumSMs
+}
+
+// LaunchState tracks one submitted kernel instance through placement and
+// completion.
+type LaunchState int
+
+const (
+	// LaunchQueued: in a hardware queue, not yet (fully) placed.
+	LaunchQueued LaunchState = iota
+	// LaunchPlacing: at the head of its queue with some blocks placed.
+	LaunchPlacing
+	// LaunchRunning: all blocks placed; the launch has left the queue.
+	LaunchRunning
+	// LaunchDone: all blocks completed.
+	LaunchDone
+)
+
+// String returns the state name.
+func (s LaunchState) String() string {
+	switch s {
+	case LaunchQueued:
+		return "queued"
+	case LaunchPlacing:
+		return "placing"
+	case LaunchRunning:
+		return "running"
+	case LaunchDone:
+		return "done"
+	default:
+		return "invalid"
+	}
+}
+
+// Launch is one kernel instance submitted to the device. The host (the
+// CUDA runtime emulation or the Paella dispatcher) fills in the identity
+// and callback fields; the device manages the progress fields.
+type Launch struct {
+	Spec *KernelSpec
+	// KernelID is the dispatcher-assigned unique id carried by notifQ
+	// records (§4.1). It distinguishes executions of the same kernel.
+	KernelID uint32
+	// JobTag labels the owning job in execution traces.
+	JobTag string
+	// Ready reports whether the launch's stream dependencies are satisfied.
+	// A queue whose head launch is not ready stalls — this is the
+	// head-of-line blocking of §2.1. The device re-examines readiness on
+	// every scheduling pass. A nil Ready means always ready.
+	Ready func() bool
+	// Instrumented enables notifQ placement/completion records for this
+	// launch (set by the compiler pass for Paella-managed kernels).
+	Instrumented bool
+	// OnAllPlaced, if non-nil, runs when the last block is placed (the
+	// launch leaves its hardware queue).
+	OnAllPlaced func()
+	// OnComplete, if non-nil, runs when the last block finishes.
+	OnComplete func()
+
+	state    LaunchState
+	toPlace  int
+	toFinish int
+	// Kernel-wide notification counters (Figure 6's startCount/endCount)
+	// and how many blocks have been reported to the notifQ so far.
+	placedCount       int
+	placedNotified    int
+	completedCount    int
+	completedNotified int
+	queuedAt          sim.Time
+	placedAt          sim.Time // time the final block was placed
+	completedAt       sim.Time
+}
+
+// State returns the launch's current lifecycle state.
+func (l *Launch) State() LaunchState { return l.state }
+
+// BlocksUnplaced returns the number of blocks not yet placed on an SM.
+func (l *Launch) BlocksUnplaced() int { return l.toPlace }
+
+// BlocksOutstanding returns the number of blocks placed but not finished.
+// toPlace counts down as blocks are placed and toFinish counts down as they
+// finish, so the resident population is their difference.
+func (l *Launch) BlocksOutstanding() int { return l.toFinish - l.toPlace }
+
+// QueuedAt returns when the launch entered its hardware queue.
+func (l *Launch) QueuedAt() sim.Time { return l.queuedAt }
+
+// PlacedAt returns when the launch's last block was placed (valid once the
+// state is LaunchRunning or later).
+func (l *Launch) PlacedAt() sim.Time { return l.placedAt }
+
+// CompletedAt returns when the launch's last block completed (valid once
+// the state is LaunchDone).
+func (l *Launch) CompletedAt() sim.Time { return l.completedAt }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+// Package metrics collects per-request latency records and computes the
+// aggregate statistics the paper reports: percentile job completion times,
+// throughput/goodput, per-stage overhead breakdowns (Figure 10), CDFs
+// (Figure 15), and client CPU utilization (Figure 14).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"paella/internal/sim"
+)
+
+// JobRecord captures the full timeline of one inference request.
+type JobRecord struct {
+	ID     uint64
+	Model  string
+	Client int
+
+	// Submit is when the client called predict.
+	Submit sim.Time
+	// Admit is when the serving system accepted the request.
+	Admit sim.Time
+	// FirstDispatch is when the first GPU operation was released.
+	FirstDispatch sim.Time
+	// ExecDone is when the last GPU operation finished.
+	ExecDone sim.Time
+	// Delivered is when the client observed the result.
+	Delivered sim.Time
+
+	// SchedNs accumulates dispatcher queuing/scheduling time charged to
+	// this request (admission queueing + per-kernel scheduling decisions).
+	SchedNs sim.Time
+	// FrameworkNs accumulates serving-framework processing (serialization,
+	// batching, RPC handling) charged to this request.
+	FrameworkNs sim.Time
+	// Cancelled marks a request aborted by the client before completion.
+	Cancelled bool
+}
+
+// JCT returns the end-to-end job completion time.
+func (r *JobRecord) JCT() sim.Time { return r.Delivered - r.Submit }
+
+// CommNs returns the pure communication latency: submit→admit plus
+// completion→delivery.
+func (r *JobRecord) CommNs() sim.Time {
+	return (r.Admit - r.Submit) + (r.Delivered - r.ExecDone) - r.FrameworkNs
+}
+
+// Collector accumulates job records for one run.
+type Collector struct {
+	records []JobRecord
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Add appends one completed job.
+func (c *Collector) Add(r JobRecord) { c.records = append(c.records, r) }
+
+// Len returns the number of completed jobs.
+func (c *Collector) Len() int { return len(c.records) }
+
+// Records returns the raw records (not a copy; callers must not mutate).
+func (c *Collector) Records() []JobRecord { return c.records }
+
+// JCTs returns all job completion times.
+func (c *Collector) JCTs() []sim.Time {
+	out := make([]sim.Time, len(c.records))
+	for i := range c.records {
+		out[i] = c.records[i].JCT()
+	}
+	return out
+}
+
+// FilterModel returns a collector restricted to one model.
+func (c *Collector) FilterModel(name string) *Collector {
+	out := NewCollector()
+	for _, r := range c.records {
+		if r.Model == name {
+			out.Add(r)
+		}
+	}
+	return out
+}
+
+// Throughput returns completed jobs per second of virtual time over the
+// span from the first submit to the last delivery.
+func (c *Collector) Throughput() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	first, last := c.records[0].Submit, c.records[0].Delivered
+	for _, r := range c.records {
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.Delivered > last {
+			last = r.Delivered
+		}
+	}
+	span := (last - first).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(len(c.records)) / span
+}
+
+// Goodput returns jobs per second whose JCT met the given deadline.
+func (c *Collector) Goodput(deadline sim.Time) float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	met := 0
+	first, last := c.records[0].Submit, c.records[0].Delivered
+	for _, r := range c.records {
+		if r.JCT() <= deadline {
+			met++
+		}
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.Delivered > last {
+			last = r.Delivered
+		}
+	}
+	span := (last - first).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(met) / span
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) of ds using
+// nearest-rank; zero for empty input.
+func Percentile(ds []sim.Time, p float64) sim.Time {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]sim.Time(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p/100*float64(len(sorted))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean of ds (zero for empty input).
+func Mean(ds []sim.Time) sim.Time {
+	if len(ds) == 0 {
+		return 0
+	}
+	var total sim.Time
+	for _, d := range ds {
+		total += d
+	}
+	return total / sim.Time(len(ds))
+}
+
+// P99 returns the 99th-percentile JCT.
+func (c *Collector) P99() sim.Time { return Percentile(c.JCTs(), 99) }
+
+// P50 returns the median JCT.
+func (c *Collector) P50() sim.Time { return Percentile(c.JCTs(), 50) }
+
+// MeanJCT returns the mean JCT.
+func (c *Collector) MeanJCT() sim.Time { return Mean(c.JCTs()) }
+
+// WriteJSON emits all records as a JSON array (ns timestamps), for
+// external analysis tooling.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	type jsonRec struct {
+		ID            uint64 `json:"id"`
+		Model         string `json:"model"`
+		Client        int    `json:"client"`
+		SubmitNs      int64  `json:"submit_ns"`
+		AdmitNs       int64  `json:"admit_ns"`
+		FirstDispatch int64  `json:"first_dispatch_ns"`
+		ExecDoneNs    int64  `json:"exec_done_ns"`
+		DeliveredNs   int64  `json:"delivered_ns"`
+		JCTNs         int64  `json:"jct_ns"`
+	}
+	out := make([]jsonRec, len(c.records))
+	for i, r := range c.records {
+		out[i] = jsonRec{
+			ID: r.ID, Model: r.Model, Client: r.Client,
+			SubmitNs: int64(r.Submit), AdmitNs: int64(r.Admit),
+			FirstDispatch: int64(r.FirstDispatch), ExecDoneNs: int64(r.ExecDone),
+			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Breakdown is the Figure 10 per-request overhead decomposition (GPU
+// execution time excluded).
+type Breakdown struct {
+	Framework  sim.Time
+	Scheduling sim.Time
+	Comm       sim.Time
+	ClientSide sim.Time
+}
+
+// Total returns the summed overhead.
+func (b Breakdown) Total() sim.Time {
+	return b.Framework + b.Scheduling + b.Comm + b.ClientSide
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value sim.Time
+	Frac  float64
+}
+
+// CDF returns the empirical CDF of ds at each distinct value.
+func CDF(ds []sim.Time) []CDFPoint {
+	if len(ds) == 0 {
+		return nil
+	}
+	sorted := append([]sim.Time(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		if i+1 < len(sorted) && sorted[i+1] == v {
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Frac: float64(i+1) / n})
+	}
+	return out
+}
+
+// FormatThroughputLatency renders a (throughput, p99) table row, the unit
+// of Figures 2, 11 and 12.
+func FormatThroughputLatency(system string, tput float64, p99 sim.Time) string {
+	return fmt.Sprintf("%-16s %10.1f req/s   p99=%v", system, tput, p99)
+}
+
+// CPUStats tracks a client's busy/idle accounting for Figure 14.
+type CPUStats struct {
+	BusyNs sim.Time
+	Span   sim.Time
+}
+
+// Utilization returns busy time over span, in [0,1].
+func (s CPUStats) Utilization() float64 {
+	if s.Span <= 0 {
+		return 0
+	}
+	u := float64(s.BusyNs) / float64(s.Span)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

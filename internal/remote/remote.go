@@ -1,0 +1,152 @@
+// Package remote implements the paper's remote-inference extension (§5.1):
+// a local client process acts as an RPC server for remote requests and
+// transparently forwards them into the Paella dispatcher's shared-memory
+// channels. Both ends use kernel-bypass networking in the paper (eRPC); the
+// cost model here reflects that: a few µs of per-message CPU plus wire
+// latency and bandwidth-limited tensor transfer.
+package remote
+
+import (
+	"fmt"
+
+	"paella/internal/core"
+	"paella/internal/sim"
+)
+
+// NetConfig models the network between the remote client and the serving
+// host.
+type NetConfig struct {
+	// RTT is the round-trip wire latency.
+	RTT sim.Time
+	// BytesPerNs is the link bandwidth (≈12.5 for 100 GbE).
+	BytesPerNs float64
+	// PerMsgCPU is the per-message CPU cost at each end (eRPC-class
+	// kernel-bypass stacks spend ~1-2µs per message).
+	PerMsgCPU sim.Time
+}
+
+// DefaultNet returns a 100 GbE kernel-bypass network: 10µs RTT, ~2µs of
+// CPU per message end-to-end.
+func DefaultNet() NetConfig {
+	return NetConfig{
+		RTT:        10 * sim.Microsecond,
+		BytesPerNs: 12.5,
+		PerMsgCPU:  2 * sim.Microsecond,
+	}
+}
+
+// transfer returns the one-way wire time for a message of the given size.
+func (n NetConfig) transfer(bytes int) sim.Time {
+	d := n.RTT / 2
+	if n.BytesPerNs > 0 {
+		d += sim.Time(float64(bytes) / n.BytesPerNs)
+	}
+	return d
+}
+
+// Gateway is the RPC server co-located with the dispatcher: it owns a
+// local client connection and forwards remote requests into it. One
+// gateway serves one remote client (mirroring the paper's per-client
+// shared-memory regions).
+type Gateway struct {
+	env  *sim.Env
+	net  NetConfig
+	conn *core.ClientConn
+
+	nextID  uint64
+	pending map[uint64]*pendingReq
+}
+
+type pendingReq struct {
+	inputBytes  int
+	outputBytes int
+	done        *sim.Completion
+}
+
+// NewGateway connects a gateway to the dispatcher.
+func NewGateway(env *sim.Env, d *core.Dispatcher, net NetConfig) *Gateway {
+	g := &Gateway{
+		env:     env,
+		net:     net,
+		conn:    d.Connect(),
+		pending: make(map[uint64]*pendingReq),
+	}
+	g.conn.OnComplete = g.onComplete
+	return g
+}
+
+func (g *Gateway) onComplete(reqID uint64) {
+	pr, ok := g.pending[reqID]
+	if !ok {
+		panic(fmt.Sprintf("remote: completion for unknown request %d", reqID))
+	}
+	delete(g.pending, reqID)
+	// Response: gateway CPU, then output tensor crosses the wire.
+	g.env.After(g.net.PerMsgCPU+g.net.transfer(pr.outputBytes), pr.done.Fire)
+}
+
+// Client is the remote inference client.
+type Client struct {
+	env *sim.Env
+	gw  *Gateway
+
+	// results holds fired completions in submission order; ReadResult
+	// returns the first completed request.
+	inflight map[uint64]*sim.Completion
+	order    []uint64
+}
+
+// NewClient returns a remote client bound to a gateway.
+func NewClient(env *sim.Env, gw *Gateway) *Client {
+	return &Client{env: env, gw: gw, inflight: make(map[uint64]*sim.Completion)}
+}
+
+// Predict submits a remote inference request for the named model with the
+// given tensor sizes, returning a request handle. The input tensor is
+// transferred over the wire before the gateway writes it into the
+// dispatcher's shared-memory region.
+func (c *Client) Predict(p *sim.Proc, modelName string, inputBytes, outputBytes int) uint64 {
+	p.Sleep(c.gw.net.PerMsgCPU)
+	g := c.gw
+	g.nextID++
+	id := g.nextID
+	done := sim.NewCompletion(c.env)
+	c.inflight[id] = done
+	c.order = append(c.order, id)
+	// Request crosses the wire, then the gateway forwards it locally.
+	c.env.After(g.net.transfer(inputBytes), func() {
+		g.pending[id] = &pendingReq{inputBytes: inputBytes, outputBytes: outputBytes, done: done}
+		ok := g.conn.Submit(core.Request{
+			ID:     id,
+			Model:  modelName,
+			Client: g.conn.ID,
+			Submit: g.env.Now(),
+		})
+		if !ok {
+			// Ring full: retry after a short backoff, as the local client
+			// library would.
+			g.env.After(20*sim.Microsecond, func() { g.retry(id, modelName) })
+		}
+	})
+	return id
+}
+
+func (g *Gateway) retry(id uint64, modelName string) {
+	ok := g.conn.Submit(core.Request{ID: id, Model: modelName, Client: g.conn.ID, Submit: g.env.Now()})
+	if !ok {
+		g.env.After(20*sim.Microsecond, func() { g.retry(id, modelName) })
+	}
+}
+
+// Wait blocks until the given request's response has fully arrived.
+func (c *Client) Wait(p *sim.Proc, id uint64) {
+	done, ok := c.inflight[id]
+	if !ok {
+		panic(fmt.Sprintf("remote: wait for unknown request %d", id))
+	}
+	p.Wait(done)
+	delete(c.inflight, id)
+}
+
+// Outstanding returns the number of requests awaiting responses.
+func (c *Client) Outstanding() int { return len(c.inflight) }

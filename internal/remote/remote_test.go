@@ -1,0 +1,129 @@
+package remote
+
+import (
+	"testing"
+
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Env, *core.Dispatcher) {
+	t.Helper()
+	env := sim.NewEnv()
+	devCfg := gpu.TeslaT4()
+	d := core.NewWithDevice(env, devCfg, core.DefaultConfig(sched.NewPaella(10000)))
+	ins := compiler.MustCompile(model.TinyNet(), compiler.DefaultConfig(), devCfg, 1)
+	if err := d.RegisterModel(ins); err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	return env, d
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	env, d := setup(t)
+	gw := NewGateway(env, d, DefaultNet())
+	c := NewClient(env, gw)
+	var jct sim.Time
+	env.Spawn("remote-client", func(p *sim.Proc) {
+		start := env.Now()
+		id := c.Predict(p, "tinynet", 28*28*4, 10*4)
+		c.Wait(p, id)
+		jct = env.Now() - start
+	})
+	env.Run()
+	if jct <= 0 {
+		t.Fatal("remote request never completed")
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d", c.Outstanding())
+	}
+	// Remote adds ≥ RTT + per-message CPU over the local path.
+	if jct < DefaultNet().RTT {
+		t.Fatalf("JCT %v below network RTT", jct)
+	}
+}
+
+func TestRemoteVsLocalOverhead(t *testing.T) {
+	// Local path.
+	env, d := setup(t)
+	conn := d.Connect()
+	var localDone sim.Time
+	conn.OnComplete = func(uint64) { localDone = env.Now() }
+	env.At(0, func() {
+		conn.Submit(core.Request{ID: 1, Model: "tinynet", Client: conn.ID, Submit: 0})
+	})
+	env.Run()
+
+	// Remote path on a fresh timeline.
+	env2, d2 := setup(t)
+	gw := NewGateway(env2, d2, DefaultNet())
+	c := NewClient(env2, gw)
+	var remoteJCT sim.Time
+	env2.Spawn("remote", func(p *sim.Proc) {
+		start := env2.Now()
+		id := c.Predict(p, "tinynet", 28*28*4, 10*4)
+		c.Wait(p, id)
+		remoteJCT = env2.Now() - start
+	})
+	env2.Run()
+
+	extra := remoteJCT - localDone
+	// The eRPC-class network adds on the order of the RTT plus message
+	// CPU — tens of µs, not the hundreds a gRPC frontend costs.
+	if extra < 10*sim.Microsecond || extra > 100*sim.Microsecond {
+		t.Fatalf("remote overhead = %v (local %v, remote %v), want 10-100µs",
+			extra, localDone, remoteJCT)
+	}
+}
+
+func TestRemoteManyConcurrent(t *testing.T) {
+	env, d := setup(t)
+	gw := NewGateway(env, d, DefaultNet())
+	c := NewClient(env, gw)
+	const n = 50
+	completed := 0
+	env.Spawn("remote", func(p *sim.Proc) {
+		ids := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			ids = append(ids, c.Predict(p, "tinynet", 28*28*4, 10*4))
+		}
+		for _, id := range ids {
+			c.Wait(p, id)
+			completed++
+		}
+	})
+	env.Run()
+	if completed != n {
+		t.Fatalf("completed %d of %d", completed, n)
+	}
+}
+
+func TestLargeTensorTransferCost(t *testing.T) {
+	net := DefaultNet()
+	small := net.transfer(1 << 10)
+	large := net.transfer(16 << 20)
+	// 16MB at 12.5 B/ns ≈ 1.34ms — must dominate the RTT.
+	if large < 100*small {
+		t.Fatalf("bandwidth model broken: 1KB=%v 16MB=%v", small, large)
+	}
+}
+
+func TestWaitUnknownPanics(t *testing.T) {
+	env, d := setup(t)
+	gw := NewGateway(env, d, DefaultNet())
+	c := NewClient(env, gw)
+	env.Spawn("bad", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Wait on unknown id did not panic")
+			}
+		}()
+		c.Wait(p, 999)
+	})
+	env.Run()
+}

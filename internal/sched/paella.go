@@ -1,0 +1,230 @@
+package sched
+
+import "paella/internal/rbtree"
+
+// PaellaPolicy is the paper's default scheduler (§6): SRPT for latency,
+// bounded by per-client deficit counters for fairness.
+//
+// Conceptually, when a kernel of client c is dispatched, c's deficit
+// decreases by (1 − 1/n) while every other active client's deficit
+// increases by 1/n (n = number of clients with unfinished jobs). That is an
+// O(n) update; the implementation uses the paper's O(1) shift trick:
+// dispatching stores deficit[c] −= 1 and adds 1/n to a global boost, so a
+// client's effective deficit is stored + boost and relative order among
+// stored values is preserved. A periodic O(n) renormalization bounds the
+// magnitudes (the paper's "reset on double underflow").
+//
+// Pick: if the maximum effective deficit exceeds the fairness threshold and
+// that client has a runnable job, its oldest job runs; otherwise the SRPT
+// minimum runs. Lower thresholds trigger the fairness override sooner
+// (Figure 13); as the threshold approaches zero the policy degenerates
+// toward oldest-first service.
+type PaellaPolicy struct {
+	threshold float64
+	boost     float64
+
+	srpt    *rbtree.Tree[*JobEntry]
+	deficit *rbtree.Tree[*paellaClient] // ordered by stored deficit
+	clients map[int]*paellaClient
+}
+
+type paellaClient struct {
+	id     int
+	stored float64
+	// active counts unfinished jobs (admitted, not yet completed).
+	active int
+	// jobs holds this client's runnable jobs, FIFO by arrival.
+	jobs *rbtree.Tree[*JobEntry]
+	node *rbtree.Node[*paellaClient]
+	seq  uint64 // tiebreak for deterministic ordering
+}
+
+// NewPaella returns the default Paella policy with the given fairness
+// threshold, measured in kernel dispatches of imbalance. Higher thresholds
+// favour SRPT latency; lower thresholds favour fairness.
+func NewPaella(threshold float64) *PaellaPolicy {
+	p := &PaellaPolicy{
+		threshold: threshold,
+		srpt:      rbtree.New(func(a, b *JobEntry) bool { return a.Remaining < b.Remaining }),
+		clients:   make(map[int]*paellaClient),
+	}
+	p.deficit = rbtree.New(func(a, b *paellaClient) bool {
+		if a.stored != b.stored {
+			return a.stored < b.stored
+		}
+		return a.seq < b.seq
+	})
+	return p
+}
+
+// Name implements Policy.
+func (p *PaellaPolicy) Name() string { return "Paella" }
+
+// Threshold returns the configured fairness threshold.
+func (p *PaellaPolicy) Threshold() float64 { return p.threshold }
+
+// Len implements Policy.
+func (p *PaellaPolicy) Len() int { return p.srpt.Len() }
+
+var paellaSeq uint64
+
+func (p *PaellaPolicy) client(id int) *paellaClient {
+	c, ok := p.clients[id]
+	if !ok {
+		paellaSeq++
+		c = &paellaClient{
+			id:   id,
+			jobs: rbtree.New(func(a, b *JobEntry) bool { return a.Arrival < b.Arrival }),
+			seq:  paellaSeq,
+			// A new client starts level with the field: stored 0 means
+			// effective deficit equals the global boost, the same as a
+			// client that has been waiting without service.
+			stored: 0,
+		}
+		p.clients[id] = c
+	}
+	return c
+}
+
+// JobAdmitted implements Policy: the client gains an unfinished job and
+// (re)joins the deficit index.
+func (p *PaellaPolicy) JobAdmitted(client int) {
+	c := p.client(client)
+	c.active++
+	if c.node == nil {
+		c.node = p.deficit.Insert(c)
+	}
+}
+
+// JobFinished implements Policy: when a client's last job completes it
+// leaves the deficit index (and forfeits accumulated deficit — an idle
+// client must not hoard priority).
+func (p *PaellaPolicy) JobFinished(client int) {
+	c := p.clients[client]
+	if c == nil || c.active == 0 {
+		panic("sched: JobFinished without matching JobAdmitted")
+	}
+	c.active--
+	if c.active == 0 {
+		if c.node != nil {
+			p.deficit.Delete(c.node)
+			c.node = nil
+		}
+		delete(p.clients, client)
+	}
+}
+
+// Add implements Policy.
+func (p *PaellaPolicy) Add(j *JobEntry) {
+	if j.primary != nil || j.secondary != nil {
+		panic("sched: job added twice to Paella")
+	}
+	j.primary = p.srpt.Insert(j)
+	j.secondary = p.client(j.Client).jobs.Insert(j)
+}
+
+// Remove implements Policy.
+func (p *PaellaPolicy) Remove(j *JobEntry) {
+	if j.primary == nil {
+		panic("sched: removing job not in Paella")
+	}
+	p.srpt.Delete(j.primary)
+	j.primary = nil
+	c := p.clients[j.Client]
+	c.jobs.Delete(j.secondary)
+	j.secondary = nil
+}
+
+// Pick implements Policy: fairness override first, SRPT otherwise.
+func (p *PaellaPolicy) Pick() *JobEntry {
+	if p.srpt.Len() == 0 {
+		return nil
+	}
+	// Scan clients from highest effective deficit down until one with a
+	// runnable job is found or the threshold is no longer exceeded.
+	for n := p.deficit.Max(); n != nil; n = n.Prev() {
+		c := n.Item
+		if c.stored+p.boost <= p.threshold {
+			break
+		}
+		if c.jobs.Len() > 0 {
+			return c.jobs.Min().Item
+		}
+	}
+	return p.srpt.Min().Item
+}
+
+// PickFit implements Policy: the fairness override considers only the
+// most-starved client's oldest fitting job; otherwise jobs are scanned in
+// SRPT order.
+func (p *PaellaPolicy) PickFit(fits func(*JobEntry) bool, maxScan int) *JobEntry {
+	if p.srpt.Len() == 0 {
+		return nil
+	}
+	scanned := 0
+	for n := p.deficit.Max(); n != nil && scanned < maxScan; n = n.Prev() {
+		c := n.Item
+		if c.stored+p.boost <= p.threshold {
+			break
+		}
+		for jn := c.jobs.Min(); jn != nil && scanned < maxScan; jn = jn.Next() {
+			if fits(jn.Item) {
+				return jn.Item
+			}
+			scanned++
+		}
+	}
+	for n := p.srpt.Min(); n != nil && scanned < maxScan; n = n.Next() {
+		if fits(n.Item) {
+			return n.Item
+		}
+		scanned++
+	}
+	return nil
+}
+
+// Dispatched implements Policy: the deficit bookkeeping of §6.
+func (p *PaellaPolicy) Dispatched(j *JobEntry) {
+	c := p.clients[j.Client]
+	if c == nil {
+		panic("sched: Dispatched for unknown client")
+	}
+	n := len(p.clients)
+	if n == 0 {
+		return
+	}
+	// stored -= 1, everyone += 1/n  ⇔  c loses (1 − 1/n), others gain 1/n.
+	reposition := c.node != nil
+	if reposition {
+		p.deficit.Delete(c.node)
+	}
+	c.stored--
+	if reposition {
+		c.node = p.deficit.Insert(c)
+	}
+	p.boost += 1 / float64(n)
+
+	// Renormalize before floating-point magnitudes degrade (the paper's
+	// O(n) reset).
+	if p.boost > 1e9 {
+		for _, cc := range p.clients {
+			cc.stored += p.boost
+		}
+		// Stored-order is unchanged by a uniform shift; the tree remains
+		// valid.
+		p.boost = 0
+	}
+}
+
+// EffectiveDeficit returns client's current effective deficit (testing and
+// introspection).
+func (p *PaellaPolicy) EffectiveDeficit(client int) float64 {
+	c := p.clients[client]
+	if c == nil {
+		return 0
+	}
+	return c.stored + p.boost
+}
+
+// ActiveClients returns the number of clients with unfinished jobs.
+func (p *PaellaPolicy) ActiveClients() int { return len(p.clients) }

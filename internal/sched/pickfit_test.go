@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"testing"
+
+	"paella/internal/sim"
+)
+
+func fitsOver(threshold sim.Time) func(*JobEntry) bool {
+	return func(j *JobEntry) bool { return j.Remaining >= threshold }
+}
+
+func TestTreePickFitSkipsNonFitting(t *testing.T) {
+	p := NewSRPT()
+	a := job(1, 0, 0, 10, 10)
+	b := job(2, 0, 0, 20, 20)
+	c := job(3, 0, 0, 30, 30)
+	for _, j := range []*JobEntry{a, b, c} {
+		p.Add(j)
+	}
+	// Only jobs with remaining ≥ 25 "fit": SRPT order is a,b,c so PickFit
+	// must skip a and b and return c.
+	if got := p.PickFit(fitsOver(25), 16); got != c {
+		t.Fatalf("PickFit = %v, want c", got)
+	}
+	// Nothing fits.
+	if got := p.PickFit(fitsOver(100), 16); got != nil {
+		t.Fatalf("PickFit = %v, want nil", got)
+	}
+	// Scan budget respected: with maxScan 1 only 'a' is examined.
+	if got := p.PickFit(fitsOver(25), 1); got != nil {
+		t.Fatalf("PickFit with scan budget 1 = %v, want nil", got)
+	}
+}
+
+func TestRRPickFit(t *testing.T) {
+	p := NewRR()
+	a := job(1, 0, 1, 10, 10) // client 0
+	b := job(2, 1, 1, 20, 20) // client 1
+	p.Add(a)
+	p.Add(b)
+	// Client 0 is first in the ring, but only b fits.
+	if got := p.PickFit(fitsOver(15), 16); got != b {
+		t.Fatalf("RR PickFit = %v, want b", got)
+	}
+	if got := p.PickFit(fitsOver(100), 16); got != nil {
+		t.Fatalf("RR PickFit = %v, want nil", got)
+	}
+	if got := p.PickFit(fitsOver(15), 1); got != nil {
+		t.Fatalf("RR PickFit scan=1 = %v, want nil", got)
+	}
+	if NewRR().PickFit(fitsOver(0), 16) != nil {
+		t.Fatal("empty RR PickFit not nil")
+	}
+}
+
+func TestPaellaPickFitDeficitPath(t *testing.T) {
+	p := NewPaella(1)
+	p.JobAdmitted(0)
+	p.JobAdmitted(1)
+	short := job(1, 0, 0, 10, 10)
+	long := job(2, 1, 5, 1000, 1000)
+	p.Add(short)
+	p.Add(long)
+	// Starve client 1 until over threshold.
+	for i := 0; i < 10; i++ {
+		p.Dispatched(short)
+	}
+	if p.EffectiveDeficit(1) <= 1 {
+		t.Fatal("client 1 not over threshold")
+	}
+	// The override path must respect the fits predicate: if the starved
+	// client's job doesn't fit, fall through to SRPT order.
+	got := p.PickFit(func(j *JobEntry) bool { return j != long }, 16)
+	if got != short {
+		t.Fatalf("PickFit = %v, want fallback to short", got)
+	}
+	// When it fits, the starved client's job wins despite SRPT order.
+	got = p.PickFit(func(*JobEntry) bool { return true }, 16)
+	if got != long {
+		t.Fatalf("PickFit = %v, want starved client's job", got)
+	}
+	if p.PickFit(func(*JobEntry) bool { return false }, 16) != nil {
+		t.Fatal("PickFit with nothing fitting not nil")
+	}
+	if NewPaella(1).PickFit(func(*JobEntry) bool { return true }, 16) != nil {
+		t.Fatal("empty Paella PickFit not nil")
+	}
+}
+
+// TestPickFitConsistentWithPick: when everything fits, PickFit must agree
+// with Pick for every policy.
+func TestPickFitConsistentWithPick(t *testing.T) {
+	mk := func() []*JobEntry {
+		return []*JobEntry{
+			job(1, 0, 5, 100, 60),
+			job(2, 1, 3, 50, 50),
+			job(3, 0, 8, 200, 10),
+			job(4, 2, 1, 70, 70),
+		}
+	}
+	policies := []func() Policy{NewFIFO, NewSJF, NewSRPT, NewRR,
+		func() Policy { return NewPaella(1e9) }}
+	for _, mkPol := range policies {
+		p := mkPol()
+		for _, j := range mk() {
+			if pp, ok := p.(*PaellaPolicy); ok {
+				pp.JobAdmitted(j.Client)
+			}
+			p.Add(j)
+		}
+		all := func(*JobEntry) bool { return true }
+		if p.Pick() != p.PickFit(all, 16) {
+			t.Errorf("%s: Pick and PickFit(all) disagree", p.Name())
+		}
+	}
+}

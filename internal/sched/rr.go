@@ -1,0 +1,115 @@
+package sched
+
+import "paella/internal/rbtree"
+
+// rrPolicy serves clients in round-robin order, FIFO within each client.
+// Between consecutive picks of the same client's jobs, every other client
+// with runnable work is served once — the classic fair-share baseline the
+// paper evaluates as Paella-RR.
+type rrPolicy struct {
+	nopLifecycle
+	clients map[int]*rrClient
+	// ring is the service order; clients are appended when they become
+	// runnable and rotate to the back after being picked.
+	ring []*rrClient
+}
+
+type rrClient struct {
+	id     int
+	jobs   *rbtree.Tree[*JobEntry] // FIFO by arrival
+	inRing bool
+}
+
+// NewRR returns round-robin-across-clients scheduling.
+func NewRR() Policy {
+	return &rrPolicy{clients: make(map[int]*rrClient)}
+}
+
+func (p *rrPolicy) Name() string { return "RR" }
+
+func (p *rrPolicy) Len() int {
+	n := 0
+	for _, c := range p.clients {
+		n += c.jobs.Len()
+	}
+	return n
+}
+
+func (p *rrPolicy) client(id int) *rrClient {
+	c, ok := p.clients[id]
+	if !ok {
+		c = &rrClient{
+			id:   id,
+			jobs: rbtree.New(func(a, b *JobEntry) bool { return a.Arrival < b.Arrival }),
+		}
+		p.clients[id] = c
+	}
+	return c
+}
+
+func (p *rrPolicy) Add(j *JobEntry) {
+	if j.primary != nil {
+		panic("sched: job added twice to RR")
+	}
+	c := p.client(j.Client)
+	j.primary = c.jobs.Insert(j)
+	if !c.inRing {
+		c.inRing = true
+		p.ring = append(p.ring, c)
+	}
+}
+
+func (p *rrPolicy) Remove(j *JobEntry) {
+	if j.primary == nil {
+		panic("sched: removing job not in RR")
+	}
+	c := p.clients[j.Client]
+	c.jobs.Delete(j.primary)
+	j.primary = nil
+	if c.jobs.Len() == 0 {
+		p.dropFromRing(c)
+	}
+}
+
+func (p *rrPolicy) dropFromRing(c *rrClient) {
+	for i, rc := range p.ring {
+		if rc == c {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			break
+		}
+	}
+	c.inRing = false
+}
+
+func (p *rrPolicy) Pick() *JobEntry {
+	if len(p.ring) == 0 {
+		return nil
+	}
+	return p.ring[0].jobs.Min().Item
+}
+
+func (p *rrPolicy) PickFit(fits func(*JobEntry) bool, maxScan int) *JobEntry {
+	scanned := 0
+	// Scan clients in ring order, and each client's jobs in FIFO order.
+	for _, c := range p.ring {
+		for n := c.jobs.Min(); n != nil; n = n.Next() {
+			if scanned >= maxScan {
+				return nil
+			}
+			if fits(n.Item) {
+				return n.Item
+			}
+			scanned++
+		}
+	}
+	return nil
+}
+
+// Dispatched rotates the served client to the back of the ring.
+func (p *rrPolicy) Dispatched(j *JobEntry) {
+	if len(p.ring) > 0 && p.ring[0].id == j.Client {
+		c := p.ring[0]
+		copy(p.ring, p.ring[1:])
+		p.ring[len(p.ring)-1] = c
+	}
+}

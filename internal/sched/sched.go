@@ -1,0 +1,170 @@
+// Package sched implements the kernel-granularity scheduling policies of
+// §6 of the paper. The Paella dispatcher consults a Policy each time the
+// GPU has room for more work: the policy picks the job whose next kernel
+// should be dispatched. Dispatching removes the job from the policy's
+// indexes; the dispatcher re-adds it (with an updated remaining-time
+// estimate) once the job's next kernel becomes ready.
+//
+// Available policies:
+//
+//   - FIFO: oldest job first (what the hardware effectively provides).
+//   - SJF: shortest total estimated execution time first.
+//   - SRPT: shortest *remaining* estimated time first.
+//   - RR: round-robin across clients, FIFO within a client.
+//   - Paella (default): SRPT bounded by per-client deficit counters — if
+//     any client's deficit exceeds a configurable fairness threshold, the
+//     oldest job of the most-starved client runs instead (§6's mix of SRPT
+//     and deficit-based priority scheduling, after Shreedhar & Varghese's
+//     deficit round-robin).
+package sched
+
+import (
+	"paella/internal/rbtree"
+	"paella/internal/sim"
+)
+
+// JobEntry is the scheduler's view of one inference job.
+type JobEntry struct {
+	// ID is the dispatcher-assigned request id.
+	ID uint64
+	// Client identifies the submitting client (the fairness principal).
+	Client int
+	// Arrival is when the request reached the dispatcher.
+	Arrival sim.Time
+	// Total is the profiled execution-time estimate of the whole job
+	// (fixed at admission; used by SJF).
+	Total sim.Time
+	// Remaining is the current remaining-time estimate (updated by the
+	// dispatcher before every re-Add; used by SRPT and Paella).
+	Remaining sim.Time
+	// Deadline is the absolute completion deadline, if any (zero = none).
+	// Used by the EDF policy; hardware schedulers have no equivalent
+	// (§2.1's "ignorance of application metrics").
+	Deadline sim.Time
+	// Payload lets the dispatcher attach its job state to the entry.
+	Payload any
+
+	// policy-internal index handles
+	primary   *rbtree.Node[*JobEntry]
+	secondary *rbtree.Node[*JobEntry]
+}
+
+// Policy picks which runnable job's next kernel to dispatch.
+type Policy interface {
+	// Name returns the policy's short name (matching Table 3 labels).
+	Name() string
+	// Add makes a job visible to the picker. A job must not be added
+	// twice without an intervening Remove.
+	Add(j *JobEntry)
+	// Remove hides a job from the picker (its next kernel was dispatched,
+	// or it finished while queued).
+	Remove(j *JobEntry)
+	// Pick returns the job to run next, or nil. It does not mutate state.
+	Pick() *JobEntry
+	// PickFit returns the best job (in policy order) whose next kernel
+	// currently fits the device, per the fits predicate, scanning at most
+	// maxScan candidates. It returns nil if none of the scanned candidates
+	// fit. Work conservation: without this, one unplaceable large kernel
+	// at the head of the policy order would idle the GPU — the same
+	// head-of-line pathology Paella exists to avoid, recreated in
+	// software.
+	PickFit(fits func(*JobEntry) bool, maxScan int) *JobEntry
+	// Dispatched informs the policy that one kernel of j was dispatched
+	// (fairness accounting).
+	Dispatched(j *JobEntry)
+	// JobAdmitted and JobFinished bracket a job's lifetime in the system
+	// (admission to final completion), independent of Add/Remove cycles.
+	JobAdmitted(client int)
+	JobFinished(client int)
+	// Len returns the number of currently runnable jobs.
+	Len() int
+}
+
+// nopLifecycle provides no-op lifecycle hooks for policies that do not
+// track clients.
+type nopLifecycle struct{}
+
+func (nopLifecycle) Dispatched(*JobEntry) {}
+func (nopLifecycle) JobAdmitted(int)      {}
+func (nopLifecycle) JobFinished(int)      {}
+
+// treePolicy is a single-rbtree policy parameterized by its ordering key.
+type treePolicy struct {
+	nopLifecycle
+	name string
+	tree *rbtree.Tree[*JobEntry]
+}
+
+func newTreePolicy(name string, less func(a, b *JobEntry) bool) *treePolicy {
+	return &treePolicy{name: name, tree: rbtree.New(less)}
+}
+
+func (p *treePolicy) Name() string { return p.name }
+func (p *treePolicy) Len() int     { return p.tree.Len() }
+
+func (p *treePolicy) Add(j *JobEntry) {
+	if j.primary != nil {
+		panic("sched: job added twice to " + p.name)
+	}
+	j.primary = p.tree.Insert(j)
+}
+
+func (p *treePolicy) Remove(j *JobEntry) {
+	if j.primary == nil {
+		panic("sched: removing job not in " + p.name)
+	}
+	p.tree.Delete(j.primary)
+	j.primary = nil
+}
+
+func (p *treePolicy) Pick() *JobEntry {
+	n := p.tree.Min()
+	if n == nil {
+		return nil
+	}
+	return n.Item
+}
+
+func (p *treePolicy) PickFit(fits func(*JobEntry) bool, maxScan int) *JobEntry {
+	scanned := 0
+	for n := p.tree.Min(); n != nil && scanned < maxScan; n = n.Next() {
+		if fits(n.Item) {
+			return n.Item
+		}
+		scanned++
+	}
+	return nil
+}
+
+// NewFIFO returns first-in-first-out scheduling (oldest arrival first).
+func NewFIFO() Policy {
+	return newTreePolicy("FIFO", func(a, b *JobEntry) bool { return a.Arrival < b.Arrival })
+}
+
+// NewSJF returns shortest-job-first scheduling by total profiled time.
+func NewSJF() Policy {
+	return newTreePolicy("SJF", func(a, b *JobEntry) bool { return a.Total < b.Total })
+}
+
+// NewSRPT returns shortest-remaining-processing-time scheduling.
+func NewSRPT() Policy {
+	return newTreePolicy("SRPT", func(a, b *JobEntry) bool { return a.Remaining < b.Remaining })
+}
+
+// NewEDF returns earliest-deadline-first scheduling. Jobs without a
+// deadline (zero) sort after all deadlined jobs, FIFO among themselves.
+func NewEDF() Policy {
+	return newTreePolicy("EDF", func(a, b *JobEntry) bool {
+		da, db := a.Deadline, b.Deadline
+		if da == 0 {
+			da = 1<<63 - 1
+		}
+		if db == 0 {
+			db = 1<<63 - 1
+		}
+		if da != db {
+			return da < db
+		}
+		return a.Arrival < b.Arrival
+	})
+}

@@ -1,0 +1,83 @@
+package serving
+
+import (
+	"testing"
+
+	"paella/internal/model"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func TestBatchingCoalesces(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Models = []*model.Model{model.Generate(model.Table2()[1])} // mobilenetv2
+	opts.ProfileRuns = 1
+	// Eight requests land within 100µs; a 1ms window with maxBatch 8
+	// should run them as one batch, so all complete at (nearly) the same
+	// instant.
+	var trace []workload.Request
+	for i := 0; i < 8; i++ {
+		trace = append(trace, workload.Request{
+			At: sim.Time(i) * 10 * sim.Microsecond, Model: "mobilenetv2", Client: i % 4,
+		})
+	}
+	col := MustRunTrace(NewTritonBatching(sim.Millisecond, 8), trace, opts)
+	if col.Len() != 8 {
+		t.Fatalf("delivered %d of 8", col.Len())
+	}
+	recs := col.Records()
+	first, last := recs[0].ExecDone, recs[0].ExecDone
+	for _, r := range recs {
+		if r.ExecDone < first {
+			first = r.ExecDone
+		}
+		if r.ExecDone > last {
+			last = r.ExecDone
+		}
+	}
+	if last != first {
+		t.Fatalf("batch members finished at different times: %v vs %v", first, last)
+	}
+	// Batched execution: total exec ≈ 8 × 0.75 × 1.67ms ≈ 10ms, far less
+	// than 8 serial runs (~13.4ms) yet more than one (~1.7ms).
+	elapsed := last - recs[0].FirstDispatch
+	if elapsed < 5*sim.Millisecond || elapsed > 13*sim.Millisecond {
+		t.Fatalf("batched exec span = %v, want ≈10ms", elapsed)
+	}
+}
+
+func TestBatchingWindowDelaysSingletons(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Models = []*model.Model{model.Generate(model.Table2()[1])}
+	opts.ProfileRuns = 1
+	trace := []workload.Request{{At: sim.Microsecond, Model: "mobilenetv2", Client: 0}}
+
+	plain := MustRunTrace(NewTriton(), trace, opts).Records()[0]
+	window := 2 * sim.Millisecond
+	batched := MustRunTrace(NewTritonBatching(window, 8), trace, opts).Records()[0]
+	delay := batched.JCT() - plain.JCT()
+	// A lone request waits out the whole batch window.
+	if delay < window*9/10 || delay > window*12/10 {
+		t.Fatalf("singleton batching delay = %v, want ≈%v", delay, window)
+	}
+}
+
+func TestBatchingThroughputAtSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opts := DefaultOptions()
+	opts.Models = []*model.Model{model.Generate(model.Table2()[1])}
+	opts.ProfileRuns = 1
+	trace := workload.MustGenerate(workload.Spec{
+		Mix: workload.Uniform("mobilenetv2"), Sigma: 1,
+		RatePerSec: 2000, Jobs: 400, Clients: 8, Seed: 3,
+	})
+	opts.MaxSimTime = trace[len(trace)-1].At + 4*sim.Second
+	plain := MustRunTrace(NewTriton(), trace, opts)
+	batched := MustRunTrace(NewTritonBatching(sim.Millisecond, 16), trace, opts)
+	if batched.Throughput() <= plain.Throughput()*1.1 {
+		t.Fatalf("batching did not raise saturated throughput: %.1f vs %.1f",
+			batched.Throughput(), plain.Throughput())
+	}
+}

@@ -1,0 +1,134 @@
+package serving
+
+import (
+	"fmt"
+
+	"paella/internal/core"
+	"paella/internal/metrics"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+// paellaSystem runs the core.Dispatcher in one of its modes with one of
+// the §6 policies.
+type paellaSystem struct {
+	name   string
+	mode   core.Mode
+	policy func() sched.Policy // fresh policy per run (stateful)
+
+	env    *sim.Env
+	disp   *core.Dispatcher
+	conns  []*core.ClientConn
+	nextID uint64
+	// coreCfg lets experiments override dispatcher constants (e.g. the
+	// Figure 9 SchedDelay or the overshoot B).
+	tweak func(*core.Config)
+}
+
+// PaellaVariant constructs a Paella system by Table 3 name:
+// "Paella", "Paella-SS", "Paella-MS-jbj", "Paella-MS-kbk", "Paella-SJF",
+// "Paella-RR", plus "Paella-FIFO" (the Figure 2 dispatcher).
+func PaellaVariant(name string) (System, error) {
+	s := &paellaSystem{name: name}
+	switch name {
+	case "Paella":
+		s.mode = core.ModeGated
+		s.policy = func() sched.Policy { return sched.NewPaella(DefaultFairnessThreshold) }
+	case "Paella-SJF":
+		s.mode = core.ModeGated
+		s.policy = func() sched.Policy { return sched.NewSJF() }
+	case "Paella-RR":
+		s.mode = core.ModeGated
+		s.policy = func() sched.Policy { return sched.NewRR() }
+	case "Paella-FIFO":
+		s.mode = core.ModeGated
+		s.policy = func() sched.Policy { return sched.NewFIFO() }
+	case "Paella-SS":
+		s.mode = core.ModeSingleStream
+	case "Paella-MS-jbj":
+		s.mode = core.ModeJobByJob
+	case "Paella-MS-kbk":
+		s.mode = core.ModeKernelByKernel
+	default:
+		return nil, fmt.Errorf("serving: unknown Paella variant %q", name)
+	}
+	return s, nil
+}
+
+// DefaultFairnessThreshold is the deficit threshold (in kernel dispatches)
+// used by the default Paella policy.
+const DefaultFairnessThreshold = 10000
+
+// NewPaellaWithPolicy builds a gated Paella system with a custom policy
+// constructor (used for the Figure 13 threshold sweep).
+func NewPaellaWithPolicy(name string, policy func() sched.Policy) System {
+	return &paellaSystem{name: name, mode: core.ModeGated, policy: policy}
+}
+
+// NewPaellaTweaked builds the default Paella system with a dispatcher
+// config override hook (Figure 9's injected delay, B sweeps).
+func NewPaellaTweaked(name string, tweak func(*core.Config)) System {
+	return &paellaSystem{
+		name: name,
+		mode: core.ModeGated,
+		policy: func() sched.Policy {
+			return sched.NewPaella(DefaultFairnessThreshold)
+		},
+		tweak: tweak,
+	}
+}
+
+func (s *paellaSystem) Name() string { return s.name }
+
+func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
+	s.env = env
+	var pol sched.Policy
+	if s.policy != nil {
+		pol = s.policy()
+	}
+	cfg := core.DefaultConfig(pol)
+	cfg.Mode = s.mode
+	if s.tweak != nil {
+		s.tweak(&cfg)
+	}
+	s.disp = core.NewWithDevice(env, opts.DevCfg, cfg)
+	compiled, err := compileAll(opts)
+	if err != nil {
+		return err
+	}
+	for _, ins := range compiled {
+		if err := s.disp.RegisterModel(ins); err != nil {
+			return err
+		}
+	}
+	s.conns = make([]*core.ClientConn, numClients)
+	for i := range s.conns {
+		s.conns[i] = s.disp.Connect()
+	}
+	s.nextID = 0
+	s.disp.Start()
+	return nil
+}
+
+func (s *paellaSystem) Submit(req workload.Request) {
+	s.nextID++
+	ok := s.conns[req.Client].Submit(core.Request{
+		ID:     s.nextID,
+		Model:  req.Model,
+		Client: req.Client,
+		Submit: s.env.Now(),
+	})
+	if !ok {
+		// Ring full at extreme overload: retry shortly (the client
+		// library's backoff).
+		r := req
+		s.env.After(20*sim.Microsecond, func() { s.Submit(r) })
+	}
+}
+
+func (s *paellaSystem) Collector() *metrics.Collector { return s.disp.Collector() }
+
+// Dispatcher exposes the underlying dispatcher for experiment
+// introspection (GPU stats, etc.).
+func (s *paellaSystem) Dispatcher() *core.Dispatcher { return s.disp }

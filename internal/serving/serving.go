@@ -1,0 +1,130 @@
+// Package serving assembles the complete serving systems compared in the
+// paper's Table 3 and drives them with request traces:
+//
+//   - CUDA-SS / CUDA-MS / MPS: no serving frontend — client processes
+//     submit whole jobs directly to the CUDA runtime (one shared stream, a
+//     stream per job, or per-process contexts under MPS).
+//   - Triton: an RPC frontend with per-byte serialization, a FIFO
+//     per-model scheduler, and job-granularity dispatch.
+//   - Clockwork: a controller/worker split that executes one model at a
+//     time for predictability.
+//   - Paella and its ablations (Paella-SS, Paella-MS-jbj, Paella-MS-kbk,
+//     Paella-SJF, Paella-RR): the core.Dispatcher in its various modes.
+//
+// Every system consumes the same workload.Request traces and produces a
+// metrics.Collector, so experiments compare like for like.
+package serving
+
+import (
+	"fmt"
+
+	"paella/internal/compiler"
+	"paella/internal/gpu"
+	"paella/internal/metrics"
+	"paella/internal/model"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+// Options configures a run.
+type Options struct {
+	// DevCfg is the GPU to simulate.
+	DevCfg gpu.Config
+	// Models are the deployable models (uninstrumented; systems that need
+	// instrumentation compile them at setup).
+	Models []*model.Model
+	// CompilerCfg configures Paella's instrumentation pass.
+	CompilerCfg compiler.Config
+	// ProfileRuns is the number of profiling executions per model.
+	ProfileRuns int
+	// MaxSimTime bounds a run (0 = run to completion). Requests not
+	// delivered by then are dropped from the collector — use for
+	// saturation points that would otherwise never drain.
+	MaxSimTime sim.Time
+}
+
+// DefaultOptions returns a T4 setup with the full Table 2 zoo.
+func DefaultOptions() Options {
+	return Options{
+		DevCfg:      gpu.TeslaT4(),
+		Models:      model.Table2Models(),
+		CompilerCfg: compiler.DefaultConfig(),
+		ProfileRuns: 2,
+	}
+}
+
+// System is one serving system under test.
+type System interface {
+	// Name returns the Table 3 key.
+	Name() string
+	// Setup prepares the system on a fresh environment for the given
+	// number of clients.
+	Setup(env *sim.Env, opts Options, numClients int) error
+	// Submit delivers one request at the current simulation time.
+	Submit(req workload.Request)
+	// Collector returns per-request results.
+	Collector() *metrics.Collector
+}
+
+// RunTrace executes a trace against a system and returns the collected
+// per-request records.
+func RunTrace(sys System, trace []workload.Request, opts Options) (*metrics.Collector, error) {
+	if len(trace) == 0 {
+		return nil, fmt.Errorf("serving: empty trace")
+	}
+	numClients := 0
+	for _, r := range trace {
+		if r.Client >= numClients {
+			numClients = r.Client + 1
+		}
+	}
+	env := sim.NewEnv()
+	if err := sys.Setup(env, opts, numClients); err != nil {
+		return nil, err
+	}
+	for _, r := range trace {
+		r := r
+		env.At(r.At, func() { sys.Submit(r) })
+	}
+	if opts.MaxSimTime > 0 {
+		env.RunUntil(opts.MaxSimTime)
+	} else {
+		env.Run()
+	}
+	return sys.Collector(), nil
+}
+
+// MustRunTrace is RunTrace for known-good inputs; it panics on error.
+func MustRunTrace(sys System, trace []workload.Request, opts Options) *metrics.Collector {
+	c, err := RunTrace(sys, trace, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// compileAll instruments and profiles every model.
+func compileAll(opts Options) (map[string]*compiler.Instrumented, error) {
+	out := make(map[string]*compiler.Instrumented, len(opts.Models))
+	runs := opts.ProfileRuns
+	if runs <= 0 {
+		runs = 1
+	}
+	for _, m := range opts.Models {
+		ins, err := compiler.Compile(m, opts.CompilerCfg, opts.DevCfg, runs)
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = ins
+	}
+	return out, nil
+}
+
+func findModel(opts Options, name string) (*model.Model, error) {
+	for _, m := range opts.Models {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("serving: model %q not deployed", name)
+}

@@ -1,0 +1,74 @@
+package serving
+
+import "fmt"
+
+// SystemInfo is one row of the paper's Table 3.
+type SystemInfo struct {
+	Name      string
+	Interface string
+	Dispatch  string
+	Scheduler string
+}
+
+// Table3 returns the compared systems and their properties.
+func Table3() []SystemInfo {
+	return []SystemInfo{
+		{"CUDA-SS", "Direct", "job", "FIFO"},
+		{"CUDA-MS", "Direct", "job", "CUDA"},
+		{"MPS", "Direct", "job", "MPS"},
+		{"Clockwork", "Boost Asio", "job", "FIFO"},
+		{"Triton", "gRPC", "job", "CUDA"},
+		{"Paella-SS", "mem channels", "job", "FIFO"},
+		{"Paella-MS-jbj", "mem channels", "job", "CUDA"},
+		{"Paella-MS-kbk", "mem channels", "kernel", "CUDA"},
+		{"Paella", "mem channels", "kernel", "SRPT+deficit"},
+		{"Paella-SJF", "mem channels", "kernel", "SJF"},
+		{"Paella-RR", "mem channels", "kernel", "RR"},
+	}
+}
+
+// NewSystem constructs any Table 3 system by name.
+func NewSystem(name string) (System, error) {
+	switch name {
+	case "CUDA-SS", "CUDA-MS", "MPS":
+		return NewDirect(name)
+	case "Triton":
+		return NewTriton(), nil
+	case "Clockwork":
+		return NewClockwork(), nil
+	case "Paella", "Paella-SS", "Paella-MS-jbj", "Paella-MS-kbk",
+		"Paella-SJF", "Paella-RR", "Paella-FIFO":
+		return PaellaVariant(name)
+	default:
+		return nil, fmt.Errorf("serving: unknown system %q", name)
+	}
+}
+
+// MustNewSystem is NewSystem for known-good names; it panics on error.
+func MustNewSystem(name string) System {
+	s, err := NewSystem(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Fig11Systems lists the systems of the Figure 11 comparison, in plot
+// order.
+func Fig11Systems() []string {
+	return []string{
+		"CUDA-SS", "CUDA-MS", "Triton",
+		"Paella-SS", "Paella-MS-jbj", "Paella-MS-kbk",
+		"Paella-SJF", "Paella-RR", "Paella",
+	}
+}
+
+// Fig12Systems lists the systems of the Figure 12 comparison (MPS instead
+// of Triton).
+func Fig12Systems() []string {
+	return []string{
+		"CUDA-SS", "CUDA-MS", "MPS",
+		"Paella-SS", "Paella-MS-jbj", "Paella-MS-kbk",
+		"Paella-SJF", "Paella-RR", "Paella",
+	}
+}

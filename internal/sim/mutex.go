@@ -1,0 +1,45 @@
+package sim
+
+// Mutex serializes simulation processes, modelling a host-side lock such
+// as the CUDA driver's per-context submission lock. FIFO fairness: waiters
+// acquire in arrival order.
+type Mutex struct {
+	env     *Env
+	held    bool
+	waiters []func()
+}
+
+// NewMutex returns an unlocked mutex bound to e.
+func NewMutex(e *Env) *Mutex { return &Mutex{env: e} }
+
+// Held reports whether the mutex is currently held.
+func (m *Mutex) Held() bool { return m.held }
+
+// Waiters returns the number of processes queued on the mutex.
+func (m *Mutex) Waiters() int { return len(m.waiters) }
+
+// Lock blocks the process until it holds the mutex.
+func (m *Mutex) Lock(p *Proc) {
+	if !m.held {
+		m.held = true
+		return
+	}
+	m.waiters = append(m.waiters, func() { p.dispatch() })
+	p.park()
+}
+
+// Unlock releases the mutex, handing it to the oldest waiter (if any) at
+// the current virtual time. Unlocking an unheld mutex panics.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: unlock of unheld mutex")
+	}
+	if len(m.waiters) == 0 {
+		m.held = false
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	// Ownership transfers directly; the waiter resumes as a fresh event.
+	m.env.After(0, next)
+}

@@ -1,0 +1,215 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the Paella reproduction's macro experiments run on virtual time:
+// the GPU device model, the CUDA runtime emulation, the dispatcher, and the
+// clients are all actors scheduled on a single Env. Events fire in strict
+// (time, insertion-order) order, so a run with a given seed is exactly
+// reproducible.
+//
+// Two actor styles are supported:
+//
+//   - Callback actors register plain functions with After/At. The GPU block
+//     scheduler and the Paella dispatcher are written this way.
+//   - Process actors (see Proc) are goroutines that block on virtual-time
+//     primitives (Sleep, Completion.Wait, Cond.Wait). Only one process (or
+//     event callback) is ever runnable at a time; control is handed off
+//     synchronously, which keeps the simulation deterministic. Client jobs
+//     and CUDA-style adaptor code use processes, mirroring the stackful
+//     Boost coroutines used by the paper's dispatcher (§4.2).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on (or a span of) the virtual timeline, in nanoseconds.
+type Time int64
+
+// Convenient durations for expressing virtual time spans.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats t with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Timer is a scheduled event. It may be cancelled with Cancel before it
+// fires; firing and cancellation are both idempotent.
+type Timer struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 once popped
+	fn      func()
+	stopped bool
+}
+
+// At reports the virtual time at which the timer is (or was) due.
+func (t *Timer) At() Time { return t.at }
+
+// Stopped reports whether the timer was cancelled before firing.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// Env is a discrete-event simulation environment. The zero value is not
+// usable; construct with NewEnv.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	steps   uint64
+	running bool
+	// procPanic carries a panic out of a process goroutine so that it
+	// surfaces on the main (test) goroutine instead of being lost.
+	procPanic any
+	hasPanic  bool
+}
+
+// NewEnv returns an environment with the clock at zero and no pending events.
+func NewEnv() *Env {
+	return &Env{}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far (useful for detecting
+// runaway simulations in tests).
+func (e *Env) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (e *Env) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality. Scheduling exactly at Now is
+// allowed and runs after the current event completes.
+func (e *Env) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, tm)
+	return tm
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+// Negative d panics.
+func (e *Env) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel stops a pending timer. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (e *Env) Cancel(t *Timer) {
+	if t == nil || t.stopped || t.index < 0 {
+		t.markStopped()
+		return
+	}
+	t.stopped = true
+	heap.Remove(&e.events, t.index)
+}
+
+func (t *Timer) markStopped() {
+	if t != nil {
+		t.stopped = true
+	}
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its due time. It returns false if no events are pending.
+func (e *Env) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	tm := heap.Pop(&e.events).(*Timer)
+	e.now = tm.at
+	e.steps++
+	tm.fn()
+	if e.hasPanic {
+		p := e.procPanic
+		e.procPanic, e.hasPanic = nil, false
+		panic(p)
+	}
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Env) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes all events due at or before t, then advances the clock
+// to exactly t (even if the last event fired earlier).
+func (e *Env) RunUntil(t Time) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunFor executes events for a span of d virtual nanoseconds from now.
+func (e *Env) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// eventHeap is a min-heap ordered by (at, seq) so that events scheduled for
+// the same instant fire in insertion order.
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

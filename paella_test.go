@@ -1,0 +1,176 @@
+package paella_test
+
+import (
+	"testing"
+
+	"paella"
+)
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := paella.NewServer(paella.ServerConfig{})
+	m, err := paella.ZooModel("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MustDeploy(m)
+	cl := srv.NewClient(paella.Hybrid)
+	var jct paella.Time
+	srv.Go("client", func(p *paella.Proc) {
+		start := srv.Now()
+		id := cl.Predict(p, "resnet18")
+		got := cl.ReadResult(p)
+		if got != id {
+			t.Errorf("ReadResult = %d, want %d", got, id)
+		}
+		jct = srv.Now() - start
+	})
+	srv.Run()
+	if jct <= 0 {
+		t.Fatal("request did not complete")
+	}
+	// ResNet-18 executes in ~1.6ms; end-to-end should be close to that.
+	if jct < paella.Millisecond || jct > 4*paella.Millisecond {
+		t.Fatalf("JCT = %v, want ≈1.6-3ms", jct)
+	}
+	if len(srv.Records()) != 1 {
+		t.Fatalf("records = %d", len(srv.Records()))
+	}
+	// The collector's Delivered stamp precedes the client's post-read
+	// bookkeeping by a few µs of client-side cost.
+	if srv.Throughput() <= 0 || srv.P99() > jct || jct-srv.P99() > 50*paella.Microsecond {
+		t.Fatalf("stats: tput=%f p99=%v jct=%v", srv.Throughput(), srv.P99(), jct)
+	}
+}
+
+func TestServerDefaults(t *testing.T) {
+	srv := paella.NewServer(paella.ServerConfig{})
+	if srv.Now() != 0 {
+		t.Fatal("fresh server clock not at zero")
+	}
+	if err := srv.Deploy(&paella.Model{Name: "broken"}); err == nil {
+		t.Fatal("deploying an invalid model succeeded")
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	for name, p := range map[string]paella.Policy{
+		"SRPT":        paella.SRPT(),
+		"SJF":         paella.SJF(),
+		"FIFO":        paella.FIFO(),
+		"RR":          paella.RoundRobin(),
+		"SRPTDeficit": paella.SRPTDeficit(100),
+	} {
+		if p == nil {
+			t.Errorf("%s constructor returned nil", name)
+		}
+	}
+}
+
+func TestZoo(t *testing.T) {
+	zoo := paella.Zoo()
+	if len(zoo) != 8 {
+		t.Fatalf("zoo size = %d", len(zoo))
+	}
+	if _, err := paella.ZooModel("nope"); err == nil {
+		t.Fatal("unknown zoo model resolved")
+	}
+}
+
+func TestDeployAdaptor(t *testing.T) {
+	srv := paella.NewServer(paella.ServerConfig{})
+	m, err := paella.ZooModel("squeezenet1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptor := paella.AdaptorFunc(func(p *paella.Proc, ctx *paella.Runtime) {
+		s := ctx.StreamCreate()
+		s.MemcpyAsync(nil, paella.HostToDevice, m.InputBytes)
+		for _, ki := range m.Seq {
+			s.LaunchKernelAsync(m.Kernels[ki], paella.LaunchOpts{})
+		}
+		s.MemcpyAsync(nil, paella.DeviceToHost, m.OutputBytes)
+		ctx.DeviceSynchronize(p)
+	})
+	if err := srv.DeployAdaptor(m, adaptor); err != nil {
+		t.Fatal(err)
+	}
+	cl := srv.NewClient(paella.Hybrid)
+	var jct paella.Time
+	srv.Go("client", func(p *paella.Proc) {
+		start := srv.Now()
+		cl.Predict(p, "squeezenet1.1")
+		cl.ReadResult(p)
+		jct = srv.Now() - start
+	})
+	srv.Run()
+	// SqueezeNet executes in ~4.8ms.
+	if jct < 4*paella.Millisecond || jct > 8*paella.Millisecond {
+		t.Fatalf("adaptor JCT = %v, want ≈5ms", jct)
+	}
+}
+
+func TestRemoteClientFacade(t *testing.T) {
+	srv := paella.NewServer(paella.ServerConfig{})
+	m, err := paella.ZooModel("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MustDeploy(m)
+	rc := srv.NewRemoteClient(paella.DefaultNet())
+	done := false
+	srv.Go("remote", func(p *paella.Proc) {
+		id := rc.Predict(p, "resnet18", m.InputBytes, m.OutputBytes)
+		rc.Wait(p, id)
+		done = true
+	})
+	srv.Run()
+	if !done {
+		t.Fatal("remote request never completed")
+	}
+}
+
+func TestSplitMIGFacade(t *testing.T) {
+	parts, err := paella.SplitMIG(paella.TeslaT4(), []int{10, 30})
+	if err != nil || len(parts) != 2 {
+		t.Fatalf("SplitMIG = %v, %v", parts, err)
+	}
+	if _, err := paella.SplitMIG(paella.TeslaT4(), []int{100}); err == nil {
+		t.Fatal("oversubscribed MIG split accepted")
+	}
+}
+
+func TestMultipleModelsMultipleClients(t *testing.T) {
+	srv := paella.NewServer(paella.ServerConfig{
+		GPU:    paella.TeslaT4(),
+		Policy: paella.SRPT(),
+	})
+	for _, name := range []string{"resnet18", "squeezenet1.1"} {
+		m, err := paella.ZooModel(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.MustDeploy(m)
+	}
+	done := 0
+	for i := 0; i < 3; i++ {
+		cl := srv.NewClient(paella.Hybrid)
+		srv.Go("client", func(p *paella.Proc) {
+			for r := 0; r < 4; r++ {
+				mdl := "resnet18"
+				if r%2 == 1 {
+					mdl = "squeezenet1.1"
+				}
+				cl.Predict(p, mdl)
+				cl.ReadResult(p)
+				done++
+			}
+		})
+	}
+	srv.Run()
+	if done != 12 {
+		t.Fatalf("completed %d of 12", done)
+	}
+	if u := srv.GPUUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("GPUUtilization = %f", u)
+	}
+}
