@@ -6,25 +6,32 @@
 //
 //	paella-sim -system Paella -models resnet18,inceptionv3 -rate 300 \
 //	           -jobs 1000 -sigma 2 -clients 8
+//
+// Many-models serving under a device-memory budget (internal/vram):
+//
+//	paella-sim -system Paella -models synth:16 -vram 256 -zipf 1.1 \
+//	           -rate 250 -jobs 2000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"paella/internal/gpu"
 	"paella/internal/model"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/vram"
 	"paella/internal/workload"
 )
 
 func main() {
 	var (
 		system  = flag.String("system", "Paella", "serving system (see Table 3; 'list' to enumerate)")
-		models  = flag.String("models", "all", "comma-separated zoo models, or 'all'")
+		models  = flag.String("models", "all", "comma-separated zoo models, 'all', or 'synth:N' for an N-model synthetic zoo")
 		rate    = flag.Float64("rate", 200, "offered load (req/s)")
 		jobs    = flag.Int("jobs", 500, "number of requests")
 		sigma   = flag.Float64("sigma", 2, "lognormal inter-arrival shape")
@@ -34,6 +41,8 @@ func main() {
 		perMod  = flag.Bool("per-model", false, "print per-model percentiles")
 		asJSON  = flag.Bool("json", false, "dump per-request records as JSON")
 		traceIn = flag.String("trace", "", "replay a JSON trace file instead of generating one")
+		vramMiB = flag.Int64("vram", 0, "device-memory budget for model weights in MiB (0 = unconstrained)")
+		zipf    = flag.Float64("zipf", 0, "zipfian model-popularity exponent (0 = uniform mix)")
 	)
 	flag.Parse()
 
@@ -54,7 +63,13 @@ func main() {
 	default:
 		fatal("unknown gpu preset %q", *device)
 	}
-	if *models != "all" {
+	if n, ok := strings.CutPrefix(*models, "synth:"); ok {
+		count, err := strconv.Atoi(n)
+		if err != nil || count <= 0 {
+			fatal("bad synthetic zoo size %q", n)
+		}
+		opts.Models = model.SyntheticZoo(count)
+	} else if *models != "all" {
 		opts.Models = nil
 		for _, name := range strings.Split(*models, ",") {
 			m, err := model.ByName(strings.TrimSpace(name))
@@ -63,6 +78,9 @@ func main() {
 			}
 			opts.Models = append(opts.Models, m)
 		}
+	}
+	if *vramMiB > 0 {
+		opts.VRAM = &vram.Config{CapacityBytes: *vramMiB << 20}
 	}
 	names := make([]string, len(opts.Models))
 	for i, m := range opts.Models {
@@ -82,8 +100,12 @@ func main() {
 			*jobs = len(trace)
 		}
 	} else {
+		mix := workload.Uniform(names...)
+		if *zipf > 0 {
+			mix = workload.ZipfMix(names, *zipf)
+		}
 		trace, err = workload.Generate(workload.Spec{
-			Mix:        workload.Uniform(names...),
+			Mix:        mix,
 			Sigma:      *sigma,
 			RatePerSec: *rate,
 			Jobs:       *jobs,
@@ -120,6 +142,10 @@ func main() {
 	fmt.Printf("completed  : %d (%.1f%%)\n", col.Len(), 100*float64(col.Len())/float64(*jobs))
 	fmt.Printf("throughput : %.1f req/s\n", col.Throughput())
 	fmt.Printf("latency    : p50=%v p99=%v mean=%v\n", col.P50(), col.P99(), col.MeanJCT())
+	if *vramMiB > 0 {
+		fmt.Printf("vram       : budget=%dMiB cold-starts=%d warm-hit=%.1f%% mean-load=%v\n",
+			*vramMiB, col.ColdStarts(), 100*col.WarmHitRatio(), col.MeanLoadNs())
+	}
 	if *perMod {
 		for _, name := range names {
 			sub := col.FilterModel(name)

@@ -17,6 +17,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/vram"
 )
 
 // GPUView is the balancer's read-only view of one GPU's load.
@@ -28,6 +29,21 @@ type GPUView struct {
 	// Capacity is the GPU's thread-slot count (for heterogeneous
 	// clusters).
 	Capacity int
+	// Warm reports whether the GPU holds the current request's model
+	// weights resident in device memory; Loading, whether they are being
+	// paged in. Both false when the GPU runs without a VRAM budget
+	// (everything is implicitly warm — Submit then sets Warm).
+	Warm    bool
+	Loading bool
+}
+
+// loadOf returns the view's capacity-normalized load.
+func (g GPUView) loadOf() float64 {
+	cap := float64(g.Capacity)
+	if cap <= 0 {
+		cap = 1
+	}
+	return float64(g.InFlight) / cap
 }
 
 // Balancer routes a request to a GPU.
@@ -64,11 +80,7 @@ func (leastLoaded) Name() string { return "least-loaded" }
 func (leastLoaded) Pick(_ string, gpus []GPUView) int {
 	best, bestLoad := 0, -1.0
 	for _, g := range gpus {
-		cap := float64(g.Capacity)
-		if cap <= 0 {
-			cap = 1
-		}
-		load := float64(g.InFlight) / cap
+		load := g.loadOf()
 		if bestLoad < 0 || load < bestLoad {
 			best, bestLoad = g.Index, load
 		}
@@ -102,15 +114,65 @@ func (b *modelAffinity) Pick(modelName string, gpus []GPUView) int {
 	if home < 0 {
 		home += len(gpus)
 	}
-	total := 0
+	// Compare capacity-normalized loads: on a heterogeneous cluster a big
+	// GPU legitimately carries more raw in-flight jobs than a small one,
+	// and raw counts would make the affinity balancer spill off (or stick
+	// to) the wrong GPUs.
+	total := 0.0
 	for _, g := range gpus {
-		total += g.InFlight
+		total += g.loadOf()
 	}
-	avg := float64(total) / float64(len(gpus))
-	if avg > 0 && float64(gpus[home].InFlight) > b.spill*avg {
+	avg := total / float64(len(gpus))
+	if avg > 0 && gpus[home].loadOf() > b.spill*avg {
 		return leastLoaded{}.Pick(modelName, gpus)
 	}
 	return home
+}
+
+// residencyAware routes to a GPU that already holds the model's weights —
+// first preferring resident copies, then in-flight loads (the weights are
+// already on the wire; joining them avoids a duplicate multi-hundred-MB
+// transfer) — falling back to the wrapped balancer when no GPU has the
+// model. Within each preference tier ties break by capacity-normalized
+// load, so a hot model still spreads across its warm replicas.
+type residencyAware struct {
+	fallback Balancer
+}
+
+// NewResidencyAware returns the residency-aware balancer; a nil fallback
+// defaults to least-loaded.
+func NewResidencyAware(fallback Balancer) Balancer {
+	if fallback == nil {
+		fallback = NewLeastLoaded()
+	}
+	return &residencyAware{fallback: fallback}
+}
+
+func (b *residencyAware) Name() string { return "residency-aware" }
+
+func (b *residencyAware) Pick(modelName string, gpus []GPUView) int {
+	if g := pickLeastLoadedWhere(gpus, func(g GPUView) bool { return g.Warm }); g >= 0 {
+		return g
+	}
+	if g := pickLeastLoadedWhere(gpus, func(g GPUView) bool { return g.Loading }); g >= 0 {
+		return g
+	}
+	return b.fallback.Pick(modelName, gpus)
+}
+
+// pickLeastLoadedWhere returns the least-loaded GPU satisfying ok, or -1.
+func pickLeastLoadedWhere(gpus []GPUView, ok func(GPUView) bool) int {
+	best, bestLoad := -1, 0.0
+	for _, g := range gpus {
+		if !ok(g) {
+			continue
+		}
+		load := g.loadOf()
+		if best < 0 || load < bestLoad {
+			best, bestLoad = g.Index, load
+		}
+	}
+	return best
 }
 
 // Cluster is a set of Paella instances behind one balancer.
@@ -129,12 +191,22 @@ type Cluster struct {
 // (possibly heterogeneous). Each dispatcher gets a fresh policy from
 // mkPolicy.
 func New(env *sim.Env, devs []gpu.Config, mkPolicy func() sched.Policy, b Balancer) (*Cluster, error) {
+	return NewWithConfig(env, devs, func(int, gpu.Config) core.Config {
+		return core.DefaultConfig(mkPolicy())
+	}, b)
+}
+
+// NewWithConfig builds a cluster with a caller-supplied dispatcher
+// configuration per device — the hook for per-GPU VRAM budgets, ablation
+// modes, or tuned dispatcher costs. mkCfg is called once per device with
+// its index and configuration.
+func NewWithConfig(env *sim.Env, devs []gpu.Config, mkCfg func(i int, dev gpu.Config) core.Config, b Balancer) (*Cluster, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("cluster: no devices")
 	}
 	c := &Cluster{env: env, balancer: b, inflight: make([]int, len(devs))}
 	for i, dev := range devs {
-		d := core.NewWithDevice(env, dev, core.DefaultConfig(mkPolicy()))
+		d := core.NewWithDevice(env, dev, mkCfg(i, dev))
 		d.Start()
 		c.disps = append(c.disps, d)
 		c.views = append(c.views, GPUView{
@@ -200,6 +272,7 @@ func (cn *Conn) Submit(req core.Request) int {
 	c := cn.cluster
 	for i := range c.views {
 		c.views[i].InFlight = c.inflight[i]
+		c.views[i].Warm, c.views[i].Loading = c.residency(i, req.Model)
 	}
 	g := c.balancer.Pick(req.Model, c.views)
 	if g < 0 || g >= len(cn.conns) {
@@ -211,6 +284,23 @@ func (cn *Conn) Submit(req core.Request) int {
 	}
 	c.inflight[g]++
 	return g
+}
+
+// residency classifies GPU i's copy of the named model's weights. A GPU
+// without a VRAM budget holds everything, so it reports warm.
+func (c *Cluster) residency(i int, modelName string) (warm, loading bool) {
+	mgr := c.disps[i].VRAM()
+	if mgr == nil || !mgr.Registered(modelName) {
+		return true, false
+	}
+	switch mgr.State(modelName) {
+	case vram.Resident:
+		return true, false
+	case vram.Loading:
+		return false, true
+	default:
+		return false, false
+	}
 }
 
 // Collector returns a merged view of all GPUs' completion records.

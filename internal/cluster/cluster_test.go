@@ -9,6 +9,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/vram"
 )
 
 func mkCluster(t *testing.T, b Balancer, devs ...gpu.Config) (*sim.Env, *Cluster) {
@@ -185,5 +186,138 @@ func TestClusterScalesThroughput(t *testing.T) {
 	ratio := float64(one) / float64(two)
 	if ratio < 1.6 || ratio > 2.4 {
 		t.Fatalf("2-GPU speedup = %.2f×, want ≈2×", ratio)
+	}
+}
+
+// TestModelAffinityHeterogeneousNormalized: the spill check compares
+// capacity-normalized loads. A big GPU carrying more raw jobs than the
+// cluster average — but proportionally to its size — must not trigger a
+// spill, while a genuinely overloaded small home must.
+func TestModelAffinityHeterogeneousNormalized(t *testing.T) {
+	b := NewModelAffinity(1.5)
+	views := []GPUView{
+		{Index: 0, Capacity: 10},
+		{Index: 1, Capacity: 100},
+	}
+	home := b.Pick("resnet18", views)
+
+	// Load both GPUs to identical normalized load (0.4): raw counts differ
+	// 10×, but neither is relatively overloaded, so the home sticks.
+	views[0].InFlight = 4
+	views[1].InFlight = 40
+	if got := b.Pick("resnet18", views); got != home {
+		t.Fatalf("affinity spilled from proportionally-loaded home %d to %d", home, got)
+	}
+
+	// Now overload the home in normalized terms while keeping its raw
+	// count below the other GPU's: only a normalized comparison spills.
+	small, big := 0, 1
+	if home == 1 {
+		small, big = 1, 0
+	}
+	_ = small
+	views[home].InFlight = views[home].Capacity // load 1.0
+	views[big].InFlight = 0
+	if home == 0 {
+		// home is the small GPU: raw 10 vs 0 — both raw and normalized
+		// comparisons would spill; make the other GPU raw-heavier so only
+		// the normalized comparison does.
+		views[1].InFlight = 20 // load 0.2
+	}
+	if got := b.Pick("resnet18", views); got == home {
+		t.Fatalf("affinity failed to spill from overloaded home %d (views %+v)", home, views)
+	}
+}
+
+// TestResidencyAwarePickPrefersWarm: unit-level routing — warm beats cold
+// regardless of load, loading beats cold, and the fallback handles
+// all-cold.
+func TestResidencyAwarePickPrefersWarm(t *testing.T) {
+	b := NewResidencyAware(nil)
+	views := []GPUView{
+		{Index: 0, InFlight: 9, Capacity: 10, Warm: true},
+		{Index: 1, InFlight: 0, Capacity: 10},
+	}
+	if got := b.Pick("m", views); got != 0 {
+		t.Fatalf("picked cold idle GPU %d over warm busy one", got)
+	}
+	// Two warm replicas: normalized load breaks the tie.
+	views[1].Warm = true
+	if got := b.Pick("m", views); got != 1 {
+		t.Fatalf("picked busier warm replica %d", got)
+	}
+	// No warm copy, one loading: join the in-flight load.
+	views[0].Warm, views[1].Warm = false, false
+	views[0].Loading = true
+	if got := b.Pick("m", views); got != 0 {
+		t.Fatalf("did not join in-flight load, picked %d", got)
+	}
+	// All cold: fall back to least-loaded.
+	views[0].Loading = false
+	if got := b.Pick("m", views); got != 1 {
+		t.Fatalf("fallback picked %d, want least-loaded 1", got)
+	}
+}
+
+// mkVRAMCluster builds a 2-GPU cluster whose dispatchers carry a VRAM
+// budget, with two weighted models registered.
+func mkVRAMCluster(t *testing.T, b Balancer, capacity int64) (*sim.Env, *Cluster) {
+	t.Helper()
+	env := sim.NewEnv()
+	devs := []gpu.Config{gpu.TeslaT4(), gpu.TeslaT4()}
+	c, err := NewWithConfig(env, devs, func(int, gpu.Config) core.Config {
+		cfg := core.DefaultConfig(sched.NewPaella(10000))
+		cfg.VRAM = &vram.Config{CapacityBytes: capacity, BlockBytes: 1 << 20}
+		return cfg
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"wa", "wb"} {
+		m := model.TinyNet()
+		m.Name = name
+		m.WeightBytes = 24 << 20
+		if err := c.RegisterModel(m, compiler.DefaultConfig(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return env, c
+}
+
+// TestClusterResidencyRouting: after each model warms up on one GPU, the
+// residency-aware balancer keeps routing it there — so the second wave of
+// requests sees zero cold starts, where least-loaded routing would bounce
+// models between GPUs and re-page weights.
+func TestClusterResidencyRouting(t *testing.T) {
+	// Round-robin fallback spreads cold models across GPUs; with the
+	// default least-loaded fallback, two idle GPUs tie and every cold
+	// model would land on GPU 0, evicting each other forever.
+	env, c := mkVRAMCluster(t, NewResidencyAware(NewRoundRobin()), 32<<20)
+	conn := c.Connect()
+	done := 0
+	conn.OnComplete = func(uint64) { done++ }
+	models := []string{"wa", "wb"}
+	for i := 0; i < 20; i++ {
+		id := uint64(i + 1)
+		m := models[i%2]
+		env.At(sim.Time(i)*5*sim.Millisecond, func() {
+			conn.Submit(core.Request{ID: id, Model: m, Submit: env.Now()})
+		})
+	}
+	env.Run()
+	if done != 20 {
+		t.Fatalf("completed %d of 20", done)
+	}
+	cold := c.Collector().ColdStarts()
+	if cold != 2 {
+		t.Fatalf("cold starts = %d, want exactly 2 (one per model)", cold)
+	}
+	// Each GPU ended up the stable home of one model.
+	var loads uint64
+	for i := 0; i < c.Size(); i++ {
+		loads += c.Dispatcher(i).VRAM().Stats().Loads
+	}
+	if loads != 2 {
+		t.Fatalf("total weight loads = %d, want 2", loads)
 	}
 }

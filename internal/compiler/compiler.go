@@ -109,6 +109,7 @@ func Instrument(m *model.Model, cfg Config) (*Instrumented, error) {
 		Name:         m.Name,
 		InputBytes:   m.InputBytes,
 		OutputBytes:  m.OutputBytes,
+		WeightBytes:  m.WeightBytes,
 		Kernels:      make([]*gpu.KernelSpec, len(m.Kernels)),
 		Seq:          append([]int(nil), m.Seq...),
 		PinnedOutput: m.PinnedOutput,

@@ -33,6 +33,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/vram"
 )
 
 // Mode selects the dispatch strategy (Table 3 variants).
@@ -105,6 +106,15 @@ type Config struct {
 	// dispatcher.
 	MemcpyLatency  sim.Time
 	PCIeBytesPerNs float64
+
+	// VRAM, when non-nil, bounds device memory: model weights occupy VRAM
+	// and must be resident before kernels dispatch, cold models page in
+	// over the same PCIe link as tensor traffic, and LRU eviction reclaims
+	// space (internal/vram). Nil preserves the pre-residency behaviour —
+	// every model permanently resident, analytic per-copy transfer times.
+	// Residency is modelled on the gated dispatch path (ModeGated); the
+	// ablation modes predate many-model serving and ignore it.
+	VRAM *vram.Config
 
 	// RingCapacity sizes each client's request ring (power of two).
 	RingCapacity int
@@ -221,8 +231,26 @@ type Dispatcher struct {
 	rtCtx        *cudart.Context
 	sharedStream *cudart.Stream
 
+	// vramMgr tracks weight residency when Config.VRAM is set; pcie is the
+	// shared DMA link all transfers (tensors and weight loads) then ride.
+	// Both are nil in the legacy unconstrained-memory configuration.
+	vramMgr *vram.Manager
+	pcie    *cudart.PCIeLink
+	// loads tracks in-progress and memory-starved weight loads by model.
+	loads map[string]*loadState
+
 	collector *metrics.Collector
 	stats     Stats
+}
+
+// loadState is one model's cold-start bookkeeping: the jobs waiting for
+// its weights, and whether the load is blocked on free VRAM.
+type loadState struct {
+	waiters []*Job
+	// pending marks a load that could not begin because every candidate
+	// eviction victim was pinned; it is retried when a job finishes (the
+	// only event that unpins memory).
+	pending bool
 }
 
 // Stats counts dispatcher activity.
@@ -258,6 +286,11 @@ func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) 
 		collector: metrics.NewCollector(),
 	}
 	d.mirror = newMirror(dev.Config(), cfg.OvershootBlocks)
+	if cfg.VRAM != nil {
+		d.vramMgr = vram.MustNewManager(*cfg.VRAM)
+		d.pcie = cudart.NewPCIeLink(env, cfg.MemcpyLatency, cfg.PCIeBytesPerNs)
+		d.loads = make(map[string]*loadState)
+	}
 	// The ablation modes drive the device through an unhooked CUDA
 	// runtime; dispatch costs are charged by the dispatcher loop, so the
 	// runtime's own host costs are zeroed.
@@ -313,8 +346,31 @@ func (d *Dispatcher) RegisterModel(ins *compiler.Instrumented) error {
 				ins.Model.Name, k.Name, d.dev.Config().Name)
 		}
 	}
+	if d.vramMgr != nil {
+		if err := d.vramMgr.Register(ins.Model.Name, int64(ins.Model.WeightBytes)); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	d.models[ins.Model.Name] = ins
 	return nil
+}
+
+// VRAM returns the residency manager, or nil when device memory is
+// unconstrained.
+func (d *Dispatcher) VRAM() *vram.Manager { return d.vramMgr }
+
+// PCIe returns the shared DMA link, or nil in the legacy analytic
+// configuration.
+func (d *Dispatcher) PCIe() *cudart.PCIeLink { return d.pcie }
+
+// ModelResident reports whether the named model's weights are in device
+// memory. Always true when memory is unconstrained, and for models the
+// residency manager does not track (adaptor jobs).
+func (d *Dispatcher) ModelResident(name string) bool {
+	if d.vramMgr == nil || !d.vramMgr.Registered(name) {
+		return true
+	}
+	return d.vramMgr.Resident(name)
 }
 
 // Model returns a registered model.
@@ -404,7 +460,14 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 		// conservation.
 		if d.cfg.Mode == ModeGated {
 			fits := func(e *sched.JobEntry) bool {
-				return d.mirror.CanAccept(e.Payload.(*Job).peekKernel())
+				j := e.Payload.(*Job)
+				// Kernels of a cold model cannot run: its weights are still
+				// paging in (or queued for memory). The scan skips past such
+				// jobs so warm work keeps the device busy during the load.
+				if !d.ModelResident(j.Req.Model) {
+					return false
+				}
+				return d.mirror.CanAccept(j.peekKernel())
 			}
 			for {
 				e := d.cfg.Policy.PickFit(fits, d.cfg.DispatchScan)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"paella/internal/channel"
 	"paella/internal/compiler"
@@ -10,6 +11,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/vram"
 )
 
 type jobOpKind int
@@ -45,6 +47,9 @@ type Job struct {
 	cancelled       bool
 	finished        bool
 	kernelsInFlight int
+	// vramPinned marks a job holding a residency pin on its model's
+	// weights (released at finish).
+	vramPinned bool
 
 	// wl holds the Figure 7 waitlists for adaptor-backed jobs; nil for the
 	// standard model path (whose ops follow the cursor above).
@@ -143,6 +148,7 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 		}
 		d.cfg.Policy.JobAdmitted(req.Client)
 		d.jobs[req.ID] = j
+		d.pinWeights(j)
 		d.advanceGated(j)
 	case ModeKernelByKernel:
 		j.stream = d.rtCtx.StreamCreate()
@@ -158,6 +164,91 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 }
 
 // --- ModeGated: software-defined scheduling -------------------------------
+
+// pinWeights takes a residency pin on the admitted job's model and, for a
+// cold model, kicks off (or joins) its weight load. The job's input copy
+// still proceeds — it overlaps the load on the H2D engine — but kernels
+// stay gated until the model is resident. No-op when memory is
+// unconstrained.
+func (d *Dispatcher) pinWeights(j *Job) {
+	if d.vramMgr == nil {
+		return
+	}
+	name := j.Req.Model
+	now := d.env.Now()
+	d.vramMgr.Pin(name, now)
+	j.vramPinned = true
+	if d.vramMgr.Resident(name) {
+		j.entry.Warm = true
+		return
+	}
+	ls := d.loads[name]
+	if ls == nil {
+		ls = &loadState{}
+		d.loads[name] = ls
+		d.startLoad(name, ls)
+	}
+	ls.waiters = append(ls.waiters, j)
+}
+
+// startLoad begins paging the model's weights in: reserve VRAM (evicting
+// LRU unpinned models as needed) and enqueue the H2D transfer on the same
+// link the tensor copies use. If every eviction candidate is pinned, the
+// load parks as pending until a job finishes and unpins memory.
+func (d *Dispatcher) startLoad(name string, ls *loadState) {
+	err := d.vramMgr.BeginLoad(name, d.env.Now())
+	if err == vram.ErrNoMemory {
+		ls.pending = true
+		return
+	}
+	if err != nil {
+		panic(fmt.Sprintf("core: weight load for %q: %v", name, err))
+	}
+	ls.pending = false
+	bytes := d.models[name].Model.WeightBytes
+	d.pcie.Transfer(cudart.HostToDevice, bytes, func() { d.loadDone(name) })
+}
+
+// loadDone marks the model resident, upgrades its waiting jobs to warm in
+// the policy order, and charges each one the time it spent blocked on the
+// load.
+func (d *Dispatcher) loadDone(name string) {
+	ls := d.loads[name]
+	d.vramMgr.FinishLoad(name, d.env.Now())
+	now := d.env.Now()
+	for _, j := range ls.waiters {
+		if j.finished {
+			continue
+		}
+		j.rec.ColdStart = true
+		j.rec.LoadNs = now - j.rec.Admit
+		if j.inPolicy {
+			d.cfg.Policy.Remove(&j.entry)
+			j.entry.Warm = true
+			d.cfg.Policy.Add(&j.entry)
+		} else {
+			j.entry.Warm = true
+		}
+	}
+	delete(d.loads, name)
+	d.wakeNow()
+}
+
+// retryPendingLoads re-attempts memory-starved loads after a job finished
+// (and so may have unpinned an eviction candidate). Names are retried in
+// sorted order for determinism.
+func (d *Dispatcher) retryPendingLoads() {
+	var names []string
+	for name, ls := range d.loads {
+		if ls.pending {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.startLoad(name, d.loads[name])
+	}
+}
 
 // advanceGated starts the job's current op, or finishes the job.
 func (d *Dispatcher) advanceGated(j *Job) {
@@ -182,8 +273,14 @@ func (d *Dispatcher) advanceGated(j *Job) {
 			d.ringBell(j)
 		}
 		d.stats.CopiesSent++
-		dur := d.memcpyDuration(op.bytes)
-		d.env.After(dur, func() { d.opDone(j) })
+		if d.pcie != nil {
+			// Constrained-memory configuration: tensor copies queue on the
+			// shared DMA engines, contending with weight loads (and each
+			// other) for PCIe bandwidth.
+			d.pcie.Transfer(copyDirection(op.kind), op.bytes, func() { d.opDone(j) })
+		} else {
+			d.env.After(d.memcpyDuration(op.bytes), func() { d.opDone(j) })
+		}
 	}
 }
 
@@ -335,6 +432,11 @@ func (d *Dispatcher) finish(j *Job) {
 	delete(d.jobs, j.Req.ID)
 	if d.cfg.Mode == ModeGated {
 		d.cfg.Policy.JobFinished(j.Req.Client)
+	}
+	if j.vramPinned {
+		j.vramPinned = false
+		d.vramMgr.Unpin(j.Req.Model, now)
+		d.retryPendingLoads()
 	}
 	d.collector.Add(j.rec)
 	d.ringBell(j) // ensure the bell rang even for degenerate op lists

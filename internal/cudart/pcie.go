@@ -1,0 +1,90 @@
+package cudart
+
+import (
+	"fmt"
+
+	"paella/internal/sim"
+)
+
+// PCIeLink arbitrates a device's DMA copy engines: one engine per transfer
+// direction (real NVIDIA parts expose separate H2D and D2H copy engines on
+// one PCIe link), each strictly FIFO at the link's sustained bandwidth.
+//
+// The analytic memcpy model elsewhere in this package gives every transfer
+// the full link to itself — adequate while the only PCIe traffic is a
+// job's own input/output tensors. Once cold-start weight loads enter the
+// picture (internal/vram), transfers contend: a multi-hundred-megabyte
+// weight copy occupies the H2D engine for milliseconds, and the input
+// tensors queued behind it wait. Routing all transfers of one device
+// through a shared PCIeLink models exactly that — there is no separate
+// free-bandwidth path for weight traffic.
+type PCIeLink struct {
+	env *sim.Env
+	// latency is the fixed DMA setup cost per transfer.
+	latency sim.Time
+	// bytesPerNs is the sustained link bandwidth.
+	bytesPerNs float64
+	// busyUntil tracks when each direction's engine frees up.
+	busyUntil [3]sim.Time
+
+	stats LinkStats
+}
+
+// LinkStats counts link activity.
+type LinkStats struct {
+	Transfers uint64
+	Bytes     int64
+	// QueuedNs integrates the time transfers spent waiting for their
+	// engine (contention; zero on an idle link).
+	QueuedNs sim.Time
+	// BusyNs integrates engine occupancy across directions.
+	BusyNs sim.Time
+}
+
+// NewPCIeLink builds a link on the simulation environment with the given
+// per-transfer setup latency and sustained bandwidth (bytes per
+// nanosecond; ≈12 for PCIe 3 x16).
+func NewPCIeLink(env *sim.Env, latency sim.Time, bytesPerNs float64) *PCIeLink {
+	if bytesPerNs <= 0 {
+		panic(fmt.Sprintf("cudart: PCIe bandwidth %f bytes/ns", bytesPerNs))
+	}
+	return &PCIeLink{env: env, latency: latency, bytesPerNs: bytesPerNs}
+}
+
+// Duration returns the uncontended wire time of one transfer.
+func (l *PCIeLink) Duration(bytes int) sim.Time {
+	return l.latency + sim.Time(float64(bytes)/l.bytesPerNs)
+}
+
+// Transfer enqueues a DMA of the given size and direction; done fires when
+// it completes. Transfers of one direction serialize FIFO behind each
+// other (a weight prefetch and an input-tensor copy share the H2D engine);
+// opposite directions proceed concurrently, as on real hardware.
+func (l *PCIeLink) Transfer(kind MemcpyKind, bytes int, done func()) {
+	if bytes < 0 {
+		panic("cudart: negative transfer size")
+	}
+	engine := int(kind)
+	if engine < 0 || engine >= len(l.busyUntil) {
+		panic(fmt.Sprintf("cudart: transfer direction %d", kind))
+	}
+	now := l.env.Now()
+	start := now
+	if l.busyUntil[engine] > start {
+		start = l.busyUntil[engine]
+	}
+	dur := l.Duration(bytes)
+	l.busyUntil[engine] = start + dur
+	l.stats.Transfers++
+	l.stats.Bytes += int64(bytes)
+	l.stats.QueuedNs += start - now
+	l.stats.BusyNs += dur
+	l.env.At(start+dur, done)
+}
+
+// BusyUntil returns when the given direction's engine frees up (≤ now when
+// idle) — scheduling heuristics may use it to predict load completion.
+func (l *PCIeLink) BusyUntil(kind MemcpyKind) sim.Time { return l.busyUntil[int(kind)] }
+
+// Stats returns a snapshot of link counters.
+func (l *PCIeLink) Stats() LinkStats { return l.stats }

@@ -75,6 +75,11 @@ type Config struct {
 	// the paper uses 16. Zero disables aggregation (one notification per
 	// block).
 	AggGroup int
+	// VRAMBytes is the device-memory capacity available for model weights
+	// (internal/vram). Zero means unconstrained — every model is treated
+	// as permanently resident, the behaviour of runs that predate the
+	// residency subsystem.
+	VRAMBytes int64
 }
 
 // GTX1660Super returns the configuration of the GeForce GTX 1660 SUPER used
@@ -95,6 +100,7 @@ func GTX1660Super() Config {
 		NotifDelay:     1200 * sim.Nanosecond,
 		LaunchOverhead: 4 * sim.Microsecond,
 		AggGroup:       16,
+		VRAMBytes:      6 << 30,
 	}
 }
 
@@ -115,6 +121,7 @@ func TeslaT4() Config {
 		NotifDelay:     1200 * sim.Nanosecond,
 		LaunchOverhead: 4 * sim.Microsecond,
 		AggGroup:       16,
+		VRAMBytes:      16 << 30,
 	}
 }
 
@@ -135,6 +142,7 @@ func TeslaP100() Config {
 		NotifDelay:     1300 * sim.Nanosecond,
 		LaunchOverhead: 4 * sim.Microsecond,
 		AggGroup:       16,
+		VRAMBytes:      16 << 30,
 	}
 }
 
@@ -157,6 +165,7 @@ func A100Like() Config {
 		NotifDelay:     1200 * sim.Nanosecond,
 		LaunchOverhead: 4 * sim.Microsecond,
 		AggGroup:       16,
+		VRAMBytes:      40 << 30,
 	}
 }
 

@@ -18,21 +18,42 @@ type smState struct {
 // hwQueue is one strictly-FIFO hardware queue. Only the head launch is ever
 // considered for block placement; a head whose dependencies are unsatisfied
 // stalls the entire queue (§2.1).
+//
+// The queue is a head-indexed slice: popping advances start instead of
+// shifting every remaining element (dequeue used to copy the whole tail,
+// making a deep queue's drain quadratic — see BenchmarkHWQueuePop). The
+// consumed prefix is compacted away once it is both long enough to matter
+// and at least half the backing array, keeping enqueue amortized O(1) and
+// memory bounded by the high-water depth.
 type hwQueue struct {
 	launches []*Launch
+	start    int
 }
 
+func (q *hwQueue) depth() int { return len(q.launches) - q.start }
+
 func (q *hwQueue) head() *Launch {
-	if len(q.launches) == 0 {
+	if q.start >= len(q.launches) {
 		return nil
 	}
-	return q.launches[0]
+	return q.launches[q.start]
+}
+
+func (q *hwQueue) push(l *Launch) {
+	q.launches = append(q.launches, l)
 }
 
 func (q *hwQueue) popHead() {
-	copy(q.launches, q.launches[1:])
-	q.launches[len(q.launches)-1] = nil
-	q.launches = q.launches[:len(q.launches)-1]
+	q.launches[q.start] = nil // release for GC
+	q.start++
+	if q.start >= 32 && q.start*2 >= len(q.launches) {
+		n := copy(q.launches, q.launches[q.start:])
+		for i := n; i < len(q.launches); i++ {
+			q.launches[i] = nil
+		}
+		q.launches = q.launches[:n]
+		q.start = 0
+	}
 }
 
 // Stats aggregates device-lifetime counters.
@@ -123,13 +144,13 @@ func (d *Device) Utilization() float64 {
 
 // QueueDepth returns the number of launches waiting in (or placing from)
 // hardware queue q.
-func (d *Device) QueueDepth(q int) int { return len(d.queues[q].launches) }
+func (d *Device) QueueDepth(q int) int { return d.queues[q].depth() }
 
 // TotalQueued returns the number of launches across all hardware queues.
 func (d *Device) TotalQueued() int {
 	n := 0
 	for i := range d.queues {
-		n += len(d.queues[i].launches)
+		n += d.queues[i].depth()
 	}
 	return n
 }
@@ -173,7 +194,7 @@ func (d *Device) Submit(q int, l *Launch) {
 	d.stats.KernelsSubmitted++
 	enqueue := func() {
 		l.queuedAt = d.env.Now()
-		d.queues[q].launches = append(d.queues[q].launches, l)
+		d.queues[q].push(l)
 		d.kick()
 	}
 	if d.cfg.LaunchOverhead > 0 {
@@ -215,7 +236,7 @@ func (d *Device) schedulePass() {
 			if head.Ready != nil && !head.Ready() {
 				// Queue stalls on an unready head. If anything is queued
 				// behind it, that is head-of-line blocking.
-				if len(q.launches) > 1 {
+				if q.depth() > 1 {
 					d.stats.HoLBlockedKernels++
 				}
 				continue

@@ -1,0 +1,114 @@
+package gpu
+
+import "testing"
+
+// TestHWQueueRingFIFO: the head-indexed queue preserves strict FIFO order
+// through interleaved pushes and pops, including across compactions.
+func TestHWQueueRingFIFO(t *testing.T) {
+	var q hwQueue
+	mk := func(i int) *Launch { return &Launch{KernelID: uint32(i)} }
+	next := 0 // next id to push
+	want := 0 // next id expected at head
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			q.push(mk(next))
+			next++
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			h := q.head()
+			if h == nil {
+				t.Fatalf("empty queue, want head %d", want)
+			}
+			if int(h.KernelID) != want {
+				t.Fatalf("head = %d, want %d", h.KernelID, want)
+			}
+			q.popHead()
+			want++
+		}
+	}
+	push(100)
+	pop(60) // crosses the compaction threshold
+	push(50)
+	pop(90)
+	if q.depth() != 0 {
+		t.Fatalf("depth = %d, want 0", q.depth())
+	}
+	if q.head() != nil {
+		t.Fatal("head of empty queue not nil")
+	}
+	push(3)
+	pop(3)
+}
+
+// TestHWQueueCompactsConsumedPrefix: the consumed prefix does not grow
+// without bound — after draining a deep queue the backing slice has been
+// compacted rather than retaining every popped slot.
+func TestHWQueueCompactsConsumedPrefix(t *testing.T) {
+	var q hwQueue
+	const n = 10000
+	for i := 0; i < n; i++ {
+		q.push(&Launch{KernelID: uint32(i)})
+	}
+	for i := 0; i < n; i++ {
+		q.popHead()
+	}
+	if q.start > n/2 {
+		t.Fatalf("consumed prefix never compacted: start = %d", q.start)
+	}
+	if q.depth() != 0 {
+		t.Fatalf("depth = %d after drain", q.depth())
+	}
+}
+
+// shiftQueue is the previous dequeue implementation: every pop copies the
+// entire remaining tail forward. Kept as the benchmark baseline.
+type shiftQueue struct {
+	launches []*Launch
+}
+
+func (q *shiftQueue) push(l *Launch) { q.launches = append(q.launches, l) }
+func (q *shiftQueue) popHead() {
+	copy(q.launches, q.launches[1:])
+	q.launches[len(q.launches)-1] = nil
+	q.launches = q.launches[:len(q.launches)-1]
+}
+
+// BenchmarkHWQueuePop drains a deep queue with the head-indexed ring:
+// O(1) amortized per pop.
+func BenchmarkHWQueuePop(b *testing.B) {
+	const depth = 4096
+	l := &Launch{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var q hwQueue
+		for j := 0; j < depth; j++ {
+			q.push(l)
+		}
+		b.StartTimer()
+		for j := 0; j < depth; j++ {
+			q.popHead()
+		}
+	}
+}
+
+// BenchmarkHWQueuePopShift drains the same queue with the old tail-copy
+// dequeue: O(depth) per pop, O(depth²) per drain.
+func BenchmarkHWQueuePopShift(b *testing.B) {
+	const depth = 4096
+	l := &Launch{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var q shiftQueue
+		for j := 0; j < depth; j++ {
+			q.push(l)
+		}
+		b.StartTimer()
+		for j := 0; j < depth; j++ {
+			q.popHead()
+		}
+	}
+}

@@ -36,6 +36,13 @@ type JobRecord struct {
 	// FrameworkNs accumulates serving-framework processing (serialization,
 	// batching, RPC handling) charged to this request.
 	FrameworkNs sim.Time
+	// ColdStart marks a request that arrived while its model's weights were
+	// not resident in device memory (internal/vram) and had to wait for a
+	// H2D weight load.
+	ColdStart bool
+	// LoadNs is the time this request spent blocked on weight loading —
+	// from admission until its model became resident. Zero for warm hits.
+	LoadNs sim.Time
 	// Cancelled marks a request aborted by the client before completion.
 	Cancelled bool
 }
@@ -84,6 +91,39 @@ func (c *Collector) FilterModel(name string) *Collector {
 		}
 	}
 	return out
+}
+
+// ColdStarts returns how many completed jobs waited on a weight load.
+func (c *Collector) ColdStarts() int {
+	n := 0
+	for _, r := range c.records {
+		if r.ColdStart {
+			n++
+		}
+	}
+	return n
+}
+
+// WarmHitRatio returns the fraction of completed jobs whose model was
+// already resident at admission (1.0 when no job ever cold-started).
+func (c *Collector) WarmHitRatio() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	return 1 - float64(c.ColdStarts())/float64(len(c.records))
+}
+
+// MeanLoadNs returns the mean weight-load wait across all completed jobs
+// (cold and warm) — the average cold-start contribution to JCT.
+func (c *Collector) MeanLoadNs() sim.Time {
+	if len(c.records) == 0 {
+		return 0
+	}
+	var total sim.Time
+	for _, r := range c.records {
+		total += r.LoadNs
+	}
+	return total / sim.Time(len(c.records))
 }
 
 // Throughput returns completed jobs per second of virtual time over the
@@ -185,6 +225,8 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 		ExecDoneNs    int64  `json:"exec_done_ns"`
 		DeliveredNs   int64  `json:"delivered_ns"`
 		JCTNs         int64  `json:"jct_ns"`
+		ColdStart     bool   `json:"cold_start,omitempty"`
+		LoadNs        int64  `json:"load_ns,omitempty"`
 	}
 	out := make([]jsonRec, len(c.records))
 	for i, r := range c.records {
@@ -193,6 +235,7 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 			SubmitNs: int64(r.Submit), AdmitNs: int64(r.Admit),
 			FirstDispatch: int64(r.FirstDispatch), ExecDoneNs: int64(r.ExecDone),
 			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
+			ColdStart: r.ColdStart, LoadNs: int64(r.LoadNs),
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -23,6 +23,10 @@ type Model struct {
 	// under Triton, serialized through RPC).
 	InputBytes  int
 	OutputBytes int
+	// WeightBytes is the device-memory footprint of the model's weights
+	// (fp32 parameters). internal/vram uses it for residency accounting;
+	// zero means "negligible" and the model is treated as always resident.
+	WeightBytes int
 	// Kernels is the set of unique compiled kernels in the shared library.
 	Kernels []*gpu.KernelSpec
 	// Seq is the execution order: indices into Kernels. TVM's graph

@@ -25,6 +25,9 @@ type ZooEntry struct {
 	// InputBytes/OutputBytes size the I/O tensors.
 	InputBytes  int
 	OutputBytes int
+	// WeightBytes is the fp32 parameter footprint in device memory
+	// (internal/vram residency accounting; zero = negligible).
+	WeightBytes int
 }
 
 const imgInput = 224 * 224 * 3 * 4 // float32 ImageNet tensor
@@ -35,14 +38,14 @@ const clsOutput = 1000 * 4         // float32 logits
 // for each architecture.
 func Table2() []ZooEntry {
 	return []ZooEntry{
-		{"resnet18", sim.Time(1.58 * float64(sim.Millisecond)), 48, 24, imgInput, clsOutput},
-		{"mobilenetv2", sim.Time(1.67 * float64(sim.Millisecond)), 66, 33, imgInput, clsOutput},
-		{"resnet34", sim.Time(2.55 * float64(sim.Millisecond)), 84, 30, imgInput, clsOutput},
-		{"squeezenet1.1", sim.Time(4.79 * float64(sim.Millisecond)), 50, 25, imgInput, clsOutput},
-		{"resnet50", sim.Time(5.76 * float64(sim.Millisecond)), 107, 38, imgInput, clsOutput},
-		{"densenet", sim.Time(6.08 * float64(sim.Millisecond)), 200, 40, imgInput, clsOutput},
-		{"googlenet", sim.Time(7.86 * float64(sim.Millisecond)), 130, 44, imgInput, clsOutput},
-		{"inceptionv3", sim.Time(31.2 * float64(sim.Millisecond)), 220, 52, 299 * 299 * 3 * 4, clsOutput},
+		{"resnet18", sim.Time(1.58 * float64(sim.Millisecond)), 48, 24, imgInput, clsOutput, 45 << 20},
+		{"mobilenetv2", sim.Time(1.67 * float64(sim.Millisecond)), 66, 33, imgInput, clsOutput, 14 << 20},
+		{"resnet34", sim.Time(2.55 * float64(sim.Millisecond)), 84, 30, imgInput, clsOutput, 84 << 20},
+		{"squeezenet1.1", sim.Time(4.79 * float64(sim.Millisecond)), 50, 25, imgInput, clsOutput, 5 << 20},
+		{"resnet50", sim.Time(5.76 * float64(sim.Millisecond)), 107, 38, imgInput, clsOutput, 98 << 20},
+		{"densenet", sim.Time(6.08 * float64(sim.Millisecond)), 200, 40, imgInput, clsOutput, 31 << 20},
+		{"googlenet", sim.Time(7.86 * float64(sim.Millisecond)), 130, 44, imgInput, clsOutput, 27 << 20},
+		{"inceptionv3", sim.Time(31.2 * float64(sim.Millisecond)), 220, 52, 299 * 299 * 3 * 4, clsOutput, 91 << 20},
 	}
 }
 
@@ -50,13 +53,13 @@ func Table2() []ZooEntry {
 // breakdown), which partially overlap Table 2.
 func Fig3Entries() []ZooEntry {
 	return []ZooEntry{
-		{"densenet121", sim.Time(6.08 * float64(sim.Millisecond)), 200, 40, imgInput, clsOutput},
-		{"googlenet", sim.Time(7.86 * float64(sim.Millisecond)), 130, 44, imgInput, clsOutput},
-		{"gpt2", sim.Time(9.5 * float64(sim.Millisecond)), 2499, 60, 64 * 4, 64 * 768 * 4},
-		{"mobilenetv2", sim.Time(1.67 * float64(sim.Millisecond)), 66, 33, imgInput, clsOutput},
-		{"resnet50", sim.Time(5.76 * float64(sim.Millisecond)), 107, 38, imgInput, clsOutput},
-		{"vgg16", sim.Time(7.1 * float64(sim.Millisecond)), 38, 19, imgInput, clsOutput},
-		{"yolov5", sim.Time(12.3 * float64(sim.Millisecond)), 310, 48, 640 * 640 * 3 * 4, 25200 * 85 * 4},
+		{"densenet121", sim.Time(6.08 * float64(sim.Millisecond)), 200, 40, imgInput, clsOutput, 31 << 20},
+		{"googlenet", sim.Time(7.86 * float64(sim.Millisecond)), 130, 44, imgInput, clsOutput, 27 << 20},
+		{"gpt2", sim.Time(9.5 * float64(sim.Millisecond)), 2499, 60, 64 * 4, 64 * 768 * 4, 475 << 20},
+		{"mobilenetv2", sim.Time(1.67 * float64(sim.Millisecond)), 66, 33, imgInput, clsOutput, 14 << 20},
+		{"resnet50", sim.Time(5.76 * float64(sim.Millisecond)), 107, 38, imgInput, clsOutput, 98 << 20},
+		{"vgg16", sim.Time(7.1 * float64(sim.Millisecond)), 38, 19, imgInput, clsOutput, 528 << 20},
+		{"yolov5", sim.Time(12.3 * float64(sim.Millisecond)), 310, 48, 640 * 640 * 3 * 4, 25200 * 85 * 4, 28 << 20},
 	}
 }
 
@@ -119,6 +122,7 @@ func Generate(e ZooEntry) *Model {
 		Name:        e.Name,
 		InputBytes:  e.InputBytes,
 		OutputBytes: e.OutputBytes,
+		WeightBytes: e.WeightBytes,
 		Kernels:     kernels,
 		Seq:         seq,
 	}
@@ -136,6 +140,37 @@ func Table2Models() []*Model {
 		out[i] = Generate(e)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].KernelTime() < out[j].KernelTime() })
+	return out
+}
+
+// SyntheticZoo generates n distinct models for many-model experiments
+// (model zoos larger than the paper's eight). Entries cycle through a small
+// palette of execution times, kernel counts and weight footprints so a zoo
+// mixes small/cheap and large/expensive models; generation is seeded by
+// name, so the same n always yields byte-identical models.
+func SyntheticZoo(n int) []*Model {
+	execChoices := []sim.Time{
+		sim.Time(1.5 * float64(sim.Millisecond)),
+		sim.Time(2.5 * float64(sim.Millisecond)),
+		sim.Time(4.0 * float64(sim.Millisecond)),
+		sim.Time(6.0 * float64(sim.Millisecond)),
+		sim.Time(8.0 * float64(sim.Millisecond)),
+	}
+	execsChoices := []int{48, 66, 84, 107, 130}
+	uniqueChoices := []int{24, 33, 30, 38, 44}
+	weightChoices := []int{24 << 20, 36 << 20, 48 << 20, 64 << 20, 96 << 20}
+	out := make([]*Model, n)
+	for i := 0; i < n; i++ {
+		out[i] = Generate(ZooEntry{
+			Name:        fmt.Sprintf("zoo-%02d", i),
+			ExecTime:    execChoices[i%len(execChoices)],
+			Executions:  execsChoices[i%len(execsChoices)],
+			Unique:      uniqueChoices[i%len(uniqueChoices)],
+			InputBytes:  imgInput,
+			OutputBytes: clsOutput,
+			WeightBytes: weightChoices[(i*3+i/5)%len(weightChoices)],
+		})
+	}
 	return out
 }
 

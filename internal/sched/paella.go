@@ -45,8 +45,14 @@ type paellaClient struct {
 func NewPaella(threshold float64) *PaellaPolicy {
 	p := &PaellaPolicy{
 		threshold: threshold,
-		srpt:      rbtree.New(func(a, b *JobEntry) bool { return a.Remaining < b.Remaining }),
-		clients:   make(map[int]*paellaClient),
+		srpt: rbtree.New(func(a, b *JobEntry) bool {
+			if a.Remaining != b.Remaining {
+				return a.Remaining < b.Remaining
+			}
+			less, ok := warmFirst(a, b)
+			return ok && less
+		}),
+		clients: make(map[int]*paellaClient),
 	}
 	p.deficit = rbtree.New(func(a, b *paellaClient) bool {
 		if a.stored != b.stored {

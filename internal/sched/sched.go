@@ -41,6 +41,12 @@ type JobEntry struct {
 	// Used by the EDF policy; hardware schedulers have no equivalent
 	// (§2.1's "ignorance of application metrics").
 	Deadline sim.Time
+	// Warm reports whether the job's model weights are resident in device
+	// memory (internal/vram). Policies use it as a tiebreak: on equal
+	// primary keys a warm job dispatches first, since a cold one waits
+	// behind a weight load regardless. Always false when the residency
+	// subsystem is disabled, making the tiebreak inert.
+	Warm bool
 	// Payload lets the dispatcher attach its job state to the entry.
 	Payload any
 
@@ -136,19 +142,48 @@ func (p *treePolicy) PickFit(fits func(*JobEntry) bool, maxScan int) *JobEntry {
 	return nil
 }
 
+// warmFirst breaks a primary-key tie in favour of the job whose weights
+// are device-resident. Returning (false, false) when both sides agree
+// preserves the pre-residency insertion order, so policies behave exactly
+// as before whenever the vram subsystem is off.
+func warmFirst(a, b *JobEntry) (less, decided bool) {
+	if a.Warm != b.Warm {
+		return a.Warm, true
+	}
+	return false, false
+}
+
 // NewFIFO returns first-in-first-out scheduling (oldest arrival first).
 func NewFIFO() Policy {
-	return newTreePolicy("FIFO", func(a, b *JobEntry) bool { return a.Arrival < b.Arrival })
+	return newTreePolicy("FIFO", func(a, b *JobEntry) bool {
+		if a.Arrival != b.Arrival {
+			return a.Arrival < b.Arrival
+		}
+		less, ok := warmFirst(a, b)
+		return ok && less
+	})
 }
 
 // NewSJF returns shortest-job-first scheduling by total profiled time.
 func NewSJF() Policy {
-	return newTreePolicy("SJF", func(a, b *JobEntry) bool { return a.Total < b.Total })
+	return newTreePolicy("SJF", func(a, b *JobEntry) bool {
+		if a.Total != b.Total {
+			return a.Total < b.Total
+		}
+		less, ok := warmFirst(a, b)
+		return ok && less
+	})
 }
 
 // NewSRPT returns shortest-remaining-processing-time scheduling.
 func NewSRPT() Policy {
-	return newTreePolicy("SRPT", func(a, b *JobEntry) bool { return a.Remaining < b.Remaining })
+	return newTreePolicy("SRPT", func(a, b *JobEntry) bool {
+		if a.Remaining != b.Remaining {
+			return a.Remaining < b.Remaining
+		}
+		less, ok := warmFirst(a, b)
+		return ok && less
+	})
 }
 
 // NewEDF returns earliest-deadline-first scheduling. Jobs without a
@@ -164,6 +199,9 @@ func NewEDF() Policy {
 		}
 		if da != db {
 			return da < db
+		}
+		if less, ok := warmFirst(a, b); ok {
+			return less
 		}
 		return a.Arrival < b.Arrival
 	})

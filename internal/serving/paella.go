@@ -89,6 +89,7 @@ func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	}
 	cfg := core.DefaultConfig(pol)
 	cfg.Mode = s.mode
+	cfg.VRAM = opts.VRAM
 	if s.tweak != nil {
 		s.tweak(&cfg)
 	}
@@ -97,8 +98,11 @@ func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	if err != nil {
 		return err
 	}
-	for _, ins := range compiled {
-		if err := s.disp.RegisterModel(ins); err != nil {
+	// Register in deployment order: with a VRAM budget, registration order
+	// seeds the residency manager's tiebreaks, and map iteration would
+	// make runs irreproducible.
+	for _, m := range opts.Models {
+		if err := s.disp.RegisterModel(compiled[m.Name]); err != nil {
 			return err
 		}
 	}

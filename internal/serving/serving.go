@@ -23,6 +23,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sim"
+	"paella/internal/vram"
 	"paella/internal/workload"
 )
 
@@ -41,6 +42,11 @@ type Options struct {
 	// delivered by then are dropped from the collector — use for
 	// saturation points that would otherwise never drain.
 	MaxSimTime sim.Time
+	// VRAM, when non-nil, gives the Paella dispatcher a device-memory
+	// budget: model weights page in on demand and evict LRU
+	// (internal/vram). Nil models unconstrained memory, the historical
+	// behaviour. Only the gated Paella variants consume it.
+	VRAM *vram.Config
 }
 
 // DefaultOptions returns a T4 setup with the full Table 2 zoo.

@@ -1,0 +1,401 @@
+// Package vram models device-memory residency for model weights: the
+// regime real serving fleets live in once the deployed model zoo outgrows
+// GPU memory. The paper's evaluation (§7) keeps every model resident; this
+// subsystem removes that assumption so experiments can exercise cold-start
+// weight transfers competing with inference tensor traffic for PCIe.
+//
+// The Manager is a pure state machine on virtual time — it owns no clocks
+// and issues no transfers. The dispatcher (internal/core) drives it:
+//
+//	Pin        job admitted for the model (eviction protection)
+//	BeginLoad  cold → loading; allocates blocks, evicting LRU victims
+//	FinishLoad loading → resident (the H2D weight copy finished)
+//	Unpin      job finished; the model becomes evictable when unpinned
+//
+// Weights are read-only, so eviction needs no writeback: a victim passes
+// through the transient Evicting state (observable via OnEvict) and its
+// blocks free immediately. Allocation is block-granular (BlockBytes,
+// default 2 MiB — the CUDA driver's large-page unit), so fragmentation
+// rounds every model up to whole blocks.
+package vram
+
+import (
+	"fmt"
+	"sort"
+
+	"paella/internal/sim"
+)
+
+// State is one residency state of a model's weights.
+type State int
+
+const (
+	// Cold: the weights are not in device memory and no transfer is in
+	// flight. A request for a cold model triggers a load.
+	Cold State = iota
+	// Loading: an H2D weight copy is in flight; blocks are allocated.
+	Loading
+	// Resident: the weights are in device memory and kernels may run.
+	Resident
+	// Evicting: the weights are being torn down (transient — weights are
+	// read-only, so there is no writeback and the state is observable only
+	// through the OnEvict hook; it exists so a future dirty-state manager
+	// can stretch it over a D2H copy).
+	Evicting
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Cold:
+		return "cold"
+	case Loading:
+		return "loading"
+	case Resident:
+		return "resident"
+	case Evicting:
+		return "evicting"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultBlockBytes is the allocator granularity when Config.BlockBytes is
+// zero: 2 MiB, the CUDA driver's large-page allocation unit.
+const DefaultBlockBytes = 2 << 20
+
+// Config parameterizes a Manager.
+type Config struct {
+	// CapacityBytes is the device-memory budget available for model
+	// weights. Zero is invalid at New (callers default it from
+	// gpu.Config.VRAMBytes).
+	CapacityBytes int64
+	// BlockBytes is the allocation granularity (default 2 MiB).
+	BlockBytes int64
+}
+
+// Stats counts manager activity over its lifetime.
+type Stats struct {
+	// Pins is the number of Pin calls (one per admitted request).
+	Pins uint64
+	// WarmHits counts pins that found the model already resident.
+	WarmHits uint64
+	// ColdPins counts pins that found the model cold or still loading.
+	ColdPins uint64
+	// Loads counts weight loads started (BeginLoad successes).
+	Loads uint64
+	// Evictions counts models evicted to make room.
+	Evictions uint64
+	// BytesLoaded totals weight bytes transferred host→device.
+	BytesLoaded int64
+	// BytesEvicted totals weight bytes dropped by eviction.
+	BytesEvicted int64
+}
+
+// HitRatio returns WarmHits / Pins (1 when nothing was ever pinned).
+func (s Stats) HitRatio() float64 {
+	if s.Pins == 0 {
+		return 1
+	}
+	return float64(s.WarmHits) / float64(s.Pins)
+}
+
+// ErrNoMemory is returned by BeginLoad when the weights cannot be placed
+// even after evicting every unpinned resident model. The caller should
+// retry once an Unpin frees eviction candidates.
+var ErrNoMemory = fmt.Errorf("vram: insufficient evictable device memory")
+
+type entry struct {
+	name   string
+	bytes  int64
+	blocks int
+	state  State
+	// pinned counts live requests referencing the model; eviction only
+	// considers entries with pinned == 0.
+	pinned   int
+	lastUsed sim.Time
+	// seq breaks lastUsed ties deterministically (registration order).
+	seq int
+}
+
+// Manager tracks weight residency for one GPU. All methods must be called
+// from the simulation event loop; the Manager is not goroutine-safe.
+type Manager struct {
+	cfg         Config
+	totalBlocks int
+	usedBlocks  int
+	entries     map[string]*entry
+
+	// OnEvict, if set, observes each victim while it is in the Evicting
+	// state (metrics hooks, tests).
+	OnEvict func(name string)
+
+	stats Stats
+}
+
+// NewManager builds a manager with the given capacity budget.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.CapacityBytes <= 0 {
+		return nil, fmt.Errorf("vram: capacity %d bytes", cfg.CapacityBytes)
+	}
+	if cfg.BlockBytes <= 0 {
+		cfg.BlockBytes = DefaultBlockBytes
+	}
+	total := int(cfg.CapacityBytes / cfg.BlockBytes)
+	if total <= 0 {
+		return nil, fmt.Errorf("vram: capacity %d smaller than one %d-byte block",
+			cfg.CapacityBytes, cfg.BlockBytes)
+	}
+	return &Manager{
+		cfg:         cfg,
+		totalBlocks: total,
+		entries:     make(map[string]*entry),
+	}, nil
+}
+
+// MustNewManager is NewManager for known-good configs; it panics on error.
+func MustNewManager(cfg Config) *Manager {
+	m, err := NewManager(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Register declares a model's weight footprint. Models with zero weight
+// bytes occupy no blocks and are permanently resident (the pre-vram
+// behaviour). Registration fails if the weights alone exceed capacity.
+func (m *Manager) Register(name string, weightBytes int64) error {
+	if _, dup := m.entries[name]; dup {
+		return fmt.Errorf("vram: model %q already registered", name)
+	}
+	if weightBytes < 0 {
+		return fmt.Errorf("vram: model %q weight bytes %d", name, weightBytes)
+	}
+	blocks := int((weightBytes + m.cfg.BlockBytes - 1) / m.cfg.BlockBytes)
+	if blocks > m.totalBlocks {
+		return fmt.Errorf("vram: model %q needs %d blocks, device has %d",
+			name, blocks, m.totalBlocks)
+	}
+	e := &entry{name: name, bytes: weightBytes, blocks: blocks, seq: len(m.entries)}
+	if blocks == 0 {
+		e.state = Resident
+	}
+	m.entries[name] = e
+	return nil
+}
+
+// Registered reports whether the model is known to the manager.
+func (m *Manager) Registered(name string) bool {
+	_, ok := m.entries[name]
+	return ok
+}
+
+// State returns the model's residency state.
+func (m *Manager) State(name string) State { return m.get(name).state }
+
+// Resident reports whether the model's weights are usable right now.
+func (m *Manager) Resident(name string) bool { return m.get(name).state == Resident }
+
+// Pinned returns the model's pin count.
+func (m *Manager) Pinned(name string) int { return m.get(name).pinned }
+
+// Pin marks one live request against the model, protecting it from
+// eviction for the request's lifetime, and classifies the access as a warm
+// hit or a cold pin.
+func (m *Manager) Pin(name string, now sim.Time) {
+	e := m.get(name)
+	e.pinned++
+	e.lastUsed = now
+	m.stats.Pins++
+	if e.state == Resident {
+		m.stats.WarmHits++
+	} else {
+		m.stats.ColdPins++
+	}
+}
+
+// Unpin releases one Pin. An unpinned resident model becomes an eviction
+// candidate, LRU by last use.
+func (m *Manager) Unpin(name string, now sim.Time) {
+	e := m.get(name)
+	if e.pinned <= 0 {
+		panic(fmt.Sprintf("vram: unpin of unpinned model %q", name))
+	}
+	e.pinned--
+	e.lastUsed = now
+}
+
+// Touch refreshes the model's LRU timestamp without pinning.
+func (m *Manager) Touch(name string, now sim.Time) {
+	e := m.get(name)
+	if now > e.lastUsed {
+		e.lastUsed = now
+	}
+}
+
+// BeginLoad starts a cold model's weight load: blocks are allocated (LRU
+// unpinned resident models are evicted as needed) and the model enters
+// Loading. The caller models the H2D transfer and calls FinishLoad when it
+// completes. ErrNoMemory means every remaining byte is pinned or loading;
+// the caller should retry after an Unpin.
+func (m *Manager) BeginLoad(name string, now sim.Time) error {
+	e := m.get(name)
+	if e.state != Cold {
+		panic(fmt.Sprintf("vram: BeginLoad of %s model %q", e.state, name))
+	}
+	if err := m.ensureFree(e.blocks); err != nil {
+		return err
+	}
+	m.usedBlocks += e.blocks
+	e.state = Loading
+	e.lastUsed = now
+	m.stats.Loads++
+	m.stats.BytesLoaded += e.bytes
+	return nil
+}
+
+// FinishLoad completes a load: loading → resident.
+func (m *Manager) FinishLoad(name string, now sim.Time) {
+	e := m.get(name)
+	if e.state != Loading {
+		panic(fmt.Sprintf("vram: FinishLoad of %s model %q", e.state, name))
+	}
+	e.state = Resident
+	e.lastUsed = now
+}
+
+// Evict drops an unpinned resident model's weights, freeing its blocks.
+// Exposed for tests and tooling; BeginLoad evicts automatically.
+func (m *Manager) Evict(name string) error {
+	e := m.get(name)
+	if e.state != Resident {
+		return fmt.Errorf("vram: evicting %s model %q", e.state, name)
+	}
+	if e.pinned > 0 {
+		return fmt.Errorf("vram: evicting pinned model %q (%d pins)", name, e.pinned)
+	}
+	if e.blocks == 0 {
+		return fmt.Errorf("vram: model %q holds no blocks", name)
+	}
+	m.evict(e)
+	return nil
+}
+
+// ensureFree evicts LRU unpinned resident models until need blocks are
+// free, or fails without evicting anything if that is impossible.
+func (m *Manager) ensureFree(need int) error {
+	free := m.totalBlocks - m.usedBlocks
+	if free >= need {
+		return nil
+	}
+	// Candidates: resident, unpinned, holding blocks — oldest first.
+	// (Deterministic order: map iteration is randomized, so sort.)
+	var victims []*entry
+	evictable := 0
+	for _, e := range m.entries {
+		if e.state == Resident && e.pinned == 0 && e.blocks > 0 {
+			victims = append(victims, e)
+			evictable += e.blocks
+		}
+	}
+	if free+evictable < need {
+		return ErrNoMemory
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].lastUsed != victims[j].lastUsed {
+			return victims[i].lastUsed < victims[j].lastUsed
+		}
+		return victims[i].seq < victims[j].seq
+	})
+	for _, v := range victims {
+		if free >= need {
+			break
+		}
+		m.evict(v)
+		free += v.blocks
+	}
+	return nil
+}
+
+// evict transitions one victim resident → evicting → cold and frees its
+// blocks. Weights are read-only: no writeback transfer is modelled.
+func (m *Manager) evict(e *entry) {
+	if e.pinned > 0 {
+		panic(fmt.Sprintf("vram: evicting pinned model %q", e.name))
+	}
+	e.state = Evicting
+	if m.OnEvict != nil {
+		m.OnEvict(e.name)
+	}
+	e.state = Cold
+	m.usedBlocks -= e.blocks
+	m.stats.Evictions++
+	m.stats.BytesEvicted += e.bytes
+	if m.usedBlocks < 0 {
+		panic("vram: block accounting went negative")
+	}
+}
+
+// CapacityBytes returns the configured budget.
+func (m *Manager) CapacityBytes() int64 { return m.cfg.CapacityBytes }
+
+// TotalBlocks returns the device's block count.
+func (m *Manager) TotalBlocks() int { return m.totalBlocks }
+
+// UsedBlocks returns the blocks held by loading/resident models.
+func (m *Manager) UsedBlocks() int { return m.usedBlocks }
+
+// FreeBytes returns the unallocated budget.
+func (m *Manager) FreeBytes() int64 {
+	return int64(m.totalBlocks-m.usedBlocks) * m.cfg.BlockBytes
+}
+
+// Stats returns a snapshot of lifetime counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResidentModels returns the names of resident models, sorted (tests,
+// experiment reports).
+func (m *Manager) ResidentModels() []string {
+	var out []string
+	for name, e := range m.entries {
+		if e.state == Resident {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckInvariants panics if the allocator's accounting is inconsistent:
+// the sum of blocks held by loading/resident models must equal UsedBlocks,
+// and usage must never exceed capacity. Tests call it between steps.
+func (m *Manager) CheckInvariants() {
+	sum := 0
+	for name, e := range m.entries {
+		switch e.state {
+		case Loading, Resident:
+			sum += e.blocks
+		case Cold:
+		case Evicting:
+			panic(fmt.Sprintf("vram: model %q stuck in transient Evicting state", name))
+		}
+		if e.pinned < 0 {
+			panic(fmt.Sprintf("vram: model %q pin count %d", name, e.pinned))
+		}
+	}
+	if sum != m.usedBlocks {
+		panic(fmt.Sprintf("vram: used blocks %d but models hold %d", m.usedBlocks, sum))
+	}
+	if m.usedBlocks > m.totalBlocks {
+		panic(fmt.Sprintf("vram: used %d of %d blocks", m.usedBlocks, m.totalBlocks))
+	}
+}
+
+func (m *Manager) get(name string) *entry {
+	e, ok := m.entries[name]
+	if !ok {
+		panic(fmt.Sprintf("vram: unknown model %q", name))
+	}
+	return e
+}

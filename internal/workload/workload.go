@@ -49,6 +49,33 @@ func Weighted(models []string, weights []float64) Mix {
 	return Mix{Models: models, Weights: weights}
 }
 
+// ZipfWeights returns weights following a zipfian popularity law: the
+// i-th model (rank i+1) gets weight rank^−s. Model-serving request
+// popularity is heavily skewed — a few hot models take most traffic while
+// a long tail of cold models each see occasional requests, which is
+// exactly the regime that stresses a device-memory residency manager
+// (internal/vram): the hot set stays warm, the tail keeps paging. s = 0
+// degenerates to uniform; larger s concentrates traffic further.
+func ZipfWeights(n int, s float64) []float64 {
+	if n <= 0 {
+		panic("workload: zipf over no models")
+	}
+	if s < 0 {
+		panic("workload: negative zipf exponent")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Pow(float64(i+1), -s)
+	}
+	return out
+}
+
+// ZipfMix returns the given models weighted by a zipfian popularity law
+// with exponent s: models[0] is the most popular.
+func ZipfMix(models []string, s float64) Mix {
+	return Weighted(models, ZipfWeights(len(models), s))
+}
+
 // Spec parameterizes a trace.
 type Spec struct {
 	Mix Mix

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -175,5 +176,80 @@ func TestReadJSONRejectsMalformed(t *testing.T) {
 		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+}
+
+// zipfSpec is the many-models trace used by the residency experiments.
+func zipfSpec() Spec {
+	names := make([]string, 24)
+	for i := range names {
+		names[i] = fmt.Sprintf("zoo-%02d", i)
+	}
+	return Spec{
+		Mix:        ZipfMix(names, 1.1),
+		Sigma:      1.5,
+		RatePerSec: 400,
+		Jobs:       4000,
+		Clients:    8,
+		Seed:       7,
+	}
+}
+
+func TestZipfWeightsShape(t *testing.T) {
+	w := ZipfWeights(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range w {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("weight[%d] = %v, want %v", i, w[i], want[i])
+		}
+	}
+	// s = 0 is uniform.
+	for _, w := range ZipfWeights(5, 0) {
+		if w != 1 {
+			t.Fatalf("zipf(0) weight %v, want 1", w)
+		}
+	}
+}
+
+func TestZipfMixSkewsTraffic(t *testing.T) {
+	reqs := MustGenerate(zipfSpec())
+	counts := map[string]int{}
+	for _, r := range reqs {
+		counts[r.Model]++
+	}
+	// Rank 1 must dominate rank 12 by roughly 12^1.1 ≈ 15×.
+	hot, mid := counts["zoo-00"], counts["zoo-11"]
+	if hot < 8*mid {
+		t.Fatalf("zipf skew too weak: hot %d vs mid %d", hot, mid)
+	}
+	// The tail still gets traffic.
+	if counts["zoo-23"] == 0 {
+		t.Fatal("tail model got no requests")
+	}
+}
+
+// TestZipfTraceByteStable: the many-models trace generator is
+// byte-identical across runs for a fixed seed — the serialized trace is
+// the reproducibility contract for the vram experiments.
+func TestZipfTraceByteStable(t *testing.T) {
+	var bufA, bufB bytes.Buffer
+	if err := WriteJSON(&bufA, MustGenerate(zipfSpec())); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&bufB, MustGenerate(zipfSpec())); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+		t.Fatal("zipf trace not byte-stable across generations")
+	}
+	// And a different seed actually changes the trace.
+	s := zipfSpec()
+	s.Seed++
+	var bufC bytes.Buffer
+	if err := WriteJSON(&bufC, MustGenerate(s)); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufA.Bytes(), bufC.Bytes()) {
+		t.Fatal("different seed produced an identical trace")
 	}
 }
