@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -24,6 +25,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/trace"
 	"paella/internal/vram"
 	"paella/internal/workload"
 )
@@ -43,6 +45,8 @@ func main() {
 		traceIn = flag.String("trace", "", "replay a JSON trace file instead of generating one")
 		vramMiB = flag.Int64("vram", 0, "device-memory budget for model weights in MiB (0 = unconstrained)")
 		zipf    = flag.Float64("zipf", 0, "zipfian model-popularity exponent (0 = uniform mix)")
+		trcOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+		trcCSV  = flag.String("trace-csv", "", "write the counter time-series as CSV")
 	)
 	flag.Parse()
 
@@ -87,24 +91,24 @@ func main() {
 		names[i] = m.Name
 	}
 
-	var trace []workload.Request
+	var reqs []workload.Request
 	var err error
 	if *traceIn != "" {
 		f, ferr := os.Open(*traceIn)
 		if ferr != nil {
 			fatal("%v", ferr)
 		}
-		trace, err = workload.ReadJSON(f)
+		reqs, err = workload.ReadJSON(f)
 		f.Close()
-		if err == nil && len(trace) > 0 {
-			*jobs = len(trace)
+		if err == nil && len(reqs) > 0 {
+			*jobs = len(reqs)
 		}
 	} else {
 		mix := workload.Uniform(names...)
 		if *zipf > 0 {
 			mix = workload.ZipfMix(names, *zipf)
 		}
-		trace, err = workload.Generate(workload.Spec{
+		reqs, err = workload.Generate(workload.Spec{
 			Mix:        mix,
 			Sigma:      *sigma,
 			RatePerSec: *rate,
@@ -116,18 +120,27 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	if len(trace) == 0 {
+	if len(reqs) == 0 {
 		fatal("empty trace")
 	}
-	opts.MaxSimTime = trace[len(trace)-1].At + 10*sim.Second
+	opts.MaxSimTime = reqs[len(reqs)-1].At + 10*sim.Second
 
+	if *trcOut != "" || *trcCSV != "" {
+		opts.Trace = trace.New()
+	}
 	sys, err := serving.NewSystem(*system)
 	if err != nil {
 		fatal("%v", err)
 	}
-	col, err := serving.RunTrace(sys, trace, opts)
+	col, err := serving.RunTrace(sys, reqs, opts)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *trcOut != "" {
+		writeTrace(*trcOut, opts.Trace.WriteChromeTrace)
+	}
+	if *trcCSV != "" {
+		writeTrace(*trcCSV, opts.Trace.WriteCSV)
 	}
 
 	if *asJSON {
@@ -155,6 +168,20 @@ func main() {
 			fmt.Printf("  %-16s n=%-5d p50=%-12v p99=%-12v mean=%v\n",
 				name, sub.Len(), sub.P50(), sub.P99(), sub.MeanJCT())
 		}
+	}
+}
+
+func writeTrace(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
 	}
 }
 

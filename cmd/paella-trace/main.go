@@ -5,12 +5,15 @@
 //
 //	paella-trace workload -rate 200 -jobs 20 -sigma 2       # print a trace
 //	paella-trace gpu -system Paella -jobs 6                 # render SM timeline
+//	paella-trace timeline -system Paella -jobs 50           # counter telemetry
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"paella/internal/compiler"
 	"paella/internal/core"
@@ -18,7 +21,10 @@ import (
 	"paella/internal/gpu"
 	"paella/internal/model"
 	"paella/internal/sched"
+	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/trace"
+	"paella/internal/vram"
 	"paella/internal/workload"
 )
 
@@ -31,13 +37,15 @@ func main() {
 		workloadCmd(os.Args[2:])
 	case "gpu":
 		gpuCmd(os.Args[2:])
+	case "timeline":
+		timelineCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paella-trace workload|gpu [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paella-trace workload|gpu|timeline [flags]")
 	os.Exit(2)
 }
 
@@ -82,6 +90,153 @@ func workloadCmd(args []string) {
 		fmt.Printf("%-14v %-16s %d\n", r.At, r.Model, r.Client)
 	}
 	fmt.Printf("\nobserved rate: %.1f req/s\n", workload.ObservedRate(trace))
+}
+
+// timelineCmd runs a serving system with the structured tracing recorder
+// attached and reports the counter telemetry it collected: every sampled
+// series with its extremes and time-weighted mean, an optional ASCII
+// rendering of one series, and optional Chrome-trace / CSV exports.
+func timelineCmd(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	system := fs.String("system", "Paella", "serving system (see Table 3)")
+	models := fs.String("models", "resnet18", "comma-separated zoo models")
+	rate := fs.Float64("rate", 300, "offered load (req/s)")
+	jobs := fs.Int("jobs", 50, "number of requests")
+	sigma := fs.Float64("sigma", 2, "lognormal inter-arrival shape")
+	clients := fs.Int("clients", 4, "clients")
+	seed := fs.Int64("seed", 1, "workload seed")
+	vramMiB := fs.Int64("vram", 0, "device-memory budget in MiB (0 = unconstrained)")
+	series := fs.String("series", "", "render one series as ASCII (fully-qualified process/counter/series key)")
+	width := fs.Int("width", 72, "ASCII rendering width in buckets")
+	out := fs.String("out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	csv := fs.String("csv", "", "write the counter time-series as CSV")
+	fs.Parse(args)
+
+	opts := serving.DefaultOptions()
+	opts.Models = nil
+	for _, name := range strings.Split(*models, ",") {
+		m, err := model.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal("%v", err)
+		}
+		opts.Models = append(opts.Models, m)
+	}
+	if *vramMiB > 0 {
+		opts.VRAM = &vram.Config{CapacityBytes: *vramMiB << 20}
+	}
+	names := make([]string, len(opts.Models))
+	for i, m := range opts.Models {
+		names[i] = m.Name
+	}
+	reqs, err := workload.Generate(workload.Spec{
+		Mix:        workload.Uniform(names...),
+		Sigma:      *sigma,
+		RatePerSec: *rate,
+		Jobs:       *jobs,
+		Clients:    *clients,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	opts.MaxSimTime = reqs[len(reqs)-1].At + 10*sim.Second
+	opts.Trace = trace.New()
+
+	sys, err := serving.NewSystem(*system)
+	if err != nil {
+		fatal("%v", err)
+	}
+	col, err := serving.RunTrace(sys, reqs, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	rec := opts.Trace
+	until := rec.MaxTime()
+	spans, asyncs, instants, samples := rec.Counts()
+	fmt.Printf("system   : %s (%d jobs, %d completed)\n", *system, *jobs, col.Len())
+	fmt.Printf("trace    : %d events (%d spans, %d job phases, %d instants, %d samples) over %v\n",
+		rec.Len(), spans, asyncs, instants, samples, until)
+	fmt.Printf("\n%-44s %8s %10s %10s %10s\n", "series", "samples", "min", "max", "mean")
+	for _, ts := range rec.AllSeries() {
+		fmt.Printf("%-44s %8d %10.4g %10.4g %10.4g\n",
+			ts.Key(), len(ts.Points), ts.Min(), ts.Max(), ts.TimeWeightedMean(until))
+	}
+	if *series != "" {
+		parts := strings.SplitN(*series, "/", 3)
+		if len(parts) != 3 {
+			fatal("bad -series %q: want process/counter/series", *series)
+		}
+		ts := rec.Series(parts[0], parts[1], parts[2])
+		if ts == nil {
+			fatal("series %q has no samples", *series)
+		}
+		fmt.Printf("\n%s:\n%s", ts.Key(), renderSeries(ts, until, *width))
+	}
+	if *out != "" {
+		writeTo(*out, rec.WriteChromeTrace)
+		fmt.Printf("\nwrote Chrome trace to %s (open in ui.perfetto.dev)\n", *out)
+	}
+	if *csv != "" {
+		writeTo(*csv, rec.WriteCSV)
+		fmt.Printf("wrote counter CSV to %s\n", *csv)
+	}
+}
+
+// renderSeries draws the step function as a bar chart: time bucketed into
+// width columns, each column the series value at the bucket's start scaled
+// to an 8-row vertical resolution.
+func renderSeries(ts *trace.TimeSeries, until sim.Time, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	max := ts.Max()
+	if max <= 0 {
+		max = 1
+	}
+	const rows = 8
+	levels := make([]int, width)
+	for i := range levels {
+		t := sim.Time(float64(until) * float64(i) / float64(width))
+		levels[i] = int(ts.ValueAt(t) / max * rows)
+	}
+	var b strings.Builder
+	for row := rows; row >= 1; row-- {
+		if row == rows {
+			fmt.Fprintf(&b, "%10.4g |", max)
+		} else {
+			b.WriteString("           |")
+		}
+		for _, lv := range levels {
+			if lv >= row {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "0", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  0%*v\n", "", width-1, until)
+	return b.String()
+}
+
+func writeTo(path string, write func(w io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fatal("%v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }
 
 func gpuCmd(args []string) {

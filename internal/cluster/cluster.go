@@ -17,6 +17,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/trace"
 	"paella/internal/vram"
 )
 
@@ -185,6 +186,11 @@ type Cluster struct {
 	// maintained at the balancer, where the routing decision is made
 	// (backend admission counters lag by the channel latency).
 	inflight []int
+
+	// rec is the structured tracing recorder (nil = disabled); routing
+	// decisions are instants on routeTrack.
+	rec        *trace.Recorder
+	routeTrack trace.TrackID
 }
 
 // New builds a cluster with one dispatcher per device configuration
@@ -205,6 +211,10 @@ func NewWithConfig(env *sim.Env, devs []gpu.Config, mkCfg func(i int, dev gpu.Co
 		return nil, fmt.Errorf("cluster: no devices")
 	}
 	c := &Cluster{env: env, balancer: b, inflight: make([]int, len(devs))}
+	if rec := trace.FromEnv(env); rec != nil {
+		c.rec = rec
+		c.routeTrack = rec.Thread(rec.Process("cluster"), "route")
+	}
 	for i, dev := range devs {
 		d := core.NewWithDevice(env, dev, mkCfg(i, dev))
 		d.Start()
@@ -277,6 +287,13 @@ func (cn *Conn) Submit(req core.Request) int {
 	g := c.balancer.Pick(req.Model, c.views)
 	if g < 0 || g >= len(cn.conns) {
 		panic(fmt.Sprintf("cluster: balancer %q picked GPU %d of %d", c.balancer.Name(), g, len(cn.conns)))
+	}
+	if c.rec != nil {
+		c.rec.InstantArgs(c.routeTrack, req.Model, "route", c.env.Now(),
+			trace.Int("gpu", int64(g)),
+			trace.Str("balancer", c.balancer.Name()),
+			trace.Bool("warm", c.views[g].Warm),
+			trace.Bool("loading", c.views[g].Loading))
 	}
 	req.Client = cn.conns[g].ID
 	if !cn.conns[g].Submit(req) {

@@ -33,6 +33,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/trace"
 	"paella/internal/vram"
 )
 
@@ -241,6 +242,19 @@ type Dispatcher struct {
 
 	collector *metrics.Collector
 	stats     Stats
+
+	// rec is the structured tracing recorder (nil = disabled). Job
+	// lifecycle phases are emitted as async spans keyed by request id under
+	// traceProc; admissions and scheduling decisions are instants on their
+	// own tracks; readyC/inflightC/liveC are the dispatcher's load
+	// counters.
+	rec        *trace.Recorder
+	traceProc  trace.ProcID
+	admitTrack trace.TrackID
+	schedTrack trace.TrackID
+	readyC     trace.CounterID
+	inflightC  trace.CounterID
+	liveC      trace.CounterID
 }
 
 // loadState is one model's cold-start bookkeeping: the jobs waiting for
@@ -286,10 +300,22 @@ func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) 
 		collector: metrics.NewCollector(),
 	}
 	d.mirror = newMirror(dev.Config(), cfg.OvershootBlocks)
+	if rec := trace.FromEnv(env); rec != nil {
+		d.rec = rec
+		d.traceProc = rec.Process("dispatcher")
+		d.admitTrack = rec.Thread(d.traceProc, "admit")
+		d.schedTrack = rec.Thread(d.traceProc, "sched")
+		d.readyC = rec.Counter(d.traceProc, "ready jobs")
+		d.inflightC = rec.Counter(d.traceProc, "inflight kernels")
+		d.liveC = rec.Counter(d.traceProc, "live jobs")
+	}
 	if cfg.VRAM != nil {
 		d.vramMgr = vram.MustNewManager(*cfg.VRAM)
 		d.pcie = cudart.NewPCIeLink(env, cfg.MemcpyLatency, cfg.PCIeBytesPerNs)
 		d.loads = make(map[string]*loadState)
+		if d.rec != nil {
+			d.vramMgr.AttachTrace(d.rec, d.traceProc)
+		}
 	}
 	// The ablation modes drive the device through an unhooked CUDA
 	// runtime; dispatch costs are charged by the dispatcher loop, so the
@@ -419,6 +445,21 @@ func (d *Dispatcher) charge(p *sim.Proc, cost sim.Time) {
 	}
 	d.stats.BusyNs += cost
 	p.Sleep(cost)
+}
+
+// traceCounters samples the dispatcher's load counters (live jobs,
+// in-flight kernels, policy ready-queue length). Change-deduplication in
+// the recorder keeps repeated calls cheap.
+func (d *Dispatcher) traceCounters() {
+	if d.rec == nil {
+		return
+	}
+	now := d.env.Now()
+	d.rec.Sample(d.liveC, "value", now, float64(d.stats.Admitted-d.stats.Completed))
+	d.rec.Sample(d.inflightC, "value", now, float64(len(d.inflight)))
+	if d.cfg.Policy != nil {
+		d.rec.Sample(d.readyC, "value", now, float64(d.cfg.Policy.Len()))
+	}
 }
 
 // loop is the dispatcher's single-core main loop: poll client rings

@@ -11,6 +11,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/trace"
 	"paella/internal/vram"
 )
 
@@ -135,6 +136,11 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 		},
 	}
 	d.stats.Admitted++
+	if d.rec != nil {
+		d.rec.InstantArgs(d.admitTrack, req.Model, "admit", now,
+			trace.Int("id", int64(req.ID)), trace.Int("client", int64(req.Client)))
+		d.traceCounters()
+	}
 	switch d.cfg.Mode {
 	case ModeGated:
 		j.entry = sched.JobEntry{
@@ -181,6 +187,12 @@ func (d *Dispatcher) pinWeights(j *Job) {
 	if d.vramMgr.Resident(name) {
 		j.entry.Warm = true
 		return
+	}
+	if d.rec != nil {
+		// Cold-start begin, attributed to the job that triggered (or joined)
+		// the load.
+		d.rec.InstantArgs(d.schedTrack, name, "cold-start", now,
+			trace.Int("job", int64(j.Req.ID)))
 	}
 	ls := d.loads[name]
 	if ls == nil {
@@ -314,6 +326,14 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 	d.inflight[kid] = &inflightKernel{job: j, spec: spec, op: wlop}
 	d.mirror.Reserve(spec)
 	d.stats.KernelsSent++
+	if d.rec != nil {
+		d.rec.InstantArgs(d.schedTrack, spec.Name, "dispatch", d.env.Now(),
+			trace.Int("job", int64(j.Req.ID)),
+			trace.Int("kernel_id", int64(kid)),
+			trace.Str("policy", d.cfg.Policy.Name()),
+			trace.Str("reason", d.dispatchReason(&j.entry)))
+		d.traceCounters()
+	}
 	// The launch is always Ready: the dispatcher already enforced its
 	// dependencies. Virtual streams bind to hardware queues round-robin at
 	// launch time (§5.2's stream replacement).
@@ -328,6 +348,32 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 		// Another stream of this job may expose a further active kernel.
 		j.wl.reconcilePolicy()
 	}
+}
+
+// dispatchReason explains why the policy picked this entry — the sort key
+// the decision turned on, plus the entry's residency temperature when
+// device memory is constrained. This is the paper's "arbitrary scheduling
+// policy" made auditable: every release carries its tiebreak.
+func (d *Dispatcher) dispatchReason(e *sched.JobEntry) string {
+	var r string
+	switch d.cfg.Policy.Name() {
+	case "SJF":
+		r = "total=" + e.Total.String()
+	case "FIFO":
+		r = "arrival=" + e.Arrival.String()
+	case "EDF":
+		r = "deadline=" + e.Deadline.String()
+	default:
+		r = "remaining=" + e.Remaining.String()
+	}
+	if d.vramMgr != nil {
+		if e.Warm {
+			r += " warm"
+		} else {
+			r += " cold"
+		}
+	}
+	return r
 }
 
 // applyNotif folds one instrumented notification into the occupancy mirror
@@ -361,6 +407,7 @@ func (d *Dispatcher) applyNotif(n channel.Notification) {
 			} else {
 				d.opDone(fl.job)
 			}
+			d.traceCounters()
 		}
 	default:
 		panic("core: invalid notification type")
@@ -438,11 +485,37 @@ func (d *Dispatcher) finish(j *Job) {
 		d.vramMgr.Unpin(j.Req.Model, now)
 		d.retryPendingLoads()
 	}
+	if d.rec != nil {
+		d.traceJob(&j.rec)
+		d.traceCounters()
+	}
 	d.collector.Add(j.rec)
 	d.ringBell(j) // ensure the bell rang even for degenerate op lists
 	if cb := j.conn.OnComplete; cb != nil {
 		id := j.Req.ID
 		d.env.After(d.cfg.ShmLatency, func() { cb(id) })
+	}
+}
+
+// traceJob emits the finished job's lifecycle as async spans grouped by
+// request id — Perfetto renders each job as one timeline row with its
+// queued→load→pending→exec→deliver phases laid end to end.
+func (d *Dispatcher) traceJob(r *metrics.JobRecord) {
+	d.rec.AsyncArgs(d.traceProc, r.ID, "queued", "job", r.Submit, r.Admit,
+		trace.Str("model", r.Model), trace.Int("client", int64(r.Client)),
+		trace.Bool("cancelled", r.Cancelled), trace.Bool("cold", r.ColdStart))
+	if r.ColdStart && r.LoadNs > 0 {
+		d.rec.Async(d.traceProc, r.ID, "load", "job", r.Admit, r.Admit+r.LoadNs)
+	}
+	fd := r.FirstDispatch
+	if fd > r.Admit {
+		d.rec.Async(d.traceProc, r.ID, "pending", "job", r.Admit, fd)
+	}
+	if fd > 0 && r.ExecDone > fd {
+		d.rec.Async(d.traceProc, r.ID, "exec", "job", fd, r.ExecDone)
+	}
+	if r.Delivered > r.ExecDone {
+		d.rec.Async(d.traceProc, r.ID, "deliver", "job", r.ExecDone, r.Delivered)
 	}
 }
 

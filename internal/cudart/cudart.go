@@ -24,9 +24,11 @@ package cudart
 
 import (
 	"fmt"
+	"strconv"
 
 	"paella/internal/gpu"
 	"paella/internal/sim"
+	"paella/internal/trace"
 )
 
 // MemcpyKind distinguishes transfer directions.
@@ -117,6 +119,12 @@ type Context struct {
 	cbQueue      []func() // serialized callback executor queue
 	cbRunning    bool
 	stats        ContextStats
+
+	// rec is the structured tracing recorder (nil = disabled); stream
+	// tracks are registered lazily as streams first emit.
+	rec          *trace.Recorder
+	traceProc    trace.ProcID
+	streamTracks []trace.TrackID
 }
 
 // ContextStats counts runtime activity.
@@ -131,8 +139,22 @@ type ContextStats struct {
 // exists from the start.
 func NewContext(env *sim.Env, dev *gpu.Device, cfg Config) *Context {
 	c := &Context{env: env, dev: dev, cfg: cfg}
+	if rec := trace.FromEnv(env); rec != nil {
+		c.rec = rec
+		c.traceProc = rec.Process("cudart")
+	}
 	c.streams = append(c.streams, newStream(c, 0))
 	return c
+}
+
+// streamTrack returns (registering lazily) the timeline track of stream
+// id. Callers guard on c.rec != nil.
+func (c *Context) streamTrack(id int) trace.TrackID {
+	for len(c.streamTracks) <= id {
+		c.streamTracks = append(c.streamTracks,
+			c.rec.Thread(c.traceProc, "stream "+strconv.Itoa(len(c.streamTracks))))
+	}
+	return c.streamTracks[id]
 }
 
 // SetHook installs (or clears, with nil) the interception layer. Installing

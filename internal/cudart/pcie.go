@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"paella/internal/sim"
+	"paella/internal/trace"
 )
 
 // PCIeLink arbitrates a device's DMA copy engines: one engine per transfer
@@ -28,7 +29,17 @@ type PCIeLink struct {
 	busyUntil [3]sim.Time
 
 	stats LinkStats
+
+	// rec is the structured tracing recorder (nil = disabled); each DMA
+	// engine gets its own timeline track, and backlog carries the
+	// per-direction queue-depth-in-time series.
+	rec       *trace.Recorder
+	engTracks [3]trace.TrackID
+	backlog   trace.CounterID
 }
+
+// engSeries names the per-direction backlog series, indexed by MemcpyKind.
+var engSeries = [3]string{"h2d", "d2h", "d2d"}
 
 // LinkStats counts link activity.
 type LinkStats struct {
@@ -48,7 +59,16 @@ func NewPCIeLink(env *sim.Env, latency sim.Time, bytesPerNs float64) *PCIeLink {
 	if bytesPerNs <= 0 {
 		panic(fmt.Sprintf("cudart: PCIe bandwidth %f bytes/ns", bytesPerNs))
 	}
-	return &PCIeLink{env: env, latency: latency, bytesPerNs: bytesPerNs}
+	l := &PCIeLink{env: env, latency: latency, bytesPerNs: bytesPerNs}
+	if rec := trace.FromEnv(env); rec != nil {
+		l.rec = rec
+		proc := rec.Process("PCIe")
+		l.engTracks[HostToDevice] = rec.Thread(proc, "H2D")
+		l.engTracks[DeviceToHost] = rec.Thread(proc, "D2H")
+		l.engTracks[DeviceToDevice] = rec.Thread(proc, "D2D")
+		l.backlog = rec.Counter(proc, "engine backlog ns")
+	}
+	return l
 }
 
 // Duration returns the uncontended wire time of one transfer.
@@ -79,6 +99,15 @@ func (l *PCIeLink) Transfer(kind MemcpyKind, bytes int, done func()) {
 	l.stats.Bytes += int64(bytes)
 	l.stats.QueuedNs += start - now
 	l.stats.BusyNs += dur
+	if l.rec != nil {
+		// The wire-occupancy interval on the engine's track (transfers of
+		// one direction never overlap — the engine is FIFO), plus the
+		// engine's backlog at enqueue time.
+		l.rec.SpanArgs(l.engTracks[engine], "dma", "pcie", start, start+dur,
+			trace.Str("dir", kind.String()), trace.Int("bytes", int64(bytes)),
+			trace.Dur("queued_ns", start-now))
+		l.rec.Sample(l.backlog, engSeries[engine], now, float64(l.busyUntil[engine]-now))
+	}
 	l.env.At(start+dur, done)
 }
 

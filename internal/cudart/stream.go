@@ -5,6 +5,7 @@ import (
 
 	"paella/internal/gpu"
 	"paella/internal/sim"
+	"paella/internal/trace"
 )
 
 type opKind int
@@ -199,6 +200,17 @@ func (s *Stream) LaunchKernelAsync(spec *gpu.KernelSpec, opts LaunchOpts) {
 	}
 	l.Ready = o.ready
 	l.OnComplete = o.finish
+	if rec := s.ctx.rec; rec != nil {
+		// Issue→completion span on the virtual stream's track: the host's
+		// view of the kernel, including hardware-queue wait.
+		issued := s.ctx.env.Now()
+		tr := s.ctx.streamTrack(s.id)
+		l.OnComplete = func() {
+			rec.SpanArgs(tr, spec.Name, "stream-kernel", issued, s.ctx.env.Now(),
+				trace.Str("job", opts.JobTag), trace.Int("kernel_id", int64(id)))
+			o.finish()
+		}
+	}
 	o.launch = l
 	s.push(o)
 	s.ctx.dev.Submit(s.hwQueue(), l)
@@ -272,7 +284,14 @@ func (s *Stream) advance() {
 		case opMemcpy:
 			if !o.started {
 				o.started = true
-				s.ctx.env.After(s.ctx.memcpyDuration(o.bytes), o.finish)
+				dur := s.ctx.memcpyDuration(o.bytes)
+				if rec := s.ctx.rec; rec != nil {
+					now := s.ctx.env.Now()
+					rec.SpanArgs(s.ctx.streamTrack(s.id), "memcpy", "stream-memcpy",
+						now, now+dur,
+						trace.Str("dir", o.direction.String()), trace.Int("bytes", int64(o.bytes)))
+				}
+				s.ctx.env.After(dur, o.finish)
 			}
 			return
 		case opCallback:

@@ -2,9 +2,11 @@ package gpu
 
 import (
 	"fmt"
+	"strconv"
 
 	"paella/internal/channel"
 	"paella/internal/sim"
+	"paella/internal/trace"
 )
 
 // smState tracks the resources currently in use on one SM.
@@ -87,6 +89,18 @@ type Device struct {
 	stats        Stats
 	lastUtilAt   sim.Time
 	threadsInUse int
+
+	// rec is the structured tracing recorder picked up from the Env at
+	// construction (nil when tracing is disabled; every emission site is
+	// guarded so the nil path costs nothing). smTracks/qTracks are the
+	// per-SM and per-hardware-queue timeline tracks; smCounters carries the
+	// occupancy series of each SM, qDepth the depth series of each queue.
+	rec        *trace.Recorder
+	smTracks   []trace.TrackID
+	qTracks    []trace.TrackID
+	smCounters []trace.CounterID
+	qDepth     trace.CounterID
+	qSeries    []string
 	// onNotifPosted, if set, runs (once per batch) after notifications are
 	// posted to notifQ — the dispatcher uses it as its wakeup hook instead
 	// of continuous polling, with the poll interval modelled separately.
@@ -105,7 +119,42 @@ func NewDevice(env *sim.Env, cfg Config, notifQ *channel.NotifQueue) *Device {
 		queues: make([]hwQueue, nq),
 		notifQ: notifQ,
 	}
+	if rec := trace.FromEnv(env); rec != nil {
+		d.rec = rec
+		proc := rec.Process("GPU " + cfg.Name)
+		d.smTracks = make([]trace.TrackID, cfg.NumSMs)
+		d.smCounters = make([]trace.CounterID, cfg.NumSMs)
+		for i := range d.smTracks {
+			d.smTracks[i] = rec.Thread(proc, "SM "+strconv.Itoa(i))
+			d.smCounters[i] = rec.Counter(proc, "sm"+strconv.Itoa(i)+" occupancy")
+		}
+		d.qTracks = make([]trace.TrackID, nq)
+		d.qSeries = make([]string, nq)
+		for i := range d.qTracks {
+			d.qTracks[i] = rec.Thread(proc, "HWQ "+strconv.Itoa(i))
+			d.qSeries[i] = "q" + strconv.Itoa(i)
+		}
+		d.qDepth = rec.Counter(proc, "hwq depth")
+	}
 	return d
+}
+
+// traceSM samples SM i's occupancy counters (blocks/threads/regs/smem).
+// Callers guard on d.rec != nil.
+func (d *Device) traceSM(i int) {
+	sm := &d.sms[i]
+	now := d.env.Now()
+	c := d.smCounters[i]
+	d.rec.Sample(c, "blocks", now, float64(sm.blocks))
+	d.rec.Sample(c, "threads", now, float64(sm.threads))
+	d.rec.Sample(c, "regs", now, float64(sm.regs))
+	d.rec.Sample(c, "smem", now, float64(sm.shmem))
+}
+
+// traceQueueDepth samples hardware queue q's depth. Callers guard on
+// d.rec != nil.
+func (d *Device) traceQueueDepth(q int) {
+	d.rec.Sample(d.qDepth, d.qSeries[q], d.env.Now(), float64(d.queues[q].depth()))
 }
 
 // Config returns the device configuration.
@@ -195,6 +244,9 @@ func (d *Device) Submit(q int, l *Launch) {
 	enqueue := func() {
 		l.queuedAt = d.env.Now()
 		d.queues[q].push(l)
+		if d.rec != nil {
+			d.traceQueueDepth(q)
+		}
 		d.kick()
 	}
 	if d.cfg.LaunchOverhead > 0 {
@@ -238,6 +290,10 @@ func (d *Device) schedulePass() {
 				// behind it, that is head-of-line blocking.
 				if q.depth() > 1 {
 					d.stats.HoLBlockedKernels++
+					if d.rec != nil {
+						d.rec.InstantArgs(d.qTracks[qi], "hol-blocked", "sched", d.env.Now(),
+							trace.Str("head", head.Spec.Name), trace.Int("behind", int64(q.depth()-1)))
+					}
 				}
 				continue
 			}
@@ -251,6 +307,14 @@ func (d *Device) schedulePass() {
 				head.state = LaunchRunning
 				head.placedAt = d.env.Now()
 				q.popHead()
+				if d.rec != nil {
+					// The launch's residence in the hardware queue, from
+					// enqueue to full placement.
+					d.rec.SpanArgs(d.qTracks[qi], head.Spec.Name, "hwqueue",
+						head.queuedAt, d.env.Now(),
+						trace.Str("job", head.JobTag), trace.Int("kernel_id", int64(head.KernelID)))
+					d.traceQueueDepth(qi)
+				}
 				if head.OnAllPlaced != nil {
 					fn := head.OnAllPlaced
 					d.env.After(0, fn)
@@ -268,13 +332,23 @@ func (d *Device) schedulePass() {
 // placeBlocks places as many blocks of l as currently fit, spreading them
 // across SMs round-robin. It returns the number placed and schedules their
 // completions and notifications.
+// smPlacement counts the blocks placed on one SM during a wave, in
+// first-placement order. A slice (not a map) so that the completion and
+// notification events below are scheduled in a deterministic order —
+// map iteration would randomize same-instant event ordering run to run,
+// which both perturbs the simulation subtly and makes trace output
+// irreproducible.
+type smPlacement struct {
+	sm, n int
+}
+
 func (d *Device) placeBlocks(l *Launch) int {
 	_, th, rg, sh := l.Spec.BlockCost()
 	totalPlaced := 0
 	nsm := len(d.sms)
-	// perSM[i] counts blocks placed on SM i in this wave so completions and
+	// perSM counts blocks placed per SM in this wave so completions and
 	// notifications can be chunked per SM.
-	var perSM map[int]int
+	var perSM []smPlacement
 	for l.toPlace > 0 {
 		placedThisRound := false
 		for i := 0; i < nsm && l.toPlace > 0; i++ {
@@ -295,10 +369,18 @@ func (d *Device) placeBlocks(l *Launch) int {
 			l.toPlace--
 			l.state = LaunchPlacing
 			d.stats.BlocksPlaced++
-			if perSM == nil {
-				perSM = make(map[int]int, 4)
+			pi := -1
+			for k := range perSM {
+				if perSM[k].sm == smi {
+					pi = k
+					break
+				}
 			}
-			perSM[smi]++
+			if pi < 0 {
+				perSM = append(perSM, smPlacement{sm: smi})
+				pi = len(perSM) - 1
+			}
+			perSM[pi].n++
 			totalPlaced++
 			placedThisRound = true
 		}
@@ -311,10 +393,17 @@ func (d *Device) placeBlocks(l *Launch) int {
 		return 0
 	}
 	now := d.env.Now()
-	for smi, n := range perSM {
-		smi, n := smi, n
+	for _, pl := range perSM {
+		smi, n := pl.sm, pl.n
 		if d.trace != nil {
 			d.trace.add(segment{SM: smi, Kernel: l.Spec.Name, Job: l.JobTag, KernelID: l.KernelID, Blocks: n, Start: now, End: now + l.Spec.BlockDuration})
+		}
+		if d.rec != nil {
+			d.rec.SpanArgs(d.smTracks[smi], l.Spec.Name, "kernel",
+				now, now+l.Spec.BlockDuration,
+				trace.Str("job", l.JobTag), trace.Int("kernel_id", int64(l.KernelID)),
+				trace.Int("blocks", int64(n)))
+			d.traceSM(smi)
 		}
 		d.emitNotifs(l, channel.Placement, uint8(smi), n)
 		d.env.After(l.Spec.BlockDuration, func() {
@@ -337,6 +426,9 @@ func (d *Device) completeBlocks(l *Launch, smi, n int) {
 	d.threadsInUse -= n * th
 	if sm.blocks < 0 || sm.threads < 0 || sm.regs < 0 || sm.shmem < 0 {
 		panic("gpu: SM resource accounting went negative")
+	}
+	if d.rec != nil {
+		d.traceSM(smi)
 	}
 	l.toFinish -= n
 	d.stats.BlocksCompleted += uint64(n)

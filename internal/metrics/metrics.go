@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"paella/internal/sim"
@@ -51,9 +52,16 @@ type JobRecord struct {
 func (r *JobRecord) JCT() sim.Time { return r.Delivered - r.Submit }
 
 // CommNs returns the pure communication latency: submit→admit plus
-// completion→delivery.
+// completion→delivery, net of framework processing. Clamped at zero — a
+// system whose framework time covers the whole channel crossing (e.g. RPC
+// serialization measured end to end) has no residual communication cost,
+// not a negative one.
 func (r *JobRecord) CommNs() sim.Time {
-	return (r.Admit - r.Submit) + (r.Delivered - r.ExecDone) - r.FrameworkNs
+	c := (r.Admit - r.Submit) + (r.Delivered - r.ExecDone) - r.FrameworkNs
+	if c < 0 {
+		return 0
+	}
+	return c
 }
 
 // Collector accumulates job records for one run.
@@ -174,21 +182,26 @@ func (c *Collector) Goodput(deadline sim.Time) float64 {
 }
 
 // Percentile returns the p-th percentile (0 < p ≤ 100) of ds using
-// nearest-rank; zero for empty input.
+// nearest-rank (rank = ⌈p/100·n⌉); zero for empty input. The rank is
+// computed in integer arithmetic — p is taken at millesimal precision
+// (0.001 of a percentile point), which keeps the ceiling exact where a
+// float epsilon hack misclassifies boundary cases.
 func Percentile(ds []sim.Time, p float64) sim.Time {
 	if len(ds) == 0 {
 		return 0
 	}
 	sorted := append([]sim.Time(nil), ds...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	rank := int(p/100*float64(len(sorted))+0.999999) - 1
-	if rank < 0 {
-		rank = 0
+	n := int64(len(sorted))
+	pm := int64(math.Round(p * 1000)) // millesimal percentile points
+	rank := (pm*n + 99999) / 100000   // ⌈pm·n/100000⌉
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }
 
 // Mean returns the arithmetic mean of ds (zero for empty input).

@@ -34,6 +34,29 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileBoundaries(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want sim.Time // with input 1..n, nearest-rank = ⌈p/100·n⌉
+	}{
+		{1, 1, 1}, {1, 50, 1}, {1, 99, 1}, {1, 100, 1},
+		{2, 50, 1}, {2, 50.001, 2}, {2, 99, 2},
+		{10, 50, 5}, {10, 90, 9}, {10, 91, 10}, {10, 100, 10},
+		{100, 1, 1}, {100, 99, 99}, {100, 99.5, 100},
+		{1000, 99.9, 999}, {1000, 99.91, 1000},
+	}
+	for _, c := range cases {
+		ds := make([]sim.Time, c.n)
+		for i := range ds {
+			ds[i] = sim.Time(i + 1)
+		}
+		if got := Percentile(ds, c.p); got != c.want {
+			t.Errorf("Percentile(n=%d, p=%v) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	ds := []sim.Time{5, 1, 3}
 	Percentile(ds, 50)
@@ -122,6 +145,32 @@ func TestJCTAndComm(t *testing.T) {
 	}
 	if r.CommNs() != 20 {
 		t.Fatalf("CommNs = %v", r.CommNs())
+	}
+}
+
+func TestCommNsClampsAtZero(t *testing.T) {
+	// Framework time exceeding the channel crossings (an RPC stack whose
+	// measured processing covers serialization end to end) must not yield a
+	// negative communication latency.
+	r := JobRecord{
+		Submit: 100, Admit: 110, ExecDone: 200, Delivered: 215, FrameworkNs: 50,
+	}
+	if got := r.CommNs(); got != 0 {
+		t.Fatalf("CommNs = %v, want 0", got)
+	}
+}
+
+func TestThroughputZeroSpan(t *testing.T) {
+	// All jobs submitted and delivered at the same instant: no span to
+	// divide by, so throughput reports zero instead of +Inf.
+	c := NewCollector()
+	c.Add(rec(5, 5))
+	c.Add(rec(5, 5))
+	if got := c.Throughput(); got != 0 {
+		t.Fatalf("zero-span Throughput = %f, want 0", got)
+	}
+	if got := c.Goodput(sim.Second); got != 0 {
+		t.Fatalf("zero-span Goodput = %f, want 0", got)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sim"
+	"paella/internal/trace"
 	"paella/internal/vram"
 	"paella/internal/workload"
 )
@@ -47,6 +48,12 @@ type Options struct {
 	// (internal/vram). Nil models unconstrained memory, the historical
 	// behaviour. Only the gated Paella variants consume it.
 	VRAM *vram.Config
+	// Trace, when non-nil, attaches a structured tracing recorder to the
+	// run: every layer (GPU, CUDA runtime, dispatcher, VRAM manager) emits
+	// spans, instants, and counter samples into it. Nil (the default)
+	// disables tracing with zero overhead and bit-identical simulation
+	// behaviour.
+	Trace *trace.Recorder
 }
 
 // DefaultOptions returns a T4 setup with the full Table 2 zoo.
@@ -85,6 +92,9 @@ func RunTrace(sys System, trace []workload.Request, opts Options) (*metrics.Coll
 		}
 	}
 	env := sim.NewEnv()
+	if opts.Trace != nil {
+		env.SetRecorder(opts.Trace)
+	}
 	if err := sys.Setup(env, opts, numClients); err != nil {
 		return nil, err
 	}

@@ -85,7 +85,20 @@ type Env struct {
 	// surfaces on the main (test) goroutine instead of being lost.
 	procPanic any
 	hasPanic  bool
+	// recorder is an optional tracing recorder attached to the run. It is
+	// stored as any so that sim stays import-free of higher layers;
+	// internal/trace.FromEnv performs the typed retrieval. A nil recorder
+	// means tracing is disabled and must cost nothing.
+	recorder any
 }
+
+// SetRecorder attaches an optional tracing recorder (see internal/trace) to
+// the environment. Components read it once at construction; attaching after
+// actors have been built has no effect on them.
+func (e *Env) SetRecorder(r any) { e.recorder = r }
+
+// Recorder returns the attached tracing recorder, or nil.
+func (e *Env) Recorder() any { return e.recorder }
 
 // NewEnv returns an environment with the clock at zero and no pending events.
 func NewEnv() *Env {

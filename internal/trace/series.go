@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"paella/internal/sim"
+)
+
+// WriteCSV dumps every counter sample as one CSV row, in emission order:
+//
+//	time_ns,process,counter,series,value
+//
+// The dump is the raw change-points of each series (a step function);
+// downstream tooling can resample or integrate as needed.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("time_ns,process,counter,series,value\n"); err != nil {
+		return err
+	}
+	if r != nil {
+		for i := range r.events {
+			e := &r.events[i]
+			if e.kind != evSample {
+				continue
+			}
+			ci := &r.counters[e.ctr-1]
+			bw.WriteString(strconv.FormatInt(int64(e.start), 10))
+			bw.WriteByte(',')
+			bw.WriteString(csvField(r.procs[ci.proc-1].name))
+			bw.WriteByte(',')
+			bw.WriteString(csvField(ci.name))
+			bw.WriteByte(',')
+			bw.WriteString(csvField(e.series))
+			bw.WriteByte(',')
+			bw.WriteString(formatValue(e.value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+// csvField quotes a field only when it needs it.
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// Point is one change-point of a counter series.
+type Point struct {
+	At    sim.Time
+	Value float64
+}
+
+// TimeSeries is the change-point history of one counter series: a step
+// function that holds each value until the next point.
+type TimeSeries struct {
+	// Process, Counter, Series name the source track;
+	// "process/counter/series" is the fully-qualified key.
+	Process string
+	Counter string
+	Series  string
+	Points  []Point
+}
+
+// Key returns the fully-qualified "process/counter/series" key.
+func (ts *TimeSeries) Key() string {
+	return ts.Process + "/" + ts.Counter + "/" + ts.Series
+}
+
+// ValueAt returns the series value at time t (zero before the first
+// point).
+func (ts *TimeSeries) ValueAt(t sim.Time) float64 {
+	v := 0.0
+	for _, p := range ts.Points {
+		if p.At > t {
+			break
+		}
+		v = p.Value
+	}
+	return v
+}
+
+// Min and Max return the extreme sampled values (zero for an empty
+// series).
+func (ts *TimeSeries) Min() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	m := ts.Points[0].Value
+	for _, p := range ts.Points[1:] {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Max returns the largest sampled value (zero for an empty series).
+func (ts *TimeSeries) Max() float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	m := ts.Points[0].Value
+	for _, p := range ts.Points[1:] {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// TimeWeightedMean integrates the step function from the first point to
+// until and divides by the span — the true time-average of the counter
+// (an unweighted mean of change-points would overweight busy periods).
+func (ts *TimeSeries) TimeWeightedMean(until sim.Time) float64 {
+	if len(ts.Points) == 0 {
+		return 0
+	}
+	start := ts.Points[0].At
+	if until <= start {
+		return ts.Points[0].Value
+	}
+	var area float64
+	for i, p := range ts.Points {
+		segEnd := until
+		if i+1 < len(ts.Points) && ts.Points[i+1].At < until {
+			segEnd = ts.Points[i+1].At
+		}
+		if segEnd > p.At {
+			area += p.Value * float64(segEnd-p.At)
+		}
+	}
+	return area / float64(until-start)
+}
+
+// Series returns the recorded time series for the fully-qualified
+// (process, counter, series) triple, or nil when it has no samples. When
+// several same-named processes exist (e.g. a cluster of identical GPUs),
+// the samples of all of them merge — disambiguate with distinct process
+// names if that matters.
+func (r *Recorder) Series(process, counter, series string) *TimeSeries {
+	if r == nil {
+		return nil
+	}
+	ts := &TimeSeries{Process: process, Counter: counter, Series: series}
+	for i := range r.events {
+		e := &r.events[i]
+		if e.kind != evSample || e.series != series {
+			continue
+		}
+		ci := &r.counters[e.ctr-1]
+		if ci.name != counter || r.procs[ci.proc-1].name != process {
+			continue
+		}
+		ts.Points = append(ts.Points, Point{At: e.start, Value: e.value})
+	}
+	if len(ts.Points) == 0 {
+		return nil
+	}
+	return ts
+}
+
+// AllSeries returns every sampled series, sorted by fully-qualified key.
+func (r *Recorder) AllSeries() []*TimeSeries {
+	if r == nil {
+		return nil
+	}
+	byKey := make(map[string]*TimeSeries)
+	var order []*TimeSeries
+	for i := range r.events {
+		e := &r.events[i]
+		if e.kind != evSample {
+			continue
+		}
+		k := r.seriesID(e.ctr, e.series)
+		ts := byKey[k]
+		if ts == nil {
+			ci := &r.counters[e.ctr-1]
+			ts = &TimeSeries{
+				Process: r.procs[ci.proc-1].name,
+				Counter: ci.name,
+				Series:  e.series,
+			}
+			byKey[k] = ts
+			order = append(order, ts)
+		}
+		ts.Points = append(ts.Points, Point{At: e.start, Value: e.value})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Key() < order[j].Key() })
+	return order
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"paella/internal/sim"
+	"paella/internal/trace"
 )
 
 // State is one residency state of a model's weights.
@@ -131,6 +132,34 @@ type Manager struct {
 	OnEvict func(name string)
 
 	stats Stats
+
+	// rec is the structured tracing recorder attached via AttachTrace (nil
+	// = disabled). The Manager owns no clock, so lastNow shadows the most
+	// recent virtual time passed to any mutator — eviction happens inside
+	// BeginLoad and is stamped with it.
+	rec     *trace.Recorder
+	evTrack trace.TrackID
+	usedC   trace.CounterID
+	lastNow sim.Time
+}
+
+// AttachTrace wires the manager's residency events (load begin/done,
+// evictions) and the bytes-resident counter into the recorder, under the
+// given process (normally the owning dispatcher's). A nil recorder is a
+// no-op.
+func (m *Manager) AttachTrace(rec *trace.Recorder, proc trace.ProcID) {
+	if rec == nil {
+		return
+	}
+	m.rec = rec
+	m.evTrack = rec.Thread(proc, "vram")
+	m.usedC = rec.Counter(proc, "vram used bytes")
+}
+
+// traceUsed samples the bytes held by loading/resident models. Callers
+// guard on m.rec != nil.
+func (m *Manager) traceUsed() {
+	m.rec.Sample(m.usedC, "value", m.lastNow, float64(int64(m.usedBlocks)*m.cfg.BlockBytes))
 }
 
 // NewManager builds a manager with the given capacity budget.
@@ -205,6 +234,7 @@ func (m *Manager) Pinned(name string) int { return m.get(name).pinned }
 // hit or a cold pin.
 func (m *Manager) Pin(name string, now sim.Time) {
 	e := m.get(name)
+	m.lastNow = now
 	e.pinned++
 	e.lastUsed = now
 	m.stats.Pins++
@@ -219,6 +249,7 @@ func (m *Manager) Pin(name string, now sim.Time) {
 // candidate, LRU by last use.
 func (m *Manager) Unpin(name string, now sim.Time) {
 	e := m.get(name)
+	m.lastNow = now
 	if e.pinned <= 0 {
 		panic(fmt.Sprintf("vram: unpin of unpinned model %q", name))
 	}
@@ -229,6 +260,7 @@ func (m *Manager) Unpin(name string, now sim.Time) {
 // Touch refreshes the model's LRU timestamp without pinning.
 func (m *Manager) Touch(name string, now sim.Time) {
 	e := m.get(name)
+	m.lastNow = now
 	if now > e.lastUsed {
 		e.lastUsed = now
 	}
@@ -241,6 +273,7 @@ func (m *Manager) Touch(name string, now sim.Time) {
 // the caller should retry after an Unpin.
 func (m *Manager) BeginLoad(name string, now sim.Time) error {
 	e := m.get(name)
+	m.lastNow = now
 	if e.state != Cold {
 		panic(fmt.Sprintf("vram: BeginLoad of %s model %q", e.state, name))
 	}
@@ -252,17 +285,25 @@ func (m *Manager) BeginLoad(name string, now sim.Time) error {
 	e.lastUsed = now
 	m.stats.Loads++
 	m.stats.BytesLoaded += e.bytes
+	if m.rec != nil {
+		m.rec.InstantArgs(m.evTrack, name, "vram-load-begin", now, trace.Int("bytes", e.bytes))
+		m.traceUsed()
+	}
 	return nil
 }
 
 // FinishLoad completes a load: loading → resident.
 func (m *Manager) FinishLoad(name string, now sim.Time) {
 	e := m.get(name)
+	m.lastNow = now
 	if e.state != Loading {
 		panic(fmt.Sprintf("vram: FinishLoad of %s model %q", e.state, name))
 	}
 	e.state = Resident
 	e.lastUsed = now
+	if m.rec != nil {
+		m.rec.Instant(m.evTrack, name, "vram-load-done", now)
+	}
 }
 
 // Evict drops an unpinned resident model's weights, freeing its blocks.
@@ -334,6 +375,10 @@ func (m *Manager) evict(e *entry) {
 	m.stats.BytesEvicted += e.bytes
 	if m.usedBlocks < 0 {
 		panic("vram: block accounting went negative")
+	}
+	if m.rec != nil {
+		m.rec.InstantArgs(m.evTrack, e.name, "vram-evict", m.lastNow, trace.Int("bytes", e.bytes))
+		m.traceUsed()
 	}
 }
 
