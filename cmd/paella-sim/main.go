@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"paella/internal/fault"
 	"paella/internal/gpu"
 	"paella/internal/model"
 	"paella/internal/serving"
@@ -47,6 +49,8 @@ func main() {
 		zipf    = flag.Float64("zipf", 0, "zipfian model-popularity exponent (0 = uniform mix)")
 		trcOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 		trcCSV  = flag.String("trace-csv", "", "write the counter time-series as CSV")
+		faults  = flag.String("faults", "", "JSON fault plan (internal/fault); arms the dispatcher's recovery machinery")
+		chaosI  = flag.Float64("chaos", 0, "synthesize a fault plan at this intensity in (0,1] instead of -faults")
 	)
 	flag.Parse()
 
@@ -125,6 +129,22 @@ func main() {
 	}
 	opts.MaxSimTime = reqs[len(reqs)-1].At + 10*sim.Second
 
+	switch {
+	case *faults != "" && *chaosI > 0:
+		fatal("-faults and -chaos are mutually exclusive")
+	case *faults != "":
+		data, ferr := os.ReadFile(*faults)
+		if ferr != nil {
+			fatal("%v", ferr)
+		}
+		opts.Faults, err = fault.ParsePlan(data)
+		if err != nil {
+			fatal("%v", err)
+		}
+	case *chaosI > 0:
+		opts.Faults = fault.Synthesize(*seed, *chaosI, reqs[len(reqs)-1].At, opts.DevCfg.NumSMs)
+	}
+
 	if *trcOut != "" || *trcCSV != "" {
 		opts.Trace = trace.New()
 	}
@@ -155,6 +175,26 @@ func main() {
 	fmt.Printf("completed  : %d (%.1f%%)\n", col.Len(), 100*float64(col.Len())/float64(*jobs))
 	fmt.Printf("throughput : %.1f req/s\n", col.Throughput())
 	fmt.Printf("latency    : p50=%v p99=%v mean=%v\n", col.P50(), col.P99(), col.MeanJCT())
+	if opts.Faults != nil {
+		okCol := col.Succeeded()
+		fmt.Printf("faults     : %d planned events (seed %d); ok=%d failed=%d lost=%d\n",
+			len(opts.Faults.Events), opts.Faults.Seed, okCol.Len(), col.Failures(), *jobs-col.Len())
+		if inj, okI := sys.(interface{ Injector() *fault.Injector }); okI && inj.Injector() != nil {
+			fmt.Printf("             %s\n", inj.Injector().Summary())
+		}
+		reasons := col.FailuresByReason()
+		keys := make([]string, 0, len(reasons))
+		for k := range reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("             %4d × %s\n", reasons[k], k)
+		}
+		if okCol.Len() > 0 {
+			fmt.Printf("latency(ok): p50=%v p99=%v mean=%v\n", okCol.P50(), okCol.P99(), okCol.MeanJCT())
+		}
+	}
 	if *vramMiB > 0 {
 		fmt.Printf("vram       : budget=%dMiB cold-starts=%d warm-hit=%.1f%% mean-load=%v\n",
 			*vramMiB, col.ColdStarts(), 100*col.WarmHitRatio(), col.MeanLoadNs())

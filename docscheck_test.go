@@ -1,0 +1,76 @@
+package paella
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// paperAnchor matches a citation of the source paper: a section sign, or a
+// spelled-out Figure/Table/section reference.
+var paperAnchor = regexp.MustCompile(`§|Figure\s+\d|Fig\.\s*\d|Table\s+\d|SOSP`)
+
+// TestInternalPackageDocs enforces the documentation contract: every
+// internal/* package carries a package comment, and that comment anchors
+// the package to the paper (a §/Figure/Table reference) so readers can
+// find the design it implements. docs/ARCHITECTURE.md relies on this.
+func TestInternalPackageDocs(t *testing.T) {
+	dirs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		name := d.Name()
+		t.Run(name, func(t *testing.T) {
+			comment := packageDoc(t, filepath.Join("internal", name))
+			if strings.TrimSpace(comment) == "" {
+				t.Fatalf("package %s has no package comment", name)
+			}
+			if !paperAnchor.MatchString(comment) {
+				t.Fatalf("package %s's doc cites no paper anchor (§, Figure, or Table):\n%s",
+					name, comment)
+			}
+		})
+	}
+}
+
+// packageDoc parses the directory (comments only) and returns its
+// non-test package's documentation comment.
+func packageDoc(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		// PackageClauseOnly keeps the doc comment attached to each file's
+		// package clause; take the first file that has one (gofmt keeps a
+		// single canonical doc file per package).
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+		p := doc.New(pkg, dir, doc.AllDecls)
+		if strings.TrimSpace(p.Doc) != "" {
+			return p.Doc
+		}
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				return f.Doc.Text()
+			}
+		}
+	}
+	return ""
+}

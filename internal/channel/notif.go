@@ -153,3 +153,27 @@ func (q *NotifQueue) Poll(buf []Notification) int {
 
 // Consumed returns the total number of records the consumer has read.
 func (q *NotifQueue) Consumed() uint64 { return q.head }
+
+// NotifVerdict is a fault-injection decision about one notification record
+// about to be published to the notifQ. The channel itself is lossless in
+// the paper's design, but the fault model (internal/fault) treats it as a
+// lossy link: a designated-thread write can be lost to a hung SM, or
+// replayed by a retried instrumentation epilogue. Consumers of the verdict
+// (the device model's emit path) deliver the record verdict-many times.
+type NotifVerdict int
+
+const (
+	// NotifDrop suppresses the record entirely (a lost completion is the
+	// §5.2 failure mode the dispatcher's timeout reconciliation exists for).
+	NotifDrop NotifVerdict = 0
+	// NotifKeep delivers the record exactly once (the healthy path).
+	NotifKeep NotifVerdict = 1
+	// NotifDup delivers the record twice (a replayed atomic-counter write;
+	// the dispatcher must clamp, not double-count).
+	NotifDup NotifVerdict = 2
+)
+
+// NotifFault decides the fate of one notification record. Implementations
+// must be deterministic functions of their own seeded state; the device
+// model consults the hook once per record in emission order.
+type NotifFault func(Notification) NotifVerdict

@@ -7,8 +7,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"paella/internal/compiler"
 	"paella/internal/core"
@@ -20,6 +22,11 @@ import (
 	"paella/internal/trace"
 	"paella/internal/vram"
 )
+
+// ErrReplicaCrashed is the typed failure delivered through Conn.OnFailed
+// when a request's replica crashed and no live replica remained to fail
+// over to (or the failover submit could not be placed).
+var ErrReplicaCrashed = errors.New("cluster: replica crashed, failover impossible")
 
 // GPUView is the balancer's read-only view of one GPU's load.
 type GPUView struct {
@@ -186,6 +193,12 @@ type Cluster struct {
 	// maintained at the balancer, where the routing decision is made
 	// (backend admission counters lag by the channel latency).
 	inflight []int
+	// alive marks replicas that have not crashed; the balancer only ever
+	// sees live replicas. conns tracks every cluster-level connection for
+	// crash failover.
+	alive   []bool
+	crashes int
+	conns   []*Conn
 
 	// rec is the structured tracing recorder (nil = disabled); routing
 	// decisions are instants on routeTrack.
@@ -210,7 +223,10 @@ func NewWithConfig(env *sim.Env, devs []gpu.Config, mkCfg func(i int, dev gpu.Co
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("cluster: no devices")
 	}
-	c := &Cluster{env: env, balancer: b, inflight: make([]int, len(devs))}
+	c := &Cluster{env: env, balancer: b, inflight: make([]int, len(devs)), alive: make([]bool, len(devs))}
+	for i := range c.alive {
+		c.alive[i] = true
+	}
 	if rec := trace.FromEnv(env); rec != nil {
 		c.rec = rec
 		c.routeTrack = rec.Thread(rec.Process("cluster"), "route")
@@ -250,58 +266,176 @@ func (c *Cluster) RegisterModel(m *model.Model, cfg compiler.Config, profileRuns
 
 // Conn is a client connection spanning the whole cluster: one shared
 // memory region per GPU, with completions funneled to a single callback.
+// The connection tracks where each outstanding request was routed so a
+// replica crash can fail pending requests over to the survivors; late
+// events from a crashed-but-still-draining replica are deduplicated (first
+// terminal outcome wins).
 type Conn struct {
 	cluster *Cluster
 	conns   []*core.ClientConn
+	// pending maps each outstanding request to its current route (and keeps
+	// the original request for failover re-submission).
+	pending map[uint64]route
 
 	// OnComplete receives every finished request id, whichever GPU served
 	// it.
 	OnComplete func(reqID uint64)
+	// OnFailed receives every request id that terminated with a typed error
+	// (dispatcher-side failures pass through; ErrReplicaCrashed when
+	// failover was impossible).
+	OnFailed func(reqID uint64, err error)
+}
+
+type route struct {
+	gpu int
+	req core.Request
 }
 
 // Connect attaches a client to every GPU in the cluster.
 func (c *Cluster) Connect() *Conn {
-	cn := &Conn{cluster: c}
+	cn := &Conn{cluster: c, pending: make(map[uint64]route)}
 	for g, d := range c.disps {
 		g := g
 		conn := d.Connect()
-		conn.OnComplete = func(id uint64) {
-			c.inflight[g]--
-			if cn.OnComplete != nil {
-				cn.OnComplete(id)
-			}
-		}
+		conn.OnComplete = func(id uint64) { cn.terminal(g, id, nil) }
+		conn.OnFailed = func(id uint64, err error) { cn.terminal(g, id, err) }
 		cn.conns = append(cn.conns, conn)
 	}
+	c.conns = append(c.conns, cn)
 	return cn
 }
 
-// Submit routes the request through the balancer to one GPU. It returns
-// the chosen GPU index, or -1 if that GPU's ring was full.
+// terminal folds one replica's completion or typed failure into the
+// connection. Events from a GPU the request is no longer routed to (a
+// crashed replica draining, or a duplicate) are dropped.
+func (cn *Conn) terminal(g int, id uint64, err error) {
+	rt, ok := cn.pending[id]
+	if !ok || rt.gpu != g {
+		return
+	}
+	delete(cn.pending, id)
+	cn.cluster.inflight[g]--
+	if err != nil {
+		if cn.OnFailed != nil {
+			cn.OnFailed(id, err)
+		}
+		return
+	}
+	if cn.OnComplete != nil {
+		cn.OnComplete(id)
+	}
+}
+
+// Submit routes the request through the balancer to one live GPU. It
+// returns the chosen GPU index, or -1 if that GPU's ring was full or no
+// live replica remains.
 func (cn *Conn) Submit(req core.Request) int {
 	c := cn.cluster
-	for i := range c.views {
-		c.views[i].InFlight = c.inflight[i]
-		c.views[i].Warm, c.views[i].Loading = c.residency(i, req.Model)
+	// The balancer only sees live replicas. Its contract returns either a
+	// position in the slice it was given or that element's Index field, so
+	// the compacted slice renumbers Index to its own positions and liveIdx
+	// maps the pick back to the real GPU.
+	views := c.views[:0:0]
+	var liveIdx []int
+	for i := range c.disps {
+		if !c.alive[i] {
+			continue
+		}
+		v := GPUView{
+			Index:    len(views),
+			InFlight: c.inflight[i],
+			Capacity: c.views[i].Capacity,
+		}
+		v.Warm, v.Loading = c.residency(i, req.Model)
+		views = append(views, v)
+		liveIdx = append(liveIdx, i)
 	}
-	g := c.balancer.Pick(req.Model, c.views)
-	if g < 0 || g >= len(cn.conns) {
-		panic(fmt.Sprintf("cluster: balancer %q picked GPU %d of %d", c.balancer.Name(), g, len(cn.conns)))
+	if len(views) == 0 {
+		return -1
 	}
+	pick := c.balancer.Pick(req.Model, views)
+	if pick < 0 || pick >= len(views) {
+		panic(fmt.Sprintf("cluster: balancer %q picked GPU %d of %d", c.balancer.Name(), pick, len(views)))
+	}
+	g := liveIdx[pick]
 	if c.rec != nil {
 		c.rec.InstantArgs(c.routeTrack, req.Model, "route", c.env.Now(),
 			trace.Int("gpu", int64(g)),
 			trace.Str("balancer", c.balancer.Name()),
-			trace.Bool("warm", c.views[g].Warm),
-			trace.Bool("loading", c.views[g].Loading))
+			trace.Bool("warm", views[pick].Warm),
+			trace.Bool("loading", views[pick].Loading))
 	}
+	orig := req
 	req.Client = cn.conns[g].ID
 	if !cn.conns[g].Submit(req) {
 		return -1
 	}
+	cn.pending[req.ID] = route{gpu: g, req: orig}
 	c.inflight[g]++
 	return g
 }
+
+// Crash kills replica i (fault injection: the whole serving process died).
+// The replica's dispatcher loop stops, the balancer stops routing to it,
+// and every connection's requests pending on it fail over to the surviving
+// replicas — re-entering the balancer with their original submit times, so
+// recovery latency shows up in JCT. When no live replica remains, pending
+// requests terminate with ErrReplicaCrashed through Conn.OnFailed. Late
+// completions from the crashed replica's drained pipeline are ignored.
+func (c *Cluster) Crash(i int) {
+	if !c.alive[i] {
+		return
+	}
+	c.alive[i] = false
+	c.crashes++
+	c.disps[i].Stop()
+	if c.rec != nil {
+		c.rec.InstantArgs(c.routeTrack, "replica", "crash", c.env.Now(),
+			trace.Int("gpu", int64(i)), trace.Int("live", int64(c.LiveReplicas())))
+	}
+	for _, cn := range c.conns {
+		cn.failover(i)
+	}
+}
+
+// failover re-routes the connection's requests pending on crashed GPU g.
+// Ids are visited in sorted order for determinism.
+func (cn *Conn) failover(g int) {
+	var ids []uint64
+	for id, rt := range cn.pending {
+		if rt.gpu == g {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		rt := cn.pending[id]
+		delete(cn.pending, id)
+		cn.cluster.inflight[g]--
+		if cn.Submit(rt.req) < 0 {
+			if cn.OnFailed != nil {
+				cn.OnFailed(id, ErrReplicaCrashed)
+			}
+		}
+	}
+}
+
+// Alive reports whether replica i has not crashed.
+func (c *Cluster) Alive(i int) bool { return c.alive[i] }
+
+// LiveReplicas returns the number of replicas still alive.
+func (c *Cluster) LiveReplicas() int {
+	n := 0
+	for _, a := range c.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Crashes returns how many replicas have been crashed.
+func (c *Cluster) Crashes() int { return c.crashes }
 
 // residency classifies GPU i's copy of the named model's weights. A GPU
 // without a VRAM budget holds everything, so it reports warm.

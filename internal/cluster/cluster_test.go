@@ -321,3 +321,81 @@ func TestClusterResidencyRouting(t *testing.T) {
 		t.Fatalf("total weight loads = %d, want 2", loads)
 	}
 }
+
+// TestCrashFailover: crashing one replica mid-run moves its pending
+// requests to the survivor; completions plus typed failures account for
+// every submission, and new submissions avoid the dead replica.
+func TestCrashFailover(t *testing.T) {
+	env, c := mkCluster(t, NewRoundRobin())
+	conn := c.Connect()
+	completed, failed := 0, 0
+	conn.OnComplete = func(uint64) { completed++ }
+	conn.OnFailed = func(uint64, error) { failed++ }
+	submitted := 0
+	for i := 0; i < 60; i++ {
+		id := uint64(i + 1)
+		env.At(sim.Time(i)*10*sim.Microsecond, func() {
+			if conn.Submit(core.Request{ID: id, Model: "tinynet", Submit: env.Now()}) >= 0 {
+				submitted++
+			}
+		})
+	}
+	env.At(150*sim.Microsecond, func() { c.Crash(0) })
+	var lateGPU int
+	env.At(200*sim.Microsecond, func() {
+		lateGPU = conn.Submit(core.Request{ID: 1000, Model: "tinynet", Submit: env.Now()})
+		if lateGPU >= 0 {
+			submitted++
+		}
+	})
+	env.Run()
+
+	if !c.Alive(1) || c.Alive(0) {
+		t.Fatalf("liveness after crash: gpu0=%v gpu1=%v", c.Alive(0), c.Alive(1))
+	}
+	if c.LiveReplicas() != 1 || c.Crashes() != 1 {
+		t.Fatalf("LiveReplicas=%d Crashes=%d, want 1/1", c.LiveReplicas(), c.Crashes())
+	}
+	if lateGPU != 1 {
+		t.Fatalf("post-crash submission routed to GPU %d, want survivor 1", lateGPU)
+	}
+	if completed+failed != submitted {
+		t.Fatalf("conservation: %d completed + %d failed != %d submitted",
+			completed, failed, submitted)
+	}
+	if completed == 0 {
+		t.Fatal("nothing completed after failover")
+	}
+}
+
+// TestCrashAllReplicas: with every replica dead, Submit reports no target
+// and pending work fails with ErrReplicaCrashed rather than hanging.
+func TestCrashAllReplicas(t *testing.T) {
+	env, c := mkCluster(t, NewRoundRobin())
+	conn := c.Connect()
+	var lastErr error
+	failed := 0
+	conn.OnFailed = func(_ uint64, err error) { failed++; lastErr = err }
+	for i := 0; i < 8; i++ {
+		id := uint64(i + 1)
+		env.At(0, func() {
+			conn.Submit(core.Request{ID: id, Model: "tinynet", Submit: env.Now()})
+		})
+	}
+	env.At(5*sim.Microsecond, func() { c.Crash(0); c.Crash(1) })
+	rejected := false
+	env.At(10*sim.Microsecond, func() {
+		rejected = conn.Submit(core.Request{ID: 99, Model: "tinynet", Submit: env.Now()}) < 0
+	})
+	env.Run()
+
+	if !rejected {
+		t.Fatal("Submit found a replica on a fully-dead cluster")
+	}
+	if failed == 0 || lastErr != ErrReplicaCrashed {
+		t.Fatalf("pending work: failed=%d lastErr=%v, want ErrReplicaCrashed", failed, lastErr)
+	}
+	if c.LiveReplicas() != 0 {
+		t.Fatalf("LiveReplicas=%d, want 0", c.LiveReplicas())
+	}
+}

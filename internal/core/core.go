@@ -121,6 +121,33 @@ type Config struct {
 	RingCapacity int
 	// NotifQCapacity sizes the device notification queue (power of two).
 	NotifQCapacity int
+
+	// KernelTimeout arms a watchdog on every gated kernel dispatch: if the
+	// kernel's notifications have not completed it within its serial upper
+	// bound (Blocks × BlockDuration) plus this grace period, the dispatcher
+	// reconciles the occupancy mirror and recovers (re-dispatch or forced
+	// completion; see onKernelTimeout). Zero disables the watchdog — the
+	// default, since a healthy channel never loses notifications.
+	KernelTimeout sim.Time
+	// MaxKernelRetries bounds watchdog-triggered re-dispatches per job
+	// before the job fails with ErrKernelTimeout (default 3 when the
+	// watchdog is armed).
+	MaxKernelRetries int
+	// MaxLiveJobs, when positive, turns on admission-control load shedding:
+	// requests arriving while that many admitted jobs are still live are
+	// rejected immediately with ErrAdmissionShed instead of queueing —
+	// degrading goodput gracefully instead of collapsing p99.
+	MaxLiveJobs int
+	// MaxLoadRetries bounds weight-load retry attempts per model before the
+	// waiting jobs fail with ErrLoadFailed (default 3).
+	MaxLoadRetries int
+	// LoadRetryBase is the first load-retry backoff; attempts double it
+	// (default 100µs).
+	LoadRetryBase sim.Time
+	// FaultTolerant relaxes the dispatcher's fail-stop assertions for runs
+	// with fault injection: stale or duplicated notifications are counted
+	// and ignored instead of panicking. Implied by KernelTimeout > 0.
+	FaultTolerant bool
 }
 
 // DefaultConfig returns dispatcher costs calibrated to the paper's
@@ -140,6 +167,11 @@ func DefaultConfig(policy sched.Policy) Config {
 		PCIeBytesPerNs:  12.0,
 		RingCapacity:    1024,
 		NotifQCapacity:  1 << 14,
+		// Recovery knobs: the watchdog itself stays off (KernelTimeout
+		// zero) until a fault-aware caller arms it.
+		MaxKernelRetries: 3,
+		MaxLoadRetries:   3,
+		LoadRetryBase:    100 * sim.Microsecond,
 	}
 }
 
@@ -164,12 +196,19 @@ type ClientConn struct {
 	ID   int
 	ring *channel.SPSC[Request]
 	d    *Dispatcher
+	// dead marks a disconnected client: its live jobs were aborted and no
+	// further callbacks fire (the shared region is gone).
+	dead bool
 
 	// OnAlmostFinished is rung (once per request) when the request's
 	// output is imminent — the hybrid wakeup's interrupt (§5.3).
 	OnAlmostFinished func(reqID uint64)
 	// OnComplete delivers the finished request id (the completion ring).
 	OnComplete func(reqID uint64)
+	// OnFailed delivers a typed failure for a request that will never
+	// complete (admission shed, kernel timeout, load failure). Requests of
+	// a disconnected client fail silently — there is no one to notify.
+	OnFailed func(reqID uint64, err error)
 }
 
 // Submit pushes a request into the ring and wakes the dispatcher after the
@@ -181,6 +220,16 @@ func (c *ClientConn) Submit(req Request) bool {
 	}
 	c.d.env.After(c.d.cfg.ShmLatency, c.d.wakeNow)
 	return true
+}
+
+// Disconnect severs the client mid-flight (fault injection: the client
+// process died, its shared-memory region is unmapped). After the channel
+// latency the dispatcher aborts the client's live jobs — in-flight kernels
+// drain (GPU blocks cannot be preempted), then each job records a typed
+// ErrClientDisconnected failure — and requests still queued in the ring are
+// failed at admission. No callbacks fire on a dead connection.
+func (c *ClientConn) Disconnect() {
+	c.d.env.After(c.d.cfg.ShmLatency, func() { c.d.disconnectClient(c.ID) })
 }
 
 // Cancel aborts the identified request: undispatched kernels and copies
@@ -239,6 +288,16 @@ type Dispatcher struct {
 	pcie    *cudart.PCIeLink
 	// loads tracks in-progress and memory-starved weight loads by model.
 	loads map[string]*loadState
+	// failNextLoad holds injected load-failure budgets by model: each unit
+	// makes the next completing weight load for that model fail (fault
+	// injection via FailNextLoad).
+	failNextLoad map[string]int
+	// pcieFactor scales the analytic memcpy bandwidth (fault injection's
+	// brownout on the unconstrained-memory path; the shared PCIeLink has
+	// its own factor).
+	pcieFactor float64
+	// pressureHeld tracks VRAM blocks held by injected memory pressure.
+	pressureHeld int
 
 	collector *metrics.Collector
 	stats     Stats
@@ -263,8 +322,11 @@ type loadState struct {
 	waiters []*Job
 	// pending marks a load that could not begin because every candidate
 	// eviction victim was pinned; it is retried when a job finishes (the
-	// only event that unpins memory).
+	// only event that unpins memory) or when injected pressure releases.
 	pending bool
+	// attempts counts failed transfer attempts (fault injection); retries
+	// back off exponentially from Config.LoadRetryBase.
+	attempts int
 }
 
 // Stats counts dispatcher activity.
@@ -275,6 +337,20 @@ type Stats struct {
 	CopiesSent    uint64
 	NotifsHandled uint64
 	LoopWakeups   uint64
+	// Failed counts admitted jobs that terminated with a typed error.
+	Failed uint64
+	// Shed counts requests rejected at admission by load shedding.
+	Shed uint64
+	// KernelTimeouts counts watchdog firings; KernelRetries counts the
+	// subset that re-dispatched the kernel; StaleNotifs counts notifications
+	// ignored in fault-tolerant mode (late records for reconciled kernels,
+	// duplicate block counts).
+	KernelTimeouts uint64
+	KernelRetries  uint64
+	StaleNotifs    uint64
+	// LoadRetries and LoadFailures count weight-load recovery activity.
+	LoadRetries  uint64
+	LoadFailures uint64
 	// BusyNs is the dispatcher core's cumulative busy time (the paper's
 	// single-core claim is checkable: BusyNs / elapsed is its utilization).
 	BusyNs sim.Time
@@ -288,18 +364,27 @@ func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) 
 		panic("core: ModeGated requires a policy")
 	}
 	d := &Dispatcher{
-		env:       env,
-		dev:       dev,
-		cfg:       cfg,
-		notifQ:    notifQ,
-		models:    make(map[string]*compiler.Instrumented),
-		wake:      sim.NewCond(env),
-		jobs:      make(map[uint64]*Job),
-		inflight:  make(map[uint32]*inflightKernel),
-		nbuf:      make([]channel.Notification, 256),
-		collector: metrics.NewCollector(),
+		env:          env,
+		dev:          dev,
+		cfg:          cfg,
+		notifQ:       notifQ,
+		models:       make(map[string]*compiler.Instrumented),
+		wake:         sim.NewCond(env),
+		jobs:         make(map[uint64]*Job),
+		inflight:     make(map[uint32]*inflightKernel),
+		nbuf:         make([]channel.Notification, 256),
+		collector:    metrics.NewCollector(),
+		failNextLoad: make(map[string]int),
+		pcieFactor:   1,
 	}
 	d.mirror = newMirror(dev.Config(), cfg.OvershootBlocks)
+	// Track SM retirements: the occupancy mirror must gate against the
+	// surviving capacity, or the dispatcher would keep over-releasing work
+	// the device can no longer absorb.
+	dev.OnTopologyChange(func(online int) {
+		d.mirror.rescale(dev.Config(), online)
+		d.wakeNow()
+	})
 	if rec := trace.FromEnv(env); rec != nil {
 		d.rec = rec
 		d.traceProc = rec.Process("dispatcher")
@@ -399,6 +484,57 @@ func (d *Dispatcher) ModelResident(name string) bool {
 	return d.vramMgr.Resident(name)
 }
 
+// tolerant reports whether the dispatcher runs with relaxed fail-stop
+// assertions (fault injection active).
+func (d *Dispatcher) tolerant() bool {
+	return d.cfg.FaultTolerant || d.cfg.KernelTimeout > 0
+}
+
+// FailNextLoad arms one injected failure for the named model's next
+// completing weight load (fault injection). The dispatcher reacts with
+// bounded exponential-backoff retries; see loadDone.
+func (d *Dispatcher) FailNextLoad(model string) { d.failNextLoad[model]++ }
+
+// SetPCIeFactor scales the effective PCIe bandwidth (fault injection's
+// brownout): both the shared DMA link (when device memory is constrained)
+// and the analytic memcpy path honour it. Factor 1 restores health.
+func (d *Dispatcher) SetPCIeFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("core: PCIe factor %f", f))
+	}
+	d.pcieFactor = f
+	if d.pcie != nil {
+		d.pcie.SetBandwidthFactor(f)
+	}
+}
+
+// InjectVRAMPressure carves the given bytes out of the device-memory budget
+// (fault injection: a co-tenant allocation spike), evicting LRU unpinned
+// models as needed. Returns the bytes actually taken (less when most of the
+// budget is pinned); a no-op returning zero when memory is unconstrained.
+func (d *Dispatcher) InjectVRAMPressure(bytes int64) int64 {
+	if d.vramMgr == nil || bytes <= 0 {
+		return 0
+	}
+	blockBytes := d.vramMgr.CapacityBytes() / int64(d.vramMgr.TotalBlocks())
+	blocks := int((bytes + blockBytes - 1) / blockBytes)
+	got := d.vramMgr.ReservePressure(blocks, d.env.Now())
+	d.pressureHeld += got
+	return int64(got) * blockBytes
+}
+
+// ReleaseVRAMPressure returns all injected pressure to the budget and
+// retries loads that were parked on memory starvation.
+func (d *Dispatcher) ReleaseVRAMPressure() {
+	if d.vramMgr == nil || d.pressureHeld == 0 {
+		return
+	}
+	d.vramMgr.ReleasePressure(d.pressureHeld, d.env.Now())
+	d.pressureHeld = 0
+	d.retryPendingLoads()
+	d.wakeNow()
+}
+
 // Model returns a registered model.
 func (d *Dispatcher) Model(name string) (*compiler.Instrumented, bool) {
 	ins, ok := d.models[name]
@@ -455,7 +591,7 @@ func (d *Dispatcher) traceCounters() {
 		return
 	}
 	now := d.env.Now()
-	d.rec.Sample(d.liveC, "value", now, float64(d.stats.Admitted-d.stats.Completed))
+	d.rec.Sample(d.liveC, "value", now, float64(d.stats.Admitted-d.stats.Completed-d.stats.Failed))
 	d.rec.Sample(d.inflightC, "value", now, float64(len(d.inflight)))
 	if d.cfg.Policy != nil {
 		d.rec.Sample(d.readyC, "value", now, float64(d.cfg.Policy.Len()))
@@ -516,7 +652,16 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 					break
 				}
 				d.charge(p, d.cfg.SchedDelay+d.cfg.DispatchCost)
-				d.dispatchKernel(e.Payload.(*Job))
+				j := e.Payload.(*Job)
+				if !j.inPolicy {
+					// Charging the dispatch cost yields the loop, and a
+					// callback in that window (client disconnect, cancel)
+					// may have failed the job and pulled it from the
+					// policy. Skip it; its terminal path is already set.
+					progressed = true
+					continue
+				}
+				d.dispatchKernel(j)
 				progressed = true
 			}
 		}

@@ -48,6 +48,12 @@ type Job struct {
 	cancelled       bool
 	finished        bool
 	kernelsInFlight int
+	// failErr, when non-nil, is the typed error the job will terminate
+	// with once its in-flight kernels drain.
+	failErr error
+	// retries counts watchdog-triggered kernel re-dispatches (bounded by
+	// Config.MaxKernelRetries).
+	retries int
 	// vramPinned marks a job holding a residency pin on its model's
 	// weights (released at finish).
 	vramPinned bool
@@ -112,6 +118,27 @@ func (j *Job) isFinalGPUOp() bool { return j.cursor == len(j.ops)-1 }
 // admit accepts one request from a client ring (already charged AdmitCost)
 // and starts its first operation. Runs in dispatcher-loop context.
 func (d *Dispatcher) admit(p *sim.Proc, req Request) {
+	conn := d.clients[req.Client]
+	if conn.dead {
+		// The client disconnected after submitting: the request fails
+		// silently (no one is listening), but still leaves a typed record
+		// so no job is ever unaccounted for.
+		d.rejectRequest(req, ErrClientDisconnected)
+		return
+	}
+	if d.cfg.MaxLiveJobs > 0 &&
+		int(d.stats.Admitted-d.stats.Completed-d.stats.Failed) >= d.cfg.MaxLiveJobs {
+		// Load shedding (§6's software-defined control applied to
+		// admission): refuse immediately rather than queueing into a
+		// latency collapse. The client gets a typed, retryable error.
+		d.stats.Shed++
+		if d.rec != nil {
+			d.rec.InstantArgs(d.admitTrack, req.Model, "shed", d.env.Now(),
+				trace.Int("id", int64(req.ID)), trace.Int("live", int64(d.cfg.MaxLiveJobs)))
+		}
+		d.rejectRequest(req, ErrAdmissionShed)
+		return
+	}
 	ins, ok := d.models[req.Model]
 	if !ok {
 		if ae, isAdaptor := d.adaptors[req.Model]; isAdaptor {
@@ -169,6 +196,26 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 	}
 }
 
+// rejectRequest records a typed failure for a request that was never
+// admitted as a job (shed, or its client is gone) and notifies the client
+// if one is still listening.
+func (d *Dispatcher) rejectRequest(req Request, err error) {
+	now := d.env.Now()
+	d.collector.Add(metrics.JobRecord{
+		ID: req.ID, Model: req.Model, Client: req.Client,
+		Submit: req.Submit, Admit: now,
+		ExecDone: now, Delivered: now + d.cfg.ShmLatency,
+		Failed: true, FailureReason: err.Error(),
+	})
+	conn := d.clients[req.Client]
+	if conn.dead || conn.OnFailed == nil {
+		return
+	}
+	id := req.ID
+	cb := conn.OnFailed
+	d.env.After(d.cfg.ShmLatency, func() { cb(id, err) })
+}
+
 // --- ModeGated: software-defined scheduling -------------------------------
 
 // pinWeights takes a residency pin on the admitted job's model and, for a
@@ -223,11 +270,48 @@ func (d *Dispatcher) startLoad(name string, ls *loadState) {
 
 // loadDone marks the model resident, upgrades its waiting jobs to warm in
 // the policy order, and charges each one the time it spent blocked on the
-// load.
+// load. An injected load failure (FailNextLoad) instead aborts the load and
+// retries with exponential backoff; when Config.MaxLoadRetries attempts
+// have failed, every waiting job terminates with ErrLoadFailed.
 func (d *Dispatcher) loadDone(name string) {
 	ls := d.loads[name]
-	d.vramMgr.FinishLoad(name, d.env.Now())
 	now := d.env.Now()
+	if d.failNextLoad[name] > 0 {
+		d.failNextLoad[name]--
+		d.vramMgr.AbortLoad(name, now)
+		ls.attempts++
+		if d.rec != nil {
+			d.rec.InstantArgs(d.schedTrack, name, "load-failed", now,
+				trace.Int("attempt", int64(ls.attempts)))
+		}
+		max := d.cfg.MaxLoadRetries
+		if max <= 0 {
+			max = 3
+		}
+		if ls.attempts > max {
+			d.stats.LoadFailures++
+			delete(d.loads, name)
+			for _, j := range ls.waiters {
+				d.failJob(j, ErrLoadFailed)
+			}
+			return
+		}
+		d.stats.LoadRetries++
+		base := d.cfg.LoadRetryBase
+		if base <= 0 {
+			base = 100 * sim.Microsecond
+		}
+		backoff := base << (ls.attempts - 1)
+		d.env.After(backoff, func() {
+			// The load state may have been torn down meanwhile (e.g. all
+			// waiters disconnected and the job set drained).
+			if cur := d.loads[name]; cur == ls {
+				d.startLoad(name, ls)
+			}
+		})
+		return
+	}
+	d.vramMgr.FinishLoad(name, d.env.Now())
 	for _, j := range ls.waiters {
 		if j.finished {
 			continue
@@ -344,10 +428,92 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 		JobTag:       j.Req.Model,
 		Instrumented: true,
 	})
+	if d.cfg.KernelTimeout > 0 && j.wl == nil {
+		// Watchdog (fault recovery): the serial upper bound — every block
+		// of the kernel running one after another — plus the configured
+		// grace can only be exceeded when notifications were lost or the
+		// device stopped placing (retired SMs, wedged queue). Retries
+		// stretch the window, a cheap exponential backoff.
+		bound := sim.Time(spec.Blocks)*spec.BlockDuration + d.cfg.KernelTimeout
+		bound <<= uint(j.retries)
+		d.env.After(bound, func() { d.onKernelTimeout(kid) })
+	}
 	if j.wl != nil {
 		// Another stream of this job may expose a further active kernel.
 		j.wl.reconcilePolicy()
 	}
+}
+
+// onKernelTimeout is the watchdog's recovery path for a kernel whose
+// notifications never completed it. The occupancy mirror is reconciled
+// (outstanding reservations flushed, resident blocks freed) so the fault
+// cannot wedge dispatch for every other job. Then:
+//
+//   - No placement was ever observed (launch lost to a hung queue or its
+//     notifications all dropped): re-dispatch the same kernel through the
+//     normal policy path, up to Config.MaxKernelRetries, after which the
+//     job fails with ErrKernelTimeout.
+//   - Blocks were placed but completions went missing (a lossy notifQ):
+//     the kernel did run — force-complete it and let the job advance.
+//
+// Late notifications for the reconciled kernel id are counted as stale and
+// ignored (see applyNotif).
+func (d *Dispatcher) onKernelTimeout(kid uint32) {
+	fl, ok := d.inflight[kid]
+	if !ok {
+		return // completed normally before the watchdog fired
+	}
+	delete(d.inflight, kid)
+	j := fl.job
+	spec := fl.spec
+	d.stats.KernelTimeouts++
+	// Reconcile the mirror: whatever was never reported placed is still
+	// reserved; whatever was reported placed but not completed is still
+	// resident. Flush both.
+	if n := spec.Blocks - fl.placed; n > 0 {
+		d.mirror.Place(spec, n)
+	}
+	if n := spec.Blocks - fl.completed; n > 0 {
+		d.mirror.Complete(spec, n)
+	}
+	j.kernelsInFlight--
+	if d.rec != nil {
+		d.rec.InstantArgs(d.schedTrack, spec.Name, "kernel-timeout", d.env.Now(),
+			trace.Int("job", int64(j.Req.ID)), trace.Int("kernel_id", int64(kid)),
+			trace.Int("placed", int64(fl.placed)), trace.Int("completed", int64(fl.completed)),
+			trace.Int("retries", int64(j.retries)))
+	}
+	if j.cancelled || j.failErr != nil {
+		if j.kernelsInFlight == 0 {
+			d.finish(j)
+		}
+		return
+	}
+	if fl.placed == 0 {
+		max := d.cfg.MaxKernelRetries
+		if max <= 0 {
+			max = 3
+		}
+		if j.retries >= max {
+			d.failJob(j, ErrKernelTimeout)
+			return
+		}
+		j.retries++
+		d.stats.KernelRetries++
+		// Back into the ready queue: the cursor never advanced, so the
+		// policy re-releases exactly this kernel once it fits again.
+		j.entry.Remaining = j.Ins.Profile.RemainingAfter(j.execsDone)
+		d.cfg.Policy.Add(&j.entry)
+		j.inPolicy = true
+		d.wakeNow()
+		return
+	}
+	// Partially or fully placed: the device ran the blocks; only their
+	// completion records were lost. Advance the job.
+	j.execsDone++
+	d.opDone(j)
+	d.traceCounters()
+	d.wakeNow()
 }
 
 // dispatchReason explains why the policy picked this entry — the sort key
@@ -382,17 +548,60 @@ func (d *Dispatcher) applyNotif(n channel.Notification) {
 	d.stats.NotifsHandled++
 	fl, ok := d.inflight[n.KernelID()]
 	if !ok {
+		if d.tolerant() {
+			// A duplicate of a final completion, or a record for a kernel
+			// the watchdog already reconciled. Count and ignore.
+			d.stats.StaleNotifs++
+			return
+		}
 		panic(fmt.Sprintf("core: notification for unknown kernel %d", n.KernelID()))
 	}
 	count := int(n.GroupCount())
 	switch n.Type() {
 	case channel.Placement:
+		if fl.placed+count > fl.spec.Blocks {
+			// Duplicated placement records: clamp to the kernel's true block
+			// count so the mirror never over-credits residency.
+			if !d.tolerant() {
+				panic(fmt.Sprintf("core: placement overflow for kernel %d", n.KernelID()))
+			}
+			d.stats.StaleNotifs++
+			count = fl.spec.Blocks - fl.placed
+		}
+		if count <= 0 {
+			return
+		}
 		if fl.placed == 0 {
 			fl.firstPlacedAt = d.env.Now()
 		}
 		fl.placed += count
 		d.mirror.Place(fl.spec, count)
 	case channel.Completion:
+		if fl.completed+count > fl.spec.Blocks {
+			// Duplicated completion records: clamp symmetrically.
+			if !d.tolerant() {
+				panic(fmt.Sprintf("core: completion overflow for kernel %d", n.KernelID()))
+			}
+			d.stats.StaleNotifs++
+			count = fl.spec.Blocks - fl.completed
+		}
+		if count <= 0 {
+			return
+		}
+		if over := fl.completed + count - fl.placed; over > 0 {
+			// A completion implies a placement: the placement record for
+			// these blocks was dropped. Infer it so the mirror's resident
+			// pool covers the blocks about to be released.
+			if !d.tolerant() {
+				panic(fmt.Sprintf("core: completion before placement for kernel %d", n.KernelID()))
+			}
+			d.stats.StaleNotifs++
+			if fl.placed == 0 {
+				fl.firstPlacedAt = d.env.Now()
+			}
+			fl.placed += over
+			d.mirror.Place(fl.spec, over)
+		}
 		fl.completed += count
 		d.mirror.Complete(fl.spec, count)
 		if fl.completed == fl.spec.Blocks {
@@ -434,7 +643,10 @@ func (d *Dispatcher) refineProfile(fl *inflightKernel) {
 
 // opDone advances the job past its just-completed op.
 func (d *Dispatcher) opDone(j *Job) {
-	if j.cancelled {
+	if j.finished {
+		return // a copy timer landing after the job already failed
+	}
+	if j.cancelled || j.failErr != nil {
 		// Drop remaining work; finish once the device has drained this
 		// job's in-flight kernels.
 		if j.kernelsInFlight == 0 {
@@ -446,6 +658,52 @@ func (d *Dispatcher) opDone(j *Job) {
 	if d.cfg.Mode == ModeGated {
 		d.advanceGated(j)
 	}
+}
+
+// failJob terminates an in-flight job with a typed error. Undispatched work
+// is dropped immediately; kernels already on the device drain first (their
+// completions route through opDone's failure path), after which finish
+// records the typed failure and notifies the client.
+func (d *Dispatcher) failJob(j *Job, err error) {
+	if j.finished || j.failErr != nil {
+		return
+	}
+	j.failErr = err
+	if j.inPolicy {
+		d.cfg.Policy.Remove(&j.entry)
+		j.inPolicy = false
+	}
+	if d.rec != nil {
+		d.rec.InstantArgs(d.schedTrack, j.Req.Model, "job-failed", d.env.Now(),
+			trace.Int("job", int64(j.Req.ID)), trace.Str("reason", err.Error()))
+	}
+	if j.kernelsInFlight == 0 {
+		d.finish(j)
+	}
+}
+
+// disconnectClient implements ClientConn.Disconnect on the dispatcher side:
+// the client's live jobs terminate with ErrClientDisconnected (in-flight
+// kernels drain first) and its queued-but-unadmitted requests are rejected
+// as they surface from the ring. Job ids are visited in sorted order for
+// determinism.
+func (d *Dispatcher) disconnectClient(id int) {
+	conn := d.clients[id]
+	if conn.dead {
+		return
+	}
+	conn.dead = true
+	var ids []uint64
+	for rid, j := range d.jobs {
+		if j.Req.Client == id {
+			ids = append(ids, rid)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, rid := range ids {
+		d.failJob(d.jobs[rid], ErrClientDisconnected)
+	}
+	d.wakeNow()
 }
 
 // cancel implements ClientConn.Cancel on the dispatcher side.
@@ -475,7 +733,13 @@ func (d *Dispatcher) finish(j *Job) {
 	now := d.env.Now()
 	j.rec.ExecDone = now
 	j.rec.Delivered = now + d.cfg.ShmLatency
-	d.stats.Completed++
+	if j.failErr != nil {
+		j.rec.Failed = true
+		j.rec.FailureReason = j.failErr.Error()
+		d.stats.Failed++
+	} else {
+		d.stats.Completed++
+	}
 	delete(d.jobs, j.Req.ID)
 	if d.cfg.Mode == ModeGated {
 		d.cfg.Policy.JobFinished(j.Req.Client)
@@ -490,8 +754,17 @@ func (d *Dispatcher) finish(j *Job) {
 		d.traceCounters()
 	}
 	d.collector.Add(j.rec)
+	if j.failErr != nil {
+		if !j.conn.dead && j.conn.OnFailed != nil {
+			id := j.Req.ID
+			err := j.failErr
+			cb := j.conn.OnFailed
+			d.env.After(d.cfg.ShmLatency, func() { cb(id, err) })
+		}
+		return
+	}
 	d.ringBell(j) // ensure the bell rang even for degenerate op lists
-	if cb := j.conn.OnComplete; cb != nil {
+	if cb := j.conn.OnComplete; cb != nil && !j.conn.dead {
 		id := j.Req.ID
 		d.env.After(d.cfg.ShmLatency, func() { cb(id) })
 	}
@@ -525,7 +798,7 @@ func (d *Dispatcher) ringBell(j *Job) {
 		return
 	}
 	j.belled = true
-	if cb := j.conn.OnAlmostFinished; cb != nil {
+	if cb := j.conn.OnAlmostFinished; cb != nil && !j.conn.dead {
 		id := j.Req.ID
 		d.env.After(d.cfg.ShmLatency, func() { cb(id) })
 	}
@@ -534,7 +807,7 @@ func (d *Dispatcher) ringBell(j *Job) {
 func (d *Dispatcher) memcpyDuration(bytes int) sim.Time {
 	dur := d.cfg.MemcpyLatency
 	if d.cfg.PCIeBytesPerNs > 0 {
-		dur += sim.Time(float64(bytes) / d.cfg.PCIeBytesPerNs)
+		dur += sim.Time(float64(bytes) / (d.cfg.PCIeBytesPerNs * d.pcieFactor))
 	}
 	return dur
 }

@@ -84,6 +84,21 @@ func (m *mirror) Complete(k *gpu.KernelSpec, n int) {
 	}
 }
 
+// rescale recomputes capacity for the given number of online SMs (fault
+// injection retired or restored one). Resident and reserved accounting are
+// untouched: blocks already on a retiring SM drain normally, and until they
+// do the mirror simply sees the device as (transiently) over capacity,
+// which correctly halts further dispatch.
+func (m *mirror) rescale(cfg gpu.Config, online int) {
+	if online < 0 {
+		online = 0
+	}
+	m.capBlocks = online * cfg.SM.MaxBlocks
+	m.capThreads = online * cfg.SM.MaxThreads
+	m.capRegs = online * cfg.SM.MaxRegisters
+	m.capShmem = online * cfg.SM.MaxSharedMem
+}
+
 // Idle reports whether the mirror believes the device is empty.
 func (m *mirror) Idle() bool {
 	return m.resBlocks == 0 && m.rsvBlocks == 0

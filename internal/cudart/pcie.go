@@ -25,6 +25,11 @@ type PCIeLink struct {
 	latency sim.Time
 	// bytesPerNs is the sustained link bandwidth.
 	bytesPerNs float64
+	// factor scales the effective bandwidth (1 = healthy). Fault injection
+	// lowers it during a brownout window — a PCIe AER link retrain or a
+	// Gen-speed downshift; transfers enqueued during the window take
+	// proportionally longer.
+	factor float64
 	// busyUntil tracks when each direction's engine frees up.
 	busyUntil [3]sim.Time
 
@@ -59,7 +64,7 @@ func NewPCIeLink(env *sim.Env, latency sim.Time, bytesPerNs float64) *PCIeLink {
 	if bytesPerNs <= 0 {
 		panic(fmt.Sprintf("cudart: PCIe bandwidth %f bytes/ns", bytesPerNs))
 	}
-	l := &PCIeLink{env: env, latency: latency, bytesPerNs: bytesPerNs}
+	l := &PCIeLink{env: env, latency: latency, bytesPerNs: bytesPerNs, factor: 1}
 	if rec := trace.FromEnv(env); rec != nil {
 		l.rec = rec
 		proc := rec.Process("PCIe")
@@ -71,10 +76,30 @@ func NewPCIeLink(env *sim.Env, latency sim.Time, bytesPerNs float64) *PCIeLink {
 	return l
 }
 
-// Duration returns the uncontended wire time of one transfer.
+// Duration returns the uncontended wire time of one transfer at the link's
+// current effective bandwidth.
 func (l *PCIeLink) Duration(bytes int) sim.Time {
-	return l.latency + sim.Time(float64(bytes)/l.bytesPerNs)
+	return l.latency + sim.Time(float64(bytes)/(l.bytesPerNs*l.factor))
 }
+
+// SetBandwidthFactor scales the link's effective bandwidth (fault
+// injection: 1 = healthy, 0.25 = a Gen-speed downshift to a quarter of the
+// sustained rate). Transfers already enqueued keep their computed finish
+// times; the factor applies to subsequent enqueues. Panics on non-positive
+// factors.
+func (l *PCIeLink) SetBandwidthFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("cudart: PCIe bandwidth factor %f", f))
+	}
+	l.factor = f
+	if l.rec != nil {
+		l.rec.InstantArgs(l.engTracks[HostToDevice], "bandwidth-factor", "fault",
+			l.env.Now(), trace.Int("permille", int64(f*1000)))
+	}
+}
+
+// BandwidthFactor returns the current effective-bandwidth scale.
+func (l *PCIeLink) BandwidthFactor() float64 { return l.factor }
 
 // Transfer enqueues a DMA of the given size and direction; done fires when
 // it completes. Transfers of one direction serialize FIFO behind each

@@ -15,6 +15,11 @@ type smState struct {
 	threads int
 	regs    int
 	shmem   int
+	// offline marks a retired SM (fault injection: ECC page retirement, a
+	// hung partition). An offline SM accepts no new thread blocks; blocks
+	// already resident drain normally, mirroring how the driver retires an
+	// SM only after its work completes.
+	offline bool
 }
 
 // hwQueue is one strictly-FIFO hardware queue. Only the head launch is ever
@@ -71,6 +76,13 @@ type Stats struct {
 	// ready but unplaceable OR a queue head was not ready while another
 	// launch behind it was (head-of-line blocking indicator).
 	HoLBlockedKernels uint64
+	// SMsRetired / SMsRestored count topology changes from fault injection.
+	SMsRetired  uint64
+	SMsRestored uint64
+	// NotifsDropped / NotifsDuplicated count notification records mutated
+	// by an installed channel fault (internal/fault's lossy-notifQ model).
+	NotifsDropped    uint64
+	NotifsDuplicated uint64
 }
 
 // Device is a simulated GPU. All methods must be called from the simulation
@@ -105,6 +117,14 @@ type Device struct {
 	// posted to notifQ — the dispatcher uses it as its wakeup hook instead
 	// of continuous polling, with the poll interval modelled separately.
 	onNotifPosted func()
+	// notifFault, if set, decides per record whether the notifQ write is
+	// dropped, kept, or duplicated (fault injection; see channel.NotifFault).
+	notifFault channel.NotifFault
+	// onTopology, if set, runs after an SM is retired or restored with the
+	// new online-SM count — the dispatcher rescales its occupancy mirror to
+	// the surviving capacity.
+	onTopology func(online int)
+	offlineSMs int
 }
 
 // NewDevice builds a device on the given simulation environment. The
@@ -172,6 +192,60 @@ func (d *Device) SetTrace(t *Trace) { d.trace = t }
 // OnNotifPosted registers a callback invoked after instrumented
 // notifications land in the notifQ (the dispatcher's wakeup).
 func (d *Device) OnNotifPosted(fn func()) { d.onNotifPosted = fn }
+
+// SetNotifFault installs (or, with nil, removes) a per-record notification
+// fault: the hook is consulted once per notifQ record in emission order and
+// its verdict decides how many copies are published. Deterministic hooks
+// keep the simulation reproducible.
+func (d *Device) SetNotifFault(fn channel.NotifFault) { d.notifFault = fn }
+
+// OnTopologyChange registers a callback invoked with the online-SM count
+// after every RetireSM/RestoreSM — the dispatcher's cue to shrink or regrow
+// its occupancy mirror.
+func (d *Device) OnTopologyChange(fn func(online int)) { d.onTopology = fn }
+
+// OnlineSMs returns the number of SMs currently accepting new blocks.
+func (d *Device) OnlineSMs() int { return d.cfg.NumSMs - d.offlineSMs }
+
+// RetireSM takes SM i out of service: it accepts no further thread blocks,
+// while blocks already resident drain normally (ECC retirement semantics —
+// the driver quarantines the SM, it does not kill running work). Reports
+// false if the SM was already offline.
+func (d *Device) RetireSM(i int) bool {
+	if i < 0 || i >= len(d.sms) || d.sms[i].offline {
+		return false
+	}
+	d.sms[i].offline = true
+	d.offlineSMs++
+	d.stats.SMsRetired++
+	if d.rec != nil {
+		d.rec.InstantArgs(d.smTracks[i], "sm-retired", "fault", d.env.Now(),
+			trace.Int("resident_blocks", int64(d.sms[i].blocks)))
+	}
+	if d.onTopology != nil {
+		d.onTopology(d.OnlineSMs())
+	}
+	return true
+}
+
+// RestoreSM returns a retired SM to service and kicks the block scheduler
+// (queued work may now fit). Reports false if the SM was not offline.
+func (d *Device) RestoreSM(i int) bool {
+	if i < 0 || i >= len(d.sms) || !d.sms[i].offline {
+		return false
+	}
+	d.sms[i].offline = false
+	d.offlineSMs--
+	d.stats.SMsRestored++
+	if d.rec != nil {
+		d.rec.Instant(d.smTracks[i], "sm-restored", "fault", d.env.Now())
+	}
+	if d.onTopology != nil {
+		d.onTopology(d.OnlineSMs())
+	}
+	d.kick()
+	return true
+}
 
 // Stats returns a snapshot of device counters with utilization integrated
 // up to the current instant.
@@ -354,6 +428,9 @@ func (d *Device) placeBlocks(l *Launch) int {
 		for i := 0; i < nsm && l.toPlace > 0; i++ {
 			smi := (d.smCursor + i) % nsm
 			sm := &d.sms[smi]
+			if sm.offline {
+				continue
+			}
 			if sm.blocks+1 > d.cfg.SM.MaxBlocks ||
 				sm.threads+th > d.cfg.SM.MaxThreads ||
 				sm.regs+rg > d.cfg.SM.MaxRegisters ||
@@ -478,8 +555,24 @@ func (d *Device) emitNotifs(l *Launch, t channel.NotifType, sm uint8, n int) {
 	var records []channel.Notification
 	for delta > 0 {
 		g := min(delta, group)
-		records = append(records, channel.Pack(t, sm, uint16(g), l.KernelID))
+		rec := channel.Pack(t, sm, uint16(g), l.KernelID)
+		copies := channel.NotifKeep
+		if d.notifFault != nil {
+			copies = d.notifFault(rec)
+		}
+		switch {
+		case copies <= channel.NotifDrop:
+			d.stats.NotifsDropped++
+		case copies >= channel.NotifDup:
+			d.stats.NotifsDuplicated++
+			records = append(records, rec, rec)
+		default:
+			records = append(records, rec)
+		}
 		delta -= g
+	}
+	if len(records) == 0 {
+		return
 	}
 	d.env.After(d.cfg.NotifDelay, func() {
 		for _, r := range records {

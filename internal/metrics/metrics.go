@@ -46,6 +46,14 @@ type JobRecord struct {
 	LoadNs sim.Time
 	// Cancelled marks a request aborted by the client before completion.
 	Cancelled bool
+	// Failed marks a request that terminated with a typed error instead of
+	// a result (admission shed, kernel timeout after retries, weight-load
+	// failure, client disconnect, replica crash). Failed records still count
+	// toward conservation — every admitted request produces exactly one
+	// record — but are excluded from success-side statistics via Succeeded.
+	Failed bool
+	// FailureReason is the typed error's stable string (empty on success).
+	FailureReason string
 }
 
 // JCT returns the end-to-end job completion time.
@@ -95,6 +103,41 @@ func (c *Collector) FilterModel(name string) *Collector {
 	out := NewCollector()
 	for _, r := range c.records {
 		if r.Model == name {
+			out.Add(r)
+		}
+	}
+	return out
+}
+
+// Failures returns how many records terminated with a typed error.
+func (c *Collector) Failures() int {
+	n := 0
+	for _, r := range c.records {
+		if r.Failed {
+			n++
+		}
+	}
+	return n
+}
+
+// FailuresByReason returns failure counts keyed by FailureReason.
+func (c *Collector) FailuresByReason() map[string]int {
+	out := map[string]int{}
+	for _, r := range c.records {
+		if r.Failed {
+			out[r.FailureReason]++
+		}
+	}
+	return out
+}
+
+// Succeeded returns a collector restricted to successful (non-failed,
+// non-cancelled) records — the population goodput and latency percentiles
+// are computed over under fault injection.
+func (c *Collector) Succeeded() *Collector {
+	out := NewCollector()
+	for _, r := range c.records {
+		if !r.Failed && !r.Cancelled {
 			out.Add(r)
 		}
 	}
@@ -240,6 +283,8 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 		JCTNs         int64  `json:"jct_ns"`
 		ColdStart     bool   `json:"cold_start,omitempty"`
 		LoadNs        int64  `json:"load_ns,omitempty"`
+		Failed        bool   `json:"failed,omitempty"`
+		FailureReason string `json:"failure_reason,omitempty"`
 	}
 	out := make([]jsonRec, len(c.records))
 	for i, r := range c.records {
@@ -249,6 +294,7 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 			FirstDispatch: int64(r.FirstDispatch), ExecDoneNs: int64(r.ExecDone),
 			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
 			ColdStart: r.ColdStart, LoadNs: int64(r.LoadNs),
+			Failed: r.Failed, FailureReason: r.FailureReason,
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -32,7 +32,9 @@ func TestRemoteRoundTrip(t *testing.T) {
 	env.Spawn("remote-client", func(p *sim.Proc) {
 		start := env.Now()
 		id := c.Predict(p, "tinynet", 28*28*4, 10*4)
-		c.Wait(p, id)
+		if err := c.Wait(p, id); err != nil {
+			t.Errorf("Wait: %v", err)
+		}
 		jct = env.Now() - start
 	})
 	env.Run()
@@ -93,7 +95,9 @@ func TestRemoteManyConcurrent(t *testing.T) {
 			ids = append(ids, c.Predict(p, "tinynet", 28*28*4, 10*4))
 		}
 		for _, id := range ids {
-			c.Wait(p, id)
+			if err := c.Wait(p, id); err != nil {
+				t.Errorf("Wait(%d): %v", id, err)
+			}
 			completed++
 		}
 	})
@@ -110,6 +114,134 @@ func TestLargeTensorTransferCost(t *testing.T) {
 	// 16MB at 12.5 B/ns ≈ 1.34ms — must dominate the RTT.
 	if large < 100*small {
 		t.Fatalf("bandwidth model broken: 1KB=%v 16MB=%v", small, large)
+	}
+}
+
+// TestRingFullBackoff regression-tests the gateway's retry policy: with a
+// tiny request ring and a stalled dispatcher, submits back off with jittered
+// exponential delays and eventually surface ErrRingFull to Wait instead of
+// retrying forever (the old behaviour polled every 20µs unboundedly).
+func TestRingFullBackoff(t *testing.T) {
+	env := sim.NewEnv()
+	devCfg := gpu.TeslaT4()
+	cfg := core.DefaultConfig(sched.NewPaella(10000))
+	cfg.RingCapacity = 2
+	d := core.NewWithDevice(env, devCfg, cfg)
+	ins := compiler.MustCompile(model.TinyNet(), compiler.DefaultConfig(), devCfg, 1)
+	if err := d.RegisterModel(ins); err != nil {
+		t.Fatal(err)
+	}
+	// Dispatcher never started: the ring fills and stays full. The two
+	// requests that did enter the ring are reaped by the gateway timeout.
+	net := DefaultNet()
+	net.MaxAttempts = 4
+	net.RequestTimeout = 50 * sim.Millisecond
+	gw := NewGateway(env, d, net)
+	c := NewClient(env, gw)
+	errs := make(map[uint64]error)
+	env.Spawn("remote", func(p *sim.Proc) {
+		ids := make([]uint64, 0, 4)
+		for i := 0; i < 4; i++ {
+			ids = append(ids, c.Predict(p, "tinynet", 1<<10, 1<<8))
+		}
+		for _, id := range ids {
+			errs[id] = c.Wait(p, id)
+		}
+	})
+	env.Run()
+	ringFull, timedOut := 0, 0
+	for _, err := range errs {
+		switch err {
+		case ErrRingFull:
+			ringFull++
+		case ErrGatewayTimeout:
+			timedOut++
+		}
+	}
+	// Ring holds 2 (timed out); the other 2 must exhaust their attempts.
+	if ringFull != 2 || timedOut != 2 {
+		t.Fatalf("ErrRingFull=%d ErrGatewayTimeout=%d, want 2 and 2 (errs=%v)",
+			ringFull, timedOut, errs)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after failures", c.Outstanding())
+	}
+}
+
+// TestBackoffJitterDeterministic: equal seeds give identical retry
+// timelines; different seeds diverge.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	run := func(seed int64) sim.Time {
+		env := sim.NewEnv()
+		devCfg := gpu.TeslaT4()
+		cfg := core.DefaultConfig(sched.NewPaella(10000))
+		cfg.RingCapacity = 2
+		d := core.NewWithDevice(env, devCfg, cfg)
+		ins := compiler.MustCompile(model.TinyNet(), compiler.DefaultConfig(), devCfg, 1)
+		if err := d.RegisterModel(ins); err != nil {
+			t.Fatal(err)
+		}
+		net := DefaultNet()
+		net.MaxAttempts = 5
+		net.Seed = seed
+		net.RequestTimeout = 50 * sim.Millisecond
+		gw := NewGateway(env, d, net)
+		c := NewClient(env, gw)
+		var end sim.Time
+		env.Spawn("remote", func(p *sim.Proc) {
+			ids := make([]uint64, 0, 3)
+			for i := 0; i < 3; i++ {
+				ids = append(ids, c.Predict(p, "tinynet", 1<<10, 1<<8))
+			}
+			// The third request never fits the 2-slot ring: its Wait returns
+			// at the jitter-determined moment the attempts ran out.
+			if err := c.Wait(p, ids[2]); err != ErrRingFull {
+				t.Errorf("seed %d: Wait(ids[2]) = %v, want ErrRingFull", seed, err)
+			}
+			end = env.Now()
+			c.Wait(p, ids[0])
+			c.Wait(p, ids[1])
+		})
+		env.Run()
+		return end
+	}
+	a, b, c2 := run(1), run(1), run(2)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a == c2 {
+		t.Fatalf("different seeds produced identical retry timelines (%v)", a)
+	}
+}
+
+// TestGatewayTimeout: a request the dispatcher never answers returns
+// ErrGatewayTimeout after NetConfig.RequestTimeout.
+func TestGatewayTimeout(t *testing.T) {
+	env := sim.NewEnv()
+	devCfg := gpu.TeslaT4()
+	d := core.NewWithDevice(env, devCfg, core.DefaultConfig(sched.NewPaella(10000)))
+	ins := compiler.MustCompile(model.TinyNet(), compiler.DefaultConfig(), devCfg, 1)
+	if err := d.RegisterModel(ins); err != nil {
+		t.Fatal(err)
+	}
+	// Dispatcher never started: the request sits in the ring forever.
+	net := DefaultNet()
+	net.RequestTimeout = 5 * sim.Millisecond
+	gw := NewGateway(env, d, net)
+	c := NewClient(env, gw)
+	var got error
+	var at sim.Time
+	env.Spawn("remote", func(p *sim.Proc) {
+		id := c.Predict(p, "tinynet", 1<<10, 1<<8)
+		got = c.Wait(p, id)
+		at = env.Now()
+	})
+	env.Run()
+	if got != ErrGatewayTimeout {
+		t.Fatalf("Wait = %v, want ErrGatewayTimeout", got)
+	}
+	if at < net.RequestTimeout {
+		t.Fatalf("timeout fired at %v, before RequestTimeout %v", at, net.RequestTimeout)
 	}
 }
 

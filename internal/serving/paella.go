@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"paella/internal/core"
+	"paella/internal/fault"
 	"paella/internal/metrics"
 	"paella/internal/sched"
 	"paella/internal/sim"
@@ -24,6 +25,8 @@ type paellaSystem struct {
 	// coreCfg lets experiments override dispatcher constants (e.g. the
 	// Figure 9 SchedDelay or the overshoot B).
 	tweak func(*core.Config)
+	// injector is the run's fault injector (nil without Options.Faults).
+	injector *fault.Injector
 }
 
 // PaellaVariant constructs a Paella system by Table 3 name:
@@ -90,6 +93,19 @@ func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	cfg := core.DefaultConfig(pol)
 	cfg.Mode = s.mode
 	cfg.VRAM = opts.VRAM
+	if opts.Faults != nil && s.mode == core.ModeGated {
+		// A faulty run arms the recovery machinery: tolerant notification
+		// handling plus the kernel watchdog (healthy runs leave it off so
+		// their event sequences — and golden traces — are untouched).
+		cfg.FaultTolerant = true
+		if cfg.KernelTimeout == 0 {
+			grace := opts.KernelTimeoutGrace
+			if grace <= 0 {
+				grace = 50 * sim.Microsecond
+			}
+			cfg.KernelTimeout = grace
+		}
+	}
 	if s.tweak != nil {
 		s.tweak(&cfg)
 	}
@@ -112,8 +128,24 @@ func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	}
 	s.nextID = 0
 	s.disp.Start()
+	if opts.Faults != nil && s.mode == core.ModeGated {
+		inj, err := fault.NewInjector(env, opts.Faults, fault.Targets{
+			Device:     s.disp.Device(),
+			Dispatcher: s.disp,
+			Conns:      s.conns,
+		})
+		if err != nil {
+			return err
+		}
+		inj.Install()
+		s.injector = inj
+	}
 	return nil
 }
+
+// Injector returns the run's fault injector, or nil when Options.Faults
+// was unset.
+func (s *paellaSystem) Injector() *fault.Injector { return s.injector }
 
 func (s *paellaSystem) Submit(req workload.Request) {
 	s.nextID++

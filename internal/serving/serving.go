@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"paella/internal/compiler"
+	"paella/internal/fault"
 	"paella/internal/gpu"
 	"paella/internal/metrics"
 	"paella/internal/model"
@@ -54,6 +55,15 @@ type Options struct {
 	// disables tracing with zero overhead and bit-identical simulation
 	// behaviour.
 	Trace *trace.Recorder
+	// Faults, when non-nil, installs the plan's fault schedule into the run
+	// (internal/fault) and arms the gated Paella dispatcher's recovery
+	// machinery (watchdog, tolerant notification handling). Only the gated
+	// Paella variants consume it — the baseline systems model no fault
+	// handling, as their real counterparts crash or hang.
+	Faults *fault.Plan
+	// KernelTimeoutGrace overrides the watchdog grace period armed when
+	// Faults is set (default 50µs beyond each kernel's serial upper bound).
+	KernelTimeoutGrace sim.Time
 }
 
 // DefaultOptions returns a T4 setup with the full Table 2 zoo.

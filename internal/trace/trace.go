@@ -1,7 +1,10 @@
 // Package trace is the simulator's structured tracing subsystem: an
 // append-only event buffer keyed by virtual time that every layer of the
 // stack (internal/sim actors, the GPU device model, the CUDA runtime, the
-// dispatcher, the VRAM manager, the cluster balancer) can emit into.
+// dispatcher, the VRAM manager, the cluster balancer) can emit into. It
+// makes the paper's timelines first-class artifacts: Figure 1's per-SM
+// schedules, §5.2's dispatch decisions and occupancy mirror, and §4.2's
+// per-job lifecycle phases all render directly from one recording.
 //
 // Three event shapes are recorded:
 //

@@ -87,6 +87,9 @@ type Stats struct {
 	Loads uint64
 	// Evictions counts models evicted to make room.
 	Evictions uint64
+	// LoadAborts counts loads abandoned mid-transfer (AbortLoad: a failed
+	// H2D weight copy under fault injection).
+	LoadAborts uint64
 	// BytesLoaded totals weight bytes transferred host→device.
 	BytesLoaded int64
 	// BytesEvicted totals weight bytes dropped by eviction.
@@ -125,7 +128,10 @@ type Manager struct {
 	cfg         Config
 	totalBlocks int
 	usedBlocks  int
-	entries     map[string]*entry
+	// pressureBlocks is memory carved out by ReservePressure (fault
+	// injection: a co-tenant allocation spike); counted inside usedBlocks.
+	pressureBlocks int
+	entries        map[string]*entry
 
 	// OnEvict, if set, observes each victim while it is in the Evicting
 	// state (metrics hooks, tests).
@@ -292,6 +298,75 @@ func (m *Manager) BeginLoad(name string, now sim.Time) error {
 	return nil
 }
 
+// AbortLoad abandons an in-flight load (the H2D weight copy failed):
+// loading → cold, blocks freed. The caller decides whether to retry; the
+// manager only unwinds the allocation.
+func (m *Manager) AbortLoad(name string, now sim.Time) {
+	e := m.get(name)
+	m.lastNow = now
+	if e.state != Loading {
+		panic(fmt.Sprintf("vram: AbortLoad of %s model %q", e.state, name))
+	}
+	e.state = Cold
+	m.usedBlocks -= e.blocks
+	m.stats.LoadAborts++
+	// The failed transfer still moved no usable bytes; keep BytesLoaded as
+	// the attempted total (it counts H2D traffic, and the wire time was
+	// genuinely spent) but record the abort.
+	if m.rec != nil {
+		m.rec.InstantArgs(m.evTrack, name, "vram-load-abort", now, trace.Int("bytes", e.bytes))
+		m.traceUsed()
+	}
+}
+
+// ReservePressure carves up to `blocks` blocks out of the budget without
+// binding them to any model — fault injection's co-tenant allocation spike.
+// LRU unpinned residents are evicted to make room; if less than the full
+// request is reclaimable the spike takes what it can. Returns the blocks
+// actually reserved (add to a later ReleasePressure).
+func (m *Manager) ReservePressure(blocks int, now sim.Time) int {
+	if blocks <= 0 {
+		return 0
+	}
+	m.lastNow = now
+	if err := m.ensureFree(blocks); err != nil {
+		// Partial pressure: take whatever is currently free.
+		blocks = m.totalBlocks - m.usedBlocks
+		if blocks <= 0 {
+			return 0
+		}
+	}
+	m.usedBlocks += blocks
+	m.pressureBlocks += blocks
+	if m.rec != nil {
+		m.rec.InstantArgs(m.evTrack, "pressure", "vram-pressure", now,
+			trace.Int("bytes", int64(blocks)*m.cfg.BlockBytes))
+		m.traceUsed()
+	}
+	return blocks
+}
+
+// ReleasePressure returns previously reserved pressure blocks to the
+// budget. Releasing more than is held panics (an injector bookkeeping bug).
+func (m *Manager) ReleasePressure(blocks int, now sim.Time) {
+	if blocks <= 0 {
+		return
+	}
+	m.lastNow = now
+	if blocks > m.pressureBlocks {
+		panic(fmt.Sprintf("vram: releasing %d pressure blocks, holding %d", blocks, m.pressureBlocks))
+	}
+	m.pressureBlocks -= blocks
+	m.usedBlocks -= blocks
+	if m.rec != nil {
+		m.rec.Instant(m.evTrack, "pressure-released", "vram-pressure", now)
+		m.traceUsed()
+	}
+}
+
+// PressureBlocks returns the blocks currently held by injected pressure.
+func (m *Manager) PressureBlocks() int { return m.pressureBlocks }
+
 // FinishLoad completes a load: loading → resident.
 func (m *Manager) FinishLoad(name string, now sim.Time) {
 	e := m.get(name)
@@ -429,8 +504,9 @@ func (m *Manager) CheckInvariants() {
 			panic(fmt.Sprintf("vram: model %q pin count %d", name, e.pinned))
 		}
 	}
-	if sum != m.usedBlocks {
-		panic(fmt.Sprintf("vram: used blocks %d but models hold %d", m.usedBlocks, sum))
+	if sum+m.pressureBlocks != m.usedBlocks {
+		panic(fmt.Sprintf("vram: used blocks %d but models hold %d and pressure %d",
+			m.usedBlocks, sum, m.pressureBlocks))
 	}
 	if m.usedBlocks > m.totalBlocks {
 		panic(fmt.Sprintf("vram: used %d of %d blocks", m.usedBlocks, m.totalBlocks))
