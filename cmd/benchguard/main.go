@@ -1,0 +1,102 @@
+// Command benchguard is the CI bench-regression gate for the committed
+// BENCH_scale.json. It re-runs the scale experiment's quick sweep
+// in-process and compares the result against the committed document:
+//
+//   - Hard failures (exit 1): the committed file is missing, unparsable,
+//     or structurally wrong; the committed largest cell does not carry a
+//     ≥2× speedup over the seed baseline; any freshly-run cell reports
+//     World serial and parallel as non-identical.
+//   - Advisory (exit 0 with a warning): the fresh quick run's engine
+//     throughput falls below a generous floor relative to the committed
+//     numbers. Timing on shared CI machines is noisy, so only an order-of-
+//     magnitude collapse is treated as a real regression.
+//
+// Usage:
+//
+//	go run ./cmd/benchguard [-ref BENCH_scale.json] [-min-speedup 2.0] [-floor 0.1]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paella/internal/experiments"
+)
+
+func main() {
+	ref := flag.String("ref", "BENCH_scale.json", "committed scale benchmark document")
+	minSpeedup := flag.Float64("min-speedup", 2.0, "required speedup over the seed baseline in the committed document")
+	floor := flag.Float64("floor", 0.1, "fresh events/s may not fall below this fraction of the committed rate (hard gate)")
+	flag.Parse()
+
+	data, err := os.ReadFile(*ref)
+	if err != nil {
+		fatal("reading reference: %v", err)
+	}
+	var committed experiments.ScaleReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		fatal("parsing %s: %v", *ref, err)
+	}
+	if committed.Schema != "paella-scale-bench/v1" {
+		fatal("%s: unexpected schema %q", *ref, committed.Schema)
+	}
+	if len(committed.Cells) == 0 {
+		fatal("%s: no cells", *ref)
+	}
+	for _, c := range committed.Cells {
+		if !c.Identical {
+			fatal("%s: committed cell replicas=%d recorded serial/parallel divergence", *ref, c.Replicas)
+		}
+		if len(c.Engines) != 3 {
+			fatal("%s: committed cell replicas=%d has %d engines, want 3", *ref, c.Replicas, len(c.Engines))
+		}
+	}
+	last := committed.Cells[len(committed.Cells)-1]
+	if committed.SeedBaseline == nil {
+		fatal("%s: missing seed_baseline", *ref)
+	}
+	if committed.SpeedupVsSeed < *minSpeedup {
+		fatal("%s: speedup_vs_seed %.2f < required %.2f", *ref, committed.SpeedupVsSeed, *minSpeedup)
+	}
+	fmt.Printf("committed: largest cell %d replicas × %d jobs, %.2fx over seed %s\n",
+		last.Replicas, last.Jobs, committed.SpeedupVsSeed, committed.SeedBaseline.Commit)
+
+	// Fresh quick run. The scale experiment itself fails on any
+	// serial/parallel metric divergence, which is the correctness half of
+	// this gate.
+	exp, err := experiments.ByName("scale")
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println("running quick scale sweep...")
+	if err := exp.Run(os.Stdout, experiments.Quick); err != nil {
+		fatal("quick scale run failed: %v", err)
+	}
+
+	// Timing gate: compare the committed legacy-engine event rate to a
+	// second, tiny in-process measurement. CI boxes differ wildly from the
+	// machine that generated the committed file, so only a collapse below
+	// floor × committed is fatal; anything else is advisory.
+	refRate := last.Engines[0].EventsPS
+	fresh, err := experiments.MeasureScaleCell(1, 400)
+	if err != nil {
+		fatal("measuring fresh cell: %v", err)
+	}
+	ratio := fresh.EventsPS / refRate
+	fmt.Printf("engine rate: fresh %.0f ev/s vs committed %.0f ev/s (%.2fx)\n",
+		fresh.EventsPS, refRate, ratio)
+	switch {
+	case ratio < *floor:
+		fatal("engine event rate collapsed below %.0f%% of the committed rate", *floor*100)
+	case ratio < 0.5:
+		fmt.Println("warning: engine event rate below half the committed rate (advisory; CI hardware varies)")
+	}
+	fmt.Println("benchguard: OK")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -11,6 +11,12 @@
 //
 //	paella-sim -system Paella -models synth:16 -vram 256 -zipf 1.1 \
 //	           -rate 250 -jobs 2000
+//
+// A multi-GPU cluster on the conservative-window engine (internal/cluster),
+// with replica shards executing in parallel:
+//
+//	paella-sim -replicas 8 -parallel -balancer least-loaded \
+//	           -rate 2000 -jobs 20000 -models synth:8 -zipf 1.1
 package main
 
 import (
@@ -21,10 +27,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"paella/internal/cluster"
+	"paella/internal/core"
 	"paella/internal/fault"
 	"paella/internal/gpu"
 	"paella/internal/model"
+	"paella/internal/sched"
 	"paella/internal/serving"
 	"paella/internal/sim"
 	"paella/internal/trace"
@@ -51,6 +61,10 @@ func main() {
 		trcCSV  = flag.String("trace-csv", "", "write the counter time-series as CSV")
 		faults  = flag.String("faults", "", "JSON fault plan (internal/fault); arms the dispatcher's recovery machinery")
 		chaosI  = flag.Float64("chaos", 0, "synthesize a fault plan at this intensity in (0,1] instead of -faults")
+		nrepl   = flag.Int("replicas", 1, "number of cluster replicas (GPUs); >1 runs the conservative-window cluster engine")
+		par     = flag.Bool("parallel", false, "execute replica shards on goroutines (bit-identical to serial); requires -replicas > 1")
+		window  = flag.Duration("window", 50*time.Microsecond, "conservative synchronization window (with -replicas > 1)")
+		balName = flag.String("balancer", "least-loaded", "cluster balancer: round-robin | least-loaded | model-affinity | residency-aware")
 	)
 	flag.Parse()
 
@@ -145,6 +159,21 @@ func main() {
 		opts.Faults = fault.Synthesize(*seed, *chaosI, reqs[len(reqs)-1].At, opts.DevCfg.NumSMs)
 	}
 
+	if *nrepl > 1 {
+		if *system != "Paella" {
+			fatal("-replicas > 1 runs the gated Paella dispatcher per replica; -system must be Paella")
+		}
+		if *trcCSV != "" {
+			fatal("-trace-csv is not supported with -replicas > 1 (use -trace-out for the merged trace)")
+		}
+		runCluster(opts, reqs, *nrepl, *par, sim.Time((*window).Nanoseconds()), *balName,
+			*jobs, *rate, *sigma, *clients, names, *asJSON, *perMod, *trcOut, *vramMiB)
+		return
+	}
+	if *par {
+		fatal("-parallel requires -replicas > 1")
+	}
+
 	if *trcOut != "" || *trcCSV != "" {
 		opts.Trace = trace.New()
 	}
@@ -200,6 +229,158 @@ func main() {
 			*vramMiB, col.ColdStarts(), 100*col.WarmHitRatio(), col.MeanLoadNs())
 	}
 	if *perMod {
+		for _, name := range names {
+			sub := col.FilterModel(name)
+			if sub.Len() == 0 {
+				continue
+			}
+			fmt.Printf("  %-16s n=%-5d p50=%-12v p99=%-12v mean=%v\n",
+				name, sub.Len(), sub.P50(), sub.P99(), sub.MeanJCT())
+		}
+	}
+}
+
+// runCluster executes the workload on a multi-replica cluster driven by the
+// conservative-window engine (sim.World): one shard Env per replica —
+// dispatcher, GPU, PCIe link, VRAM state — with routing, failover, and
+// terminal delivery serialized on the control Env. Serial and parallel shard
+// execution produce bit-identical results; -parallel only changes wall-clock
+// time.
+func runCluster(opts serving.Options, reqs []workload.Request, replicas int, parallel bool,
+	window sim.Time, balName string, jobs int, rate, sigma float64, clients int,
+	names []string, asJSON, perMod bool, trcOut string, vramMiB int64) {
+	var bal cluster.Balancer
+	switch balName {
+	case "round-robin":
+		bal = cluster.NewRoundRobin()
+	case "least-loaded":
+		bal = cluster.NewLeastLoaded()
+	case "model-affinity":
+		bal = cluster.NewModelAffinity(0)
+	case "residency-aware":
+		bal = cluster.NewResidencyAware(nil)
+	default:
+		fatal("unknown balancer %q", balName)
+	}
+
+	w := sim.NewWorld()
+	w.SetWindow(window)
+	w.SetParallel(parallel)
+	defer w.Close()
+
+	var ctrlRec *trace.Recorder
+	shardRecs := make([]*trace.Recorder, replicas)
+	if trcOut != "" {
+		ctrlRec = trace.New()
+		w.Ctrl().SetRecorder(ctrlRec)
+	}
+	devs := make([]gpu.Config, replicas)
+	for i := range devs {
+		devs[i] = opts.DevCfg
+	}
+	c, err := cluster.NewWorldWithConfig(w, devs, func(int, gpu.Config) core.Config {
+		cfg := core.DefaultConfig(sched.NewPaella(serving.DefaultFairnessThreshold))
+		cfg.VRAM = opts.VRAM
+		if opts.Faults != nil {
+			// Mirror the serving layer: a faulty run arms tolerant
+			// notification handling plus the kernel watchdog.
+			cfg.FaultTolerant = true
+			cfg.KernelTimeout = 50 * sim.Microsecond
+		}
+		return cfg
+	}, bal, func(i int, shard *sim.Env) {
+		if trcOut != "" {
+			shardRecs[i] = trace.New()
+			shard.SetRecorder(shardRecs[i])
+		}
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	for _, m := range opts.Models {
+		if err := c.RegisterModel(m, opts.CompilerCfg, opts.ProfileRuns); err != nil {
+			fatal("%v", err)
+		}
+	}
+
+	conn := c.Connect()
+	completed, failed := 0, 0
+	conn.OnComplete = func(uint64) { completed++ }
+	conn.OnFailed = func(uint64, error) { failed++ }
+
+	if opts.Faults != nil {
+		inj, ierr := fault.NewInjector(w.Ctrl(), opts.Faults, fault.Targets{
+			Device:     c.Dispatcher(0).Device(),
+			Dispatcher: c.Dispatcher(0),
+			Cluster:    c,
+		})
+		if ierr != nil {
+			fatal("%v", ierr)
+		}
+		inj.Install()
+	}
+
+	var submit func(req core.Request)
+	submit = func(req core.Request) {
+		if conn.Submit(req) < 0 && c.LiveReplicas() > 0 {
+			// Ring full at extreme overload: retry shortly (the client
+			// library's backoff), keeping the original submit time so the
+			// backoff shows up in JCT.
+			w.Ctrl().After(20*sim.Microsecond, func() { submit(req) })
+		}
+	}
+	for i, r := range reqs {
+		id, req := uint64(i+1), r
+		w.Ctrl().At(r.At, func() {
+			submit(core.Request{ID: id, Model: req.Model, Client: req.Client, Submit: w.Ctrl().Now()})
+		})
+	}
+	w.RunUntil(opts.MaxSimTime)
+
+	if trcOut != "" {
+		recs := append([]*trace.Recorder{ctrlRec}, shardRecs...)
+		writeTrace(trcOut, func(out io.Writer) error {
+			return trace.WriteChromeTraceAll(out, recs...)
+		})
+	}
+
+	col := c.Collector()
+	if asJSON {
+		if err := col.WriteJSON(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	mode := "serial"
+	if parallel {
+		mode = "parallel"
+	}
+	fmt.Printf("system     : Paella ×%d replicas, balancer=%s\n", replicas, bal.Name())
+	fmt.Printf("engine     : conservative-window %s, Δ=%v\n", mode, time.Duration(window))
+	fmt.Printf("workload   : %d jobs, %.0f req/s offered, σ=%.1f, %d clients, models=%s\n",
+		jobs, rate, sigma, clients, strings.Join(names, ","))
+	fmt.Printf("completed  : %d (%.1f%%)\n", completed, 100*float64(completed)/float64(jobs))
+	fmt.Printf("throughput : %.1f req/s\n", col.Throughput())
+	fmt.Printf("latency    : p50=%v p99=%v mean=%v\n", col.P50(), col.P99(), col.MeanJCT())
+	if opts.Faults != nil {
+		fmt.Printf("faults     : %d planned events (seed %d); ok=%d failed=%d lost=%d (crashed=%d live=%d)\n",
+			len(opts.Faults.Events), opts.Faults.Seed, completed, failed,
+			jobs-completed-failed, c.Crashes(), c.LiveReplicas())
+		reasons := col.FailuresByReason()
+		keys := make([]string, 0, len(reasons))
+		for k := range reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("             %4d × %s\n", reasons[k], k)
+		}
+	}
+	if vramMiB > 0 {
+		fmt.Printf("vram       : budget=%dMiB/replica cold-starts=%d warm-hit=%.1f%% mean-load=%v\n",
+			vramMiB, col.ColdStarts(), 100*col.WarmHitRatio(), col.MeanLoadNs())
+	}
+	if perMod {
 		for _, name := range names {
 			sub := col.FilterModel(name)
 			if sub.Len() == 0 {

@@ -1,0 +1,63 @@
+// Command scalebench times the cluster event loop on a zipf workload —
+// the measurement driver behind BENCH_scale.json's seed baseline.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"paella/internal/cluster"
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func main() {
+	replicas, _ := strconv.Atoi(os.Args[1])
+	jobs, _ := strconv.Atoi(os.Args[2])
+	models := model.SyntheticZoo(8)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	reqs := workload.MustGenerate(workload.Spec{
+		Mix: workload.ZipfMix(names, 1.1), Sigma: 2,
+		RatePerSec: 800 * float64(replicas), Jobs: jobs, Clients: 8, Seed: 42,
+	})
+	devs := make([]gpu.Config, replicas)
+	for i := range devs {
+		devs[i] = gpu.TeslaT4()
+	}
+	env := sim.NewEnv()
+	c, err := cluster.New(env, devs, func() sched.Policy { return sched.NewPaella(10000) }, cluster.NewLeastLoaded())
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range models {
+		if err := c.RegisterModel(m, compiler.DefaultConfig(), 1); err != nil {
+			panic(err)
+		}
+	}
+	conn := c.Connect()
+	done := 0
+	conn.OnComplete = func(uint64) { done++ }
+	for i, r := range reqs {
+		id, mdl := uint64(i+1), r.Model
+		env.At(r.At, func() {
+			conn.Submit(core.Request{ID: id, Model: mdl, Submit: env.Now()})
+		})
+	}
+	stop := startProfile()
+	start := time.Now()
+	env.RunUntil(reqs[len(reqs)-1].At + 8*sim.Second)
+	el := time.Since(start)
+	stop()
+	fmt.Printf("replicas=%d jobs=%d completed=%d steps=%d wall=%v\n",
+		replicas, jobs, done, env.Steps(), el)
+}

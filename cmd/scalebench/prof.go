@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+func startProfile() func() {
+	cpu := os.Getenv("SCALEBENCH_CPUPROFILE")
+	mem := os.Getenv("SCALEBENCH_MEMPROFILE")
+	var f *os.File
+	if cpu != "" {
+		var err error
+		f, err = os.Create(cpu)
+		if err != nil {
+			panic(err)
+		}
+		pprof.StartCPUProfile(f)
+	}
+	return func() {
+		if f != nil {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		if mem != "" {
+			mf, err := os.Create(mem)
+			if err != nil {
+				panic(err)
+			}
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(mf, 0)
+			mf.Close()
+		}
+	}
+}

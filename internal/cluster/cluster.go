@@ -10,7 +10,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
 
 	"paella/internal/compiler"
 	"paella/internal/core"
@@ -185,7 +184,13 @@ func pickLeastLoadedWhere(gpus []GPUView, ok func(GPUView) bool) int {
 
 // Cluster is a set of Paella instances behind one balancer.
 type Cluster struct {
-	env      *sim.Env
+	env *sim.Env
+	// world is non-nil when the cluster runs on the conservative-window
+	// engine: each dispatcher lives on its own shard Env (shard index ==
+	// replica index), env is the world's control Env, and all cross-replica
+	// work — routing, failover, terminal delivery — executes as control
+	// events with the shards parked at a barrier.
+	world    *sim.World
 	disps    []*core.Dispatcher
 	balancer Balancer
 	views    []GPUView
@@ -220,10 +225,36 @@ func New(env *sim.Env, devs []gpu.Config, mkPolicy func() sched.Policy, b Balanc
 // modes, or tuned dispatcher costs. mkCfg is called once per device with
 // its index and configuration.
 func NewWithConfig(env *sim.Env, devs []gpu.Config, mkCfg func(i int, dev gpu.Config) core.Config, b Balancer) (*Cluster, error) {
+	return build(env, nil, devs, mkCfg, b, nil)
+}
+
+// NewWorld builds a cluster on a sim.World: each replica (dispatcher, GPU,
+// cudart/PCIe link, VRAM state) is placed on its own shard Env, so replica
+// windows can execute concurrently while routing, failover, and terminal
+// delivery serialize on the control Env. Request generators and fault
+// injectors must schedule on w.Ctrl(). The world must have no shards yet.
+func NewWorld(w *sim.World, devs []gpu.Config, mkPolicy func() sched.Policy, b Balancer) (*Cluster, error) {
+	return NewWorldWithConfig(w, devs, func(int, gpu.Config) core.Config {
+		return core.DefaultConfig(mkPolicy())
+	}, b, nil)
+}
+
+// NewWorldWithConfig is NewWorld with a per-device dispatcher configuration
+// and an optional setup hook invoked with each replica's shard Env before
+// the dispatcher is built on it (e.g. to attach a per-replica trace
+// recorder).
+func NewWorldWithConfig(w *sim.World, devs []gpu.Config, mkCfg func(i int, dev gpu.Config) core.Config, b Balancer, setup func(i int, shard *sim.Env)) (*Cluster, error) {
+	if w.NumShards() != 0 {
+		return nil, fmt.Errorf("cluster: world already has %d shards", w.NumShards())
+	}
+	return build(w.Ctrl(), w, devs, mkCfg, b, setup)
+}
+
+func build(env *sim.Env, w *sim.World, devs []gpu.Config, mkCfg func(i int, dev gpu.Config) core.Config, b Balancer, setup func(i int, shard *sim.Env)) (*Cluster, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("cluster: no devices")
 	}
-	c := &Cluster{env: env, balancer: b, inflight: make([]int, len(devs)), alive: make([]bool, len(devs))}
+	c := &Cluster{env: env, world: w, balancer: b, inflight: make([]int, len(devs)), alive: make([]bool, len(devs))}
 	for i := range c.alive {
 		c.alive[i] = true
 	}
@@ -232,7 +263,14 @@ func NewWithConfig(env *sim.Env, devs []gpu.Config, mkCfg func(i int, dev gpu.Co
 		c.routeTrack = rec.Thread(rec.Process("cluster"), "route")
 	}
 	for i, dev := range devs {
-		d := core.NewWithDevice(env, dev, mkCfg(i, dev))
+		denv := env
+		if w != nil {
+			denv = w.AddShard()
+			if setup != nil {
+				setup(i, denv)
+			}
+		}
+		d := core.NewWithDevice(denv, dev, mkCfg(i, dev))
 		d.Start()
 		c.disps = append(c.disps, d)
 		c.views = append(c.views, GPUView{
@@ -242,6 +280,10 @@ func NewWithConfig(env *sim.Env, devs []gpu.Config, mkCfg func(i int, dev gpu.Co
 	}
 	return c, nil
 }
+
+// World returns the conservative-window engine the cluster runs on, or nil
+// when it runs on a single serial Env.
+func (c *Cluster) World() *sim.World { return c.world }
 
 // Size returns the number of GPUs.
 func (c *Cluster) Size() int { return len(c.disps) }
@@ -276,6 +318,13 @@ type Conn struct {
 	// pending maps each outstanding request to its current route (and keeps
 	// the original request for failover re-submission).
 	pending map[uint64]route
+	// order lists outstanding request ids in submission order. Failover
+	// walks it so crashed requests re-enter the balancer in the order they
+	// were submitted — an explicit insertion-ordered structure rather than
+	// map iteration (nondeterministic) or an id sort (wrong order if ids
+	// are not monotone). Entries are removed lazily: ids no longer pending
+	// (or re-routed since) are skipped and periodically compacted away.
+	order []uint64
 
 	// OnComplete receives every finished request id, whichever GPU served
 	// it.
@@ -297,8 +346,23 @@ func (c *Cluster) Connect() *Conn {
 	for g, d := range c.disps {
 		g := g
 		conn := d.Connect()
-		conn.OnComplete = func(id uint64) { cn.terminal(g, id, nil) }
-		conn.OnFailed = func(id uint64, err error) { cn.terminal(g, id, err) }
+		if w := c.world; w != nil {
+			// The dispatcher's callbacks fire as replica-shard events;
+			// terminal touches cluster-wide state (pending, inflight, the
+			// user callbacks), so it must cross to the control timeline.
+			// Post stamps the true delivery time and the barrier replays
+			// posts in canonical order, keeping runs bit-identical whether
+			// shards executed serially or in parallel.
+			conn.OnComplete = func(id uint64) {
+				w.Post(g, func() { cn.terminal(g, id, nil) })
+			}
+			conn.OnFailed = func(id uint64, err error) {
+				w.Post(g, func() { cn.terminal(g, id, err) })
+			}
+		} else {
+			conn.OnComplete = func(id uint64) { cn.terminal(g, id, nil) }
+			conn.OnFailed = func(id uint64, err error) { cn.terminal(g, id, err) }
+		}
 		cn.conns = append(cn.conns, conn)
 	}
 	c.conns = append(c.conns, cn)
@@ -371,8 +435,26 @@ func (cn *Conn) Submit(req core.Request) int {
 		return -1
 	}
 	cn.pending[req.ID] = route{gpu: g, req: orig}
+	cn.order = append(cn.order, req.ID)
+	if len(cn.order) > 4*len(cn.pending)+16 {
+		cn.compactOrder()
+	}
 	c.inflight[g]++
 	return g
+}
+
+// compactOrder drops order entries for requests that have terminated,
+// keeping the first (original-submission) occurrence of each pending id.
+func (cn *Conn) compactOrder() {
+	kept := cn.order[:0]
+	seen := make(map[uint64]bool, len(cn.pending))
+	for _, id := range cn.order {
+		if _, ok := cn.pending[id]; ok && !seen[id] {
+			seen[id] = true
+			kept = append(kept, id)
+		}
+	}
+	cn.order = kept
 }
 
 // Crash kills replica i (fault injection: the whole serving process died).
@@ -398,18 +480,23 @@ func (c *Cluster) Crash(i int) {
 	}
 }
 
-// failover re-routes the connection's requests pending on crashed GPU g.
-// Ids are visited in sorted order for determinism.
+// failover re-routes the connection's requests pending on crashed GPU g, in
+// submission order (via the insertion-ordered id list — never map
+// iteration, whose order varies run to run).
 func (cn *Conn) failover(g int) {
 	var ids []uint64
-	for id, rt := range cn.pending {
-		if rt.gpu == g {
+	for _, id := range cn.order {
+		if rt, ok := cn.pending[id]; ok && rt.gpu == g {
 			ids = append(ids, id)
 		}
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	for _, id := range ids {
-		rt := cn.pending[id]
+		rt, ok := cn.pending[id]
+		if !ok || rt.gpu != g {
+			// A duplicate order entry for an id that was already failed
+			// over (and is now routed elsewhere, or terminated).
+			continue
+		}
 		delete(cn.pending, id)
 		cn.cluster.inflight[g]--
 		if cn.Submit(rt.req) < 0 {

@@ -1,0 +1,211 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"paella/internal/cluster"
+	"paella/internal/compiler"
+	"paella/internal/core"
+	"paella/internal/fault"
+	"paella/internal/gpu"
+	"paella/internal/model"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/trace"
+)
+
+// worldRunResult captures everything observable about one cluster run:
+// metrics (every per-request record, JSON-encoded), the failure summary,
+// and the merged Perfetto trace bytes.
+type worldRunResult struct {
+	metricsJSON string
+	failures    string
+	traceBytes  string
+	completed   int
+	failed      int
+}
+
+// chaosLowPlan is the identity matrix's non-trivial fault column: a
+// notification drop/dup fault and a PCIe brownout on replica 0, then a full
+// replica-0 crash mid-run forcing failover.
+func chaosLowPlan(seed int64) *fault.Plan {
+	return &fault.Plan{
+		Seed: seed,
+		Events: []fault.Event{
+			{At: 200 * sim.Microsecond, Kind: fault.KindDropNotifs, Drop: 0.05, Dup: 0.02},
+			{At: 400 * sim.Microsecond, Kind: fault.KindPCIeBrownout, Factor: 0.5},
+			{At: 900 * sim.Microsecond, Kind: fault.KindPCIeRestore},
+			{At: 1200 * sim.Microsecond, Kind: fault.KindCrashReplica, Replica: 0},
+		},
+	}
+}
+
+// runWorldCluster executes one cell of the matrix on the World engine.
+func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, plan *fault.Plan, parallel, traced bool) worldRunResult {
+	t.Helper()
+	w := sim.NewWorld()
+	w.SetParallel(parallel)
+	defer w.Close()
+	var ctrlRec *trace.Recorder
+	shardRecs := make([]*trace.Recorder, 4)
+	if traced {
+		ctrlRec = trace.New()
+		w.Ctrl().SetRecorder(ctrlRec)
+	}
+	devs := []gpu.Config{gpu.TeslaT4(), gpu.TeslaT4(), gpu.TeslaT4(), gpu.TeslaT4()}
+	c, err := cluster.NewWorldWithConfig(w, devs, func(int, gpu.Config) core.Config {
+		cfg := core.DefaultConfig(sched.NewPaella(10000))
+		if plan != nil {
+			// Faulty cells arm the recovery machinery, mirroring how the
+			// serving layer runs fault plans: tolerant notification handling
+			// plus the kernel watchdog.
+			cfg.FaultTolerant = true
+			cfg.KernelTimeout = 50 * sim.Microsecond
+		}
+		return cfg
+	}, mkBal(), func(i int, shard *sim.Env) {
+		if traced {
+			shardRecs[i] = trace.New()
+			shard.SetRecorder(shardRecs[i])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterModel(model.TinyNet(), compiler.DefaultConfig(), 1); err != nil {
+		t.Fatal(err)
+	}
+	conn := c.Connect()
+	res := worldRunResult{}
+	fails := map[uint64]string{}
+	conn.OnComplete = func(uint64) { res.completed++ }
+	conn.OnFailed = func(id uint64, err error) {
+		res.failed++
+		fails[id] = err.Error()
+	}
+
+	if plan != nil {
+		inj, err := fault.NewInjector(w.Ctrl(), plan, fault.Targets{
+			Device:     c.Dispatcher(0).Device(),
+			Dispatcher: c.Dispatcher(0),
+			Cluster:    c,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj.Install()
+	}
+
+	// Deterministic open-loop arrivals from the seed (ids 1..n).
+	rng := rand.New(rand.NewSource(seed))
+	const n = 90
+	at := sim.Time(0)
+	last := sim.Time(0)
+	for i := 0; i < n; i++ {
+		at += sim.Time(rng.Intn(60)+5) * sim.Microsecond
+		last = at
+		id := uint64(i + 1)
+		w.Ctrl().At(at, func() {
+			conn.Submit(core.Request{ID: id, Model: "tinynet", Submit: w.Ctrl().Now()})
+		})
+	}
+	w.RunUntil(last + 4*sim.Second)
+
+	recs := c.Collector().Records()
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	mj, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.metricsJSON = string(mj)
+	var fids []uint64
+	for id := range fails {
+		fids = append(fids, id)
+	}
+	sort.Slice(fids, func(a, b int) bool { return fids[a] < fids[b] })
+	for _, id := range fids {
+		res.failures += fmt.Sprintf("%d:%s;", id, fails[id])
+	}
+	if traced {
+		var buf bytes.Buffer
+		all := []*trace.Recorder{ctrlRec}
+		all = append(all, shardRecs...)
+		if err := trace.WriteChromeTraceAll(&buf, all...); err != nil {
+			t.Fatal(err)
+		}
+		res.traceBytes = buf.String()
+	}
+	return res
+}
+
+// TestWorldSerialParallelBitIdentical is the acceptance-criterion matrix:
+// seeds × balancers × fault plans, each cell run serially and in parallel
+// on the World engine, comparing per-request metrics JSON, failure
+// summaries, and (on the traced cells) merged Perfetto trace bytes.
+func TestWorldSerialParallelBitIdentical(t *testing.T) {
+	balancers := []struct {
+		name string
+		mk   func() cluster.Balancer
+	}{
+		{"round-robin", cluster.NewRoundRobin},
+		{"least-loaded", cluster.NewLeastLoaded},
+		{"residency-aware", func() cluster.Balancer { return cluster.NewResidencyAware(nil) }},
+	}
+	plans := []struct {
+		name string
+		mk   func(seed int64) *fault.Plan
+	}{
+		{"none", func(int64) *fault.Plan { return nil }},
+		{"chaos-low", chaosLowPlan},
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		for _, b := range balancers {
+			for _, p := range plans {
+				name := fmt.Sprintf("seed%d/%s/%s", seed, b.name, p.name)
+				t.Run(name, func(t *testing.T) {
+					// Trace a deterministic subset: full trace comparison is
+					// the expensive axis, one seed of it per cell suffices.
+					traced := seed == 3
+					serial := runWorldCluster(t, seed, b.mk, p.mk(seed), false, traced)
+					par := runWorldCluster(t, seed, b.mk, p.mk(seed), true, traced)
+					if serial.completed == 0 {
+						t.Fatal("no requests completed; workload broken")
+					}
+					if serial.completed+serial.failed != 90 {
+						t.Fatalf("conservation: %d completed + %d failed != 90",
+							serial.completed, serial.failed)
+					}
+					if serial.completed != par.completed || serial.failed != par.failed {
+						t.Fatalf("outcome counts diverge: serial %d/%d, parallel %d/%d",
+							serial.completed, serial.failed, par.completed, par.failed)
+					}
+					if serial.metricsJSON != par.metricsJSON {
+						t.Fatal("per-request metrics JSON diverges between serial and parallel")
+					}
+					if serial.failures != par.failures {
+						t.Fatalf("failure summaries diverge:\n serial: %s\n parallel: %s",
+							serial.failures, par.failures)
+					}
+					if serial.traceBytes != par.traceBytes {
+						t.Fatal("merged trace bytes diverge between serial and parallel")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWorldRunRepeatable: the same seed twice on the parallel engine gives
+// identical bytes — determinism across runs, not just across modes.
+func TestWorldRunRepeatable(t *testing.T) {
+	a := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true)
+	b := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true)
+	if a.metricsJSON != b.metricsJSON || a.failures != b.failures || a.traceBytes != b.traceBytes {
+		t.Fatal("parallel runs with identical seeds diverge")
+	}
+}

@@ -1,0 +1,50 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFaultPlanJSON fuzzes the plan codec: ParsePlan must never panic on
+// arbitrary bytes, and any plan it accepts must survive a
+// marshal→parse→marshal round trip unchanged — the property `paella-sim
+// -faults plan.json` and the chaos experiment rely on to replay identical
+// schedules from a file.
+func FuzzFaultPlanJSON(f *testing.F) {
+	f.Add([]byte(`{"seed":7,"events":[{"at_ns":1000,"kind":"retire-sm","sm":3}]}`))
+	f.Add([]byte(`{"seed":1,"events":[{"at_ns":0,"kind":"drop-notifs","drop":0.02,"dup":0.005},{"at_ns":5,"kind":"pcie-brownout","factor":0.5}]}`))
+	f.Add([]byte(`{"seed":-1,"events":[{"at_ns":2,"kind":"fail-load","model":"resnet18","count":2}]}`))
+	f.Add([]byte(`{"events":[{"at_ns":-5,"kind":"retire-sm"}]}`)) // invalid: negative time
+	f.Add([]byte(`{"events":[{"kind":"nonsense"}]}`))             // invalid: unknown kind
+	f.Add(Synthesize(42, 0.7, 1e9, 40).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		// Accepted plans re-validate (ParsePlan already validated, but the
+		// pair must agree).
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails Validate: %v", err)
+		}
+		// Sorted is a time-ordered permutation.
+		sorted := p.Sorted()
+		if len(sorted) != len(p.Events) {
+			t.Fatalf("Sorted changed length: %d -> %d", len(p.Events), len(sorted))
+		}
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].At < sorted[i-1].At {
+				t.Fatalf("Sorted not ordered at %d: %d after %d", i, sorted[i].At, sorted[i-1].At)
+			}
+		}
+		// Round trip: marshal → parse → marshal is a fixed point.
+		enc := p.Marshal()
+		p2, err := ParsePlan(enc)
+		if err != nil {
+			t.Fatalf("marshal of a valid plan does not re-parse: %v\n%s", err, enc)
+		}
+		if enc2 := p2.Marshal(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not stable:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

@@ -26,41 +26,51 @@ type smState struct {
 // considered for block placement; a head whose dependencies are unsatisfied
 // stalls the entire queue (§2.1).
 //
-// The queue is a head-indexed slice: popping advances start instead of
-// shifting every remaining element (dequeue used to copy the whole tail,
-// making a deep queue's drain quadratic — see BenchmarkHWQueuePop). The
-// consumed prefix is compacted away once it is both long enough to matter
-// and at least half the backing array, keeping enqueue amortized O(1) and
-// memory bounded by the high-water depth.
+// The queue is a true circular ring over a power-of-two backing array:
+// push and pop are O(1) with no tail copies and no compaction passes, and
+// in steady state (pops keeping up with pushes) the backing array is
+// reused indefinitely — zero allocations after the ring reaches the
+// queue's high-water depth. Compare BenchmarkHWQueuePop with the old
+// tail-shifting dequeue in BenchmarkHWQueuePopShift.
 type hwQueue struct {
-	launches []*Launch
-	start    int
+	buf   []*Launch // power-of-two length ring
+	first int       // index of the head launch
+	count int
 }
 
-func (q *hwQueue) depth() int { return len(q.launches) - q.start }
+func (q *hwQueue) depth() int { return q.count }
 
 func (q *hwQueue) head() *Launch {
-	if q.start >= len(q.launches) {
+	if q.count == 0 {
 		return nil
 	}
-	return q.launches[q.start]
+	return q.buf[q.first]
 }
 
 func (q *hwQueue) push(l *Launch) {
-	q.launches = append(q.launches, l)
+	if q.count == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.first+q.count)&(len(q.buf)-1)] = l
+	q.count++
 }
 
 func (q *hwQueue) popHead() {
-	q.launches[q.start] = nil // release for GC
-	q.start++
-	if q.start >= 32 && q.start*2 >= len(q.launches) {
-		n := copy(q.launches, q.launches[q.start:])
-		for i := n; i < len(q.launches); i++ {
-			q.launches[i] = nil
-		}
-		q.launches = q.launches[:n]
-		q.start = 0
+	q.buf[q.first] = nil // release for GC
+	q.first = (q.first + 1) & (len(q.buf) - 1)
+	q.count--
+}
+
+func (q *hwQueue) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 16
 	}
+	nb := make([]*Launch, n)
+	for i := 0; i < q.count; i++ {
+		nb[i] = q.buf[(q.first+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.first = nb, 0
 }
 
 // Stats aggregates device-lifetime counters.
@@ -125,6 +135,73 @@ type Device struct {
 	// the surviving capacity.
 	onTopology func(online int)
 	offlineSMs int
+
+	// kickFn is the device's single scheduling-pass closure, preallocated so
+	// every kick schedules without allocating.
+	kickFn func()
+	// perSM is placeBlocks' per-wave scratch, reused across calls.
+	perSM []smPlacement
+	// doneFree and postFree recycle the block-completion and
+	// notification-delivery event objects. Each carries a closure
+	// preallocated at construction, so the per-block hot path — the bulk of
+	// all simulation events — schedules with zero allocations in steady
+	// state (see the alloc-free tests in device_test.go).
+	doneFree []*blockDone
+	postFree []*notifPost
+}
+
+// blockDone is a pooled block-completion event: one per (SM, wave).
+type blockDone struct {
+	d      *Device
+	l      *Launch
+	smi, n int
+	fire   func()
+}
+
+func (d *Device) newBlockDone() *blockDone {
+	if n := len(d.doneFree); n > 0 {
+		bd := d.doneFree[n-1]
+		d.doneFree[n-1] = nil
+		d.doneFree = d.doneFree[:n-1]
+		return bd
+	}
+	bd := &blockDone{d: d}
+	bd.fire = func() {
+		l, smi, n := bd.l, bd.smi, bd.n
+		bd.l = nil
+		bd.d.doneFree = append(bd.d.doneFree, bd)
+		bd.d.completeBlocks(l, smi, n)
+	}
+	return bd
+}
+
+// notifPost is a pooled notification-delivery event: one batch of notifQ
+// records crossing the channel after NotifDelay.
+type notifPost struct {
+	d       *Device
+	records []channel.Notification
+	fire    func()
+}
+
+func (d *Device) newNotifPost() *notifPost {
+	if n := len(d.postFree); n > 0 {
+		p := d.postFree[n-1]
+		d.postFree[n-1] = nil
+		d.postFree = d.postFree[:n-1]
+		return p
+	}
+	p := &notifPost{d: d}
+	p.fire = func() {
+		for _, r := range p.records {
+			p.d.notifQ.Push(r)
+		}
+		p.records = p.records[:0]
+		p.d.postFree = append(p.d.postFree, p)
+		if p.d.onNotifPosted != nil {
+			p.d.onNotifPosted()
+		}
+	}
+	return p
 }
 
 // NewDevice builds a device on the given simulation environment. The
@@ -138,6 +215,10 @@ func NewDevice(env *sim.Env, cfg Config, notifQ *channel.NotifQueue) *Device {
 		sms:    make([]smState, cfg.NumSMs),
 		queues: make([]hwQueue, nq),
 		notifQ: notifQ,
+	}
+	d.kickFn = func() {
+		d.scheduled = false
+		d.schedulePass()
 	}
 	if rec := trace.FromEnv(env); rec != nil {
 		d.rec = rec
@@ -324,7 +405,7 @@ func (d *Device) Submit(q int, l *Launch) {
 		d.kick()
 	}
 	if d.cfg.LaunchOverhead > 0 {
-		d.env.After(d.cfg.LaunchOverhead, enqueue)
+		d.env.DoAfter(d.cfg.LaunchOverhead, enqueue)
 	} else {
 		enqueue()
 	}
@@ -339,10 +420,7 @@ func (d *Device) kick() {
 		return
 	}
 	d.scheduled = true
-	d.env.After(0, func() {
-		d.scheduled = false
-		d.schedulePass()
-	})
+	d.env.DoAfter(0, d.kickFn)
 }
 
 // schedulePass is the block scheduler: it repeatedly scans the hardware
@@ -390,8 +468,7 @@ func (d *Device) schedulePass() {
 					d.traceQueueDepth(qi)
 				}
 				if head.OnAllPlaced != nil {
-					fn := head.OnAllPlaced
-					d.env.After(0, fn)
+					d.env.DoAfter(0, head.OnAllPlaced)
 				}
 				progressed = true
 			}
@@ -421,8 +498,9 @@ func (d *Device) placeBlocks(l *Launch) int {
 	totalPlaced := 0
 	nsm := len(d.sms)
 	// perSM counts blocks placed per SM in this wave so completions and
-	// notifications can be chunked per SM.
-	var perSM []smPlacement
+	// notifications can be chunked per SM (device-owned scratch, reused
+	// across waves).
+	perSM := d.perSM[:0]
 	for l.toPlace > 0 {
 		placedThisRound := false
 		for i := 0; i < nsm && l.toPlace > 0; i++ {
@@ -466,6 +544,7 @@ func (d *Device) placeBlocks(l *Launch) int {
 		}
 	}
 	d.smCursor = (d.smCursor + 1) % nsm
+	d.perSM = perSM
 	if totalPlaced == 0 {
 		return 0
 	}
@@ -483,9 +562,9 @@ func (d *Device) placeBlocks(l *Launch) int {
 			d.traceSM(smi)
 		}
 		d.emitNotifs(l, channel.Placement, uint8(smi), n)
-		d.env.After(l.Spec.BlockDuration, func() {
-			d.completeBlocks(l, smi, n)
-		})
+		bd := d.newBlockDone()
+		bd.l, bd.smi, bd.n = l, smi, n
+		d.env.DoAfter(l.Spec.BlockDuration, bd.fire)
 	}
 	return totalPlaced
 }
@@ -515,7 +594,7 @@ func (d *Device) completeBlocks(l *Launch, smi, n int) {
 		l.completedAt = d.env.Now()
 		d.stats.KernelsCompleted++
 		if l.OnComplete != nil {
-			d.env.After(0, l.OnComplete)
+			d.env.DoAfter(0, l.OnComplete)
 		}
 	}
 	// Freed resources may unblock queue heads.
@@ -552,7 +631,7 @@ func (d *Device) emitNotifs(l *Launch, t channel.NotifType, sm uint8, n int) {
 		return
 	}
 	*notified = newNotified
-	var records []channel.Notification
+	p := d.newNotifPost()
 	for delta > 0 {
 		g := min(delta, group)
 		rec := channel.Pack(t, sm, uint16(g), l.KernelID)
@@ -565,23 +644,17 @@ func (d *Device) emitNotifs(l *Launch, t channel.NotifType, sm uint8, n int) {
 			d.stats.NotifsDropped++
 		case copies >= channel.NotifDup:
 			d.stats.NotifsDuplicated++
-			records = append(records, rec, rec)
+			p.records = append(p.records, rec, rec)
 		default:
-			records = append(records, rec)
+			p.records = append(p.records, rec)
 		}
 		delta -= g
 	}
-	if len(records) == 0 {
+	if len(p.records) == 0 {
+		p.d.postFree = append(p.d.postFree, p)
 		return
 	}
-	d.env.After(d.cfg.NotifDelay, func() {
-		for _, r := range records {
-			d.notifQ.Push(r)
-		}
-		if d.onNotifPosted != nil {
-			d.onNotifPosted()
-		}
-	})
+	d.env.DoAfter(d.cfg.NotifDelay, p.fire)
 }
 
 // accrueUtil integrates thread occupancy up to now.

@@ -2,8 +2,9 @@ package gpu
 
 import "testing"
 
-// TestHWQueueRingFIFO: the head-indexed queue preserves strict FIFO order
-// through interleaved pushes and pops, including across compactions.
+// TestHWQueueRingFIFO: the circular ring preserves strict FIFO order
+// through interleaved pushes and pops, including across wrap-around and
+// growth.
 func TestHWQueueRingFIFO(t *testing.T) {
 	var q hwQueue
 	mk := func(i int) *Launch { return &Launch{KernelID: uint32(i)} }
@@ -29,8 +30,8 @@ func TestHWQueueRingFIFO(t *testing.T) {
 		}
 	}
 	push(100)
-	pop(60) // crosses the compaction threshold
-	push(50)
+	pop(60)  // leaves the head deep in the ring
+	push(50) // wraps around the backing array
 	pop(90)
 	if q.depth() != 0 {
 		t.Fatalf("depth = %d, want 0", q.depth())
@@ -42,23 +43,32 @@ func TestHWQueueRingFIFO(t *testing.T) {
 	pop(3)
 }
 
-// TestHWQueueCompactsConsumedPrefix: the consumed prefix does not grow
-// without bound — after draining a deep queue the backing slice has been
-// compacted rather than retaining every popped slot.
-func TestHWQueueCompactsConsumedPrefix(t *testing.T) {
+// TestHWQueueRingReusesBacking: in steady state the ring reuses its
+// backing array instead of growing with total throughput — after cycling
+// far more launches than the peak depth, capacity is bounded by (a
+// power-of-two rounding of) that peak depth, and popped slots are nilled
+// so launches are not retained.
+func TestHWQueueRingReusesBacking(t *testing.T) {
 	var q hwQueue
-	const n = 10000
-	for i := 0; i < n; i++ {
+	const peak = 10
+	const cycles = 10000
+	for i := 0; i < peak; i++ {
 		q.push(&Launch{KernelID: uint32(i)})
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < cycles; i++ {
+		q.popHead()
+		q.push(&Launch{KernelID: uint32(peak + i)})
+	}
+	if len(q.buf) > 4*peak {
+		t.Fatalf("ring grew with throughput: cap = %d for peak depth %d", len(q.buf), peak)
+	}
+	for q.depth() > 0 {
 		q.popHead()
 	}
-	if q.start > n/2 {
-		t.Fatalf("consumed prefix never compacted: start = %d", q.start)
-	}
-	if q.depth() != 0 {
-		t.Fatalf("depth = %d after drain", q.depth())
+	for i, l := range q.buf {
+		if l != nil {
+			t.Fatalf("drained ring retains launch at slot %d", i)
+		}
 	}
 }
 

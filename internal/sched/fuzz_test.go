@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"testing"
+
+	"paella/internal/sim"
+)
+
+// FuzzSchedPolicy drives the Paella policy through arbitrary
+// admit/add/pick/dispatch/finish sequences against a shadow model and
+// checks the invariants the dispatcher's correctness rests on:
+//
+//   - Pick never returns a job that was removed (or was never added).
+//   - Pick is read-only: two consecutive calls return the same job.
+//   - Len always equals the shadow's count of runnable jobs.
+//   - The fairness override fires exactly per §6: if any client above the
+//     deficit threshold has a runnable job, the pick is the oldest job of
+//     the *highest-deficit* such client; otherwise the pick carries the
+//     minimum Remaining among all runnable jobs (pure SRPT).
+//
+// The op stream is one byte per action; parameter bytes follow. Invalid
+// action sequences cannot be expressed: the harness only calls the policy
+// in dispatcher-legal orders, which is exactly the API contract (the
+// policy is entitled to panic on anything else).
+func FuzzSchedPolicy(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 1, 0, 9, 2, 3, 3, 1})
+	f.Add(uint8(1), []byte{0, 0, 0, 1, 0, 2, 3, 3, 3, 3, 2, 1, 4})
+	f.Add(uint8(200), []byte("\x00\x07\x00\x07\x03\x03\x02\x01\x00\x01\x03\x04"))
+	f.Fuzz(func(t *testing.T, thresholdRaw uint8, ops []byte) {
+		// Small thresholds make the fairness override reachable within a
+		// short op stream.
+		threshold := float64(thresholdRaw) / 64
+		p := NewPaella(threshold)
+
+		live := map[uint64]*JobEntry{} // runnable jobs (Added, not Removed)
+		active := map[int]int{}        // client -> unfinished job count
+		seqOf := map[int]uint64{}      // client -> first-seen order (mirrors the policy's tiebreak)
+		var shadowSeq uint64
+		var nextID uint64
+		var clock sim.Time // strictly increasing arrival stamp
+
+		finish := func(j *JobEntry) {
+			p.JobFinished(j.Client)
+			active[j.Client]--
+			if active[j.Client] == 0 {
+				// The policy forgets idle clients; a returning client gets a
+				// fresh seq, so the shadow must too.
+				delete(active, j.Client)
+				delete(seqOf, j.Client)
+			}
+		}
+		checkPick := func(j *JobEntry) {
+			if j == nil {
+				if len(live) != 0 {
+					t.Fatalf("Pick returned nil with %d runnable jobs", len(live))
+				}
+				return
+			}
+			if live[j.ID] != j {
+				t.Fatalf("Pick returned job %d which is not runnable", j.ID)
+			}
+			// Locate the highest-deficit client above threshold that has a
+			// runnable job; equal deficits break toward the later-seen
+			// client, mirroring the policy's (stored, seq) ordering.
+			var starved *JobEntry
+			starvedDef, starvedSeq := threshold, uint64(0)
+			for c := range active {
+				d := p.EffectiveDeficit(c)
+				if d <= threshold {
+					continue
+				}
+				if starved != nil && (d < starvedDef || (d == starvedDef && seqOf[c] < starvedSeq)) {
+					continue
+				}
+				var oldest *JobEntry
+				for _, x := range live {
+					if x.Client == c && (oldest == nil || x.Arrival < oldest.Arrival) {
+						oldest = x
+					}
+				}
+				if oldest != nil {
+					starved, starvedDef, starvedSeq = oldest, d, seqOf[c]
+				}
+			}
+			if starved != nil {
+				if j != starved {
+					t.Fatalf("fairness override violated: picked job %d (client %d, deficit %v), want job %d (client %d, deficit %v, threshold %v)",
+						j.ID, j.Client, p.EffectiveDeficit(j.Client), starved.ID, starved.Client, starvedDef, threshold)
+				}
+				return
+			}
+			for _, x := range live {
+				if x.Remaining < j.Remaining {
+					t.Fatalf("SRPT violated: picked Remaining %v, job %d has %v", j.Remaining, x.ID, x.Remaining)
+				}
+			}
+		}
+
+		i := 0
+		next := func() byte {
+			if i >= len(ops) {
+				return 0
+			}
+			b := ops[i]
+			i++
+			return b
+		}
+		for i < len(ops) {
+			switch next() % 5 {
+			case 0: // admit a new job
+				client := int(next() % 4)
+				rem := sim.Time(next()%16) + 1
+				nextID++
+				clock++
+				j := &JobEntry{
+					ID: nextID, Client: client, Arrival: clock,
+					Total: rem, Remaining: rem,
+				}
+				if active[client] == 0 {
+					shadowSeq++
+					seqOf[client] = shadowSeq
+				}
+				p.JobAdmitted(client)
+				active[client]++
+				p.Add(j)
+				live[j.ID] = j
+			case 1: // a runnable job leaves without dispatch (e.g. client gone)
+				j := lowestID(live)
+				if j == nil {
+					continue
+				}
+				p.Remove(j)
+				delete(live, j.ID)
+				finish(j)
+			case 2: // pick (read-only)
+				j := p.Pick()
+				checkPick(j)
+				if p.Pick() != j {
+					t.Fatal("Pick is not idempotent")
+				}
+			case 3: // full dispatch cycle: pick, remove, account, maybe re-add
+				j := p.Pick()
+				checkPick(j)
+				if j == nil {
+					continue
+				}
+				p.Remove(j)
+				delete(live, j.ID)
+				p.Dispatched(j)
+				if j.Remaining > 1 {
+					j.Remaining--
+					p.Add(j)
+					live[j.ID] = j
+				} else {
+					finish(j)
+				}
+			case 4: // PickFit with a predicate admitting every other job id
+				fits := func(x *JobEntry) bool { return x.ID%2 == 0 }
+				j := p.PickFit(fits, 64)
+				if j != nil {
+					if live[j.ID] != j {
+						t.Fatalf("PickFit returned job %d which is not runnable", j.ID)
+					}
+					if !fits(j) {
+						t.Fatalf("PickFit returned job %d which does not fit", j.ID)
+					}
+				}
+			}
+			if p.Len() != len(live) {
+				t.Fatalf("Len %d, shadow has %d", p.Len(), len(live))
+			}
+		}
+	})
+}
+
+func lowestID(live map[uint64]*JobEntry) *JobEntry {
+	var out *JobEntry
+	for _, j := range live {
+		if out == nil || j.ID < out.ID {
+			out = j
+		}
+	}
+	return out
+}

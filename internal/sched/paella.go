@@ -26,6 +26,11 @@ type PaellaPolicy struct {
 	srpt    *rbtree.Tree[*JobEntry]
 	deficit *rbtree.Tree[*paellaClient] // ordered by stored deficit
 	clients map[int]*paellaClient
+	// nextSeq numbers clients in first-seen order for the deficit-tree
+	// tiebreak. It is per-policy state: a package-level counter would
+	// couple independent policy instances (replica dispatchers) and race
+	// when replicas run on separate goroutines under the parallel engine.
+	nextSeq uint64
 }
 
 type paellaClient struct {
@@ -72,16 +77,14 @@ func (p *PaellaPolicy) Threshold() float64 { return p.threshold }
 // Len implements Policy.
 func (p *PaellaPolicy) Len() int { return p.srpt.Len() }
 
-var paellaSeq uint64
-
 func (p *PaellaPolicy) client(id int) *paellaClient {
 	c, ok := p.clients[id]
 	if !ok {
-		paellaSeq++
+		p.nextSeq++
 		c = &paellaClient{
 			id:   id,
 			jobs: rbtree.New(func(a, b *JobEntry) bool { return a.Arrival < b.Arrival }),
-			seq:  paellaSeq,
+			seq:  p.nextSeq,
 			// A new client starts level with the field: stored 0 means
 			// effective deficit equals the global boost, the same as a
 			// client that has been waiting without service.

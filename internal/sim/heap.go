@@ -1,0 +1,223 @@
+package sim
+
+// The event queue is a two-level structure exploiting the dominant
+// scheduling pattern of this simulator: events are pushed in *runs* that
+// share a due time (a GPU wave schedules one completion per SM, all at
+// now+BlockDuration; a notification batch lands at now+NotifDelay). In the
+// cluster benchmark ~70% of heap pushes carry the same timestamp as the
+// push immediately before them.
+//
+// Instead of one heap node per timer, same-timestamp runs are stored as
+// FIFO *buckets* and the 4-ary min-heap orders buckets by the key
+// (at, front-seq) of their earliest live timer. Appending to the open
+// bucket is O(1) and touches no heap node at all — the bucket's front (and
+// therefore its key) is unchanged. Popping advances the bucket's cursor
+// and re-sinks only if the bucket survives. The result is a heap whose
+// size — and sift depth — is the number of pending *runs*, not pending
+// timers.
+//
+// Correctness: each bucket holds timers in strictly increasing seq order
+// (seq is the Env's global monotone counter, and buckets are append-only),
+// so popping the minimum (at, front-seq) bucket key is a k-way merge of
+// sorted runs — it yields the exact global (at, seq) total order that the
+// flat heap produced. Several buckets may share an `at` (a run ended and a
+// later run reused the timestamp); the front-seq tiebreak merges them
+// correctly. Determinism and golden traces are therefore unaffected:
+// only the constant factor changes.
+//
+// Cancellation: a timer records its bucket and slot. Cancelling a bucket's
+// front is eager (the cursor advances and the bucket's heap key is fixed
+// up) so that the heap key always describes a *live* front; cancelling a
+// mid-bucket timer just marks it and the pop path skips it when the cursor
+// gets there.
+
+// bucket is a FIFO run of timers sharing one due time.
+type bucket struct {
+	at    Time
+	tms   []*Timer
+	first int // cursor: tms[first] is the bucket's earliest live timer
+	hidx  int // slot in eventQueue.h, -1 while on the freelist
+}
+
+// bktEntry is one heap slot: the bucket's ordering key (at, seq of its
+// current front) inlined next to the bucket pointer, so sift comparisons
+// read contiguous array memory instead of chasing pointers.
+type bktEntry struct {
+	at  Time
+	seq uint64
+	b   *bucket
+}
+
+// eventQueue is the bucketed 4-ary min-heap described above.
+type eventQueue struct {
+	h     []bktEntry
+	lastB *bucket   // bucket of the most recent push (the open run)
+	free  []*bucket // recycled buckets (slices keep their capacity)
+	size  int       // live timers resident in the queue
+}
+
+// len reports the number of live (uncancelled) timers in the queue.
+func (q *eventQueue) len() int { return q.size }
+
+// minKey returns the (at, seq) of the earliest pending timer. Only valid
+// when len() > 0; the front of the minimum bucket is always live.
+func (q *eventQueue) minKey() (Time, uint64) { return q.h[0].at, q.h[0].seq }
+
+// push inserts t. Caller contract (upheld by Env): t.seq is strictly
+// greater than every seq previously pushed, and t is not stopped.
+func (q *eventQueue) push(t *Timer) {
+	q.size++
+	// Fast path: the open run is resident and shares t's due time — append.
+	// Any resident bucket with a matching `at` works (appended seqs are
+	// globally increasing, keeping the bucket sorted), so a stale lastB
+	// that was recycled into a new same-timestamp bucket is still correct.
+	if b := q.lastB; b != nil && b.hidx >= 0 && b.at == t.at {
+		t.bkt, t.index = b, len(b.tms)
+		b.tms = append(b.tms, t)
+		return
+	}
+	var b *bucket
+	if n := len(q.free); n > 0 {
+		b = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		b = &bucket{}
+	}
+	b.at, b.first = t.at, 0
+	t.bkt, t.index = b, 0
+	b.tms = append(b.tms, t)
+	q.lastB = b
+	b.hidx = len(q.h)
+	q.h = append(q.h, bktEntry{at: t.at, seq: t.seq, b: b})
+	q.siftUp(b.hidx)
+}
+
+// pop removes and returns the earliest pending timer.
+func (q *eventQueue) pop() *Timer {
+	b := q.h[0].b
+	t := b.tms[b.first]
+	b.tms[b.first] = nil
+	b.first++
+	t.bkt, t.index = nil, -1
+	q.size--
+	q.advance(b, 0)
+	return t
+}
+
+// cancel unlinks a bucket-resident timer (t.bkt != nil). The caller has
+// already marked it stopped.
+func (q *eventQueue) cancel(t *Timer) {
+	b := t.bkt
+	pos := t.index
+	t.bkt, t.index = nil, -1
+	q.size--
+	if pos != b.first {
+		// Mid-bucket: leave the (stopped) pointer in place; advance skips
+		// it when the cursor arrives.
+		return
+	}
+	b.tms[b.first] = nil
+	b.first++
+	q.advance(b, b.hidx)
+}
+
+// advance skips cancelled timers at b's cursor, then either retires the
+// drained bucket from heap slot i or refreshes the slot's front-seq key
+// and re-sinks it (the key only ever increases).
+func (q *eventQueue) advance(b *bucket, i int) {
+	// Skip cancelled timers (cancel already removed them from the size
+	// count and cleared their linkage).
+	for b.first < len(b.tms) && b.tms[b.first].stopped {
+		b.tms[b.first] = nil
+		b.first++
+	}
+	if b.first == len(b.tms) {
+		q.removeAt(i)
+		q.release(b)
+		return
+	}
+	q.h[i].seq = b.tms[b.first].seq
+	q.siftDown(i)
+}
+
+// removeAt deletes heap slot i, restoring the heap property.
+func (q *eventQueue) removeAt(i int) {
+	n := len(q.h) - 1
+	q.h[i].b.hidx = -1
+	if i != n {
+		q.h[i] = q.h[n]
+		q.h[i].b.hidx = i
+	}
+	q.h[n] = bktEntry{}
+	q.h = q.h[:n]
+	if i < n {
+		if !q.siftDown(i) {
+			q.siftUp(i)
+		}
+	}
+}
+
+// release returns a drained bucket to the freelist.
+func (q *eventQueue) release(b *bucket) {
+	if q.lastB == b {
+		q.lastB = nil
+	}
+	b.tms = b.tms[:0]
+	b.first = 0
+	q.free = append(q.free, b)
+}
+
+// less orders heap slots by due time, then front insertion sequence.
+func (q *eventQueue) less(i, j int) bool {
+	if q.h[i].at != q.h[j].at {
+		return q.h[i].at < q.h[j].at
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.h[i], q.h[j] = q.h[j], q.h[i]
+	q.h[i].b.hidx = i
+	q.h[j].b.hidx = j
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the heap below slot i; it reports whether anything
+// moved (removeAt uses that to decide whether to sift up instead).
+func (q *eventQueue) siftDown(i int) bool {
+	n := len(q.h)
+	moved := false
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return moved
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, best) {
+				best = c
+			}
+		}
+		if !q.less(best, i) {
+			return moved
+		}
+		q.swap(i, best)
+		i = best
+		moved = true
+	}
+}

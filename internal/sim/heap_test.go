@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// queuePushPattern drives an eventQueue the way an Env does — strictly
+// increasing seq, with bursts of repeated timestamps to exercise the
+// open-run append path as well as fresh buckets.
+func queuePushPattern(rng *rand.Rand, q *eventQueue, seq *uint64, n int) []*Timer {
+	var out []*Timer
+	at := Time(rng.Intn(50))
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 { // start a new run two-thirds of the time not
+			at = Time(rng.Intn(50))
+		}
+		tm := &Timer{at: at, seq: *seq}
+		*seq++
+		q.push(tm)
+		out = append(out, tm)
+	}
+	return out
+}
+
+// TestQueuePopOrderMatchesSort: the bucketed queue pops timers in exact
+// (at, seq) order for randomized inputs — the total order every simulation
+// outcome rests on.
+func TestQueuePopOrderMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		seq := uint64(0)
+		ref := queuePushPattern(rng, &q, &seq, 1+rng.Intn(200))
+		sort.Slice(ref, func(a, b int) bool {
+			if ref[a].at != ref[b].at {
+				return ref[a].at < ref[b].at
+			}
+			return ref[a].seq < ref[b].seq
+		})
+		for i, want := range ref {
+			got := q.pop()
+			if got != want {
+				t.Fatalf("trial %d: pop %d = (at=%d seq=%d), want (at=%d seq=%d)",
+					trial, i, got.at, got.seq, want.at, want.seq)
+			}
+			if got.index != -1 || got.bkt != nil {
+				t.Fatalf("popped timer retains queue linkage (index=%d)", got.index)
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("queue not drained: %d left", q.len())
+		}
+	}
+}
+
+// TestQueueAgainstModel cross-checks the bucketed queue against a sorted
+// reference under a randomized push/pop/cancel workload — including
+// cancels of bucket fronts (eager) and mid-bucket timers (lazy).
+func TestQueueAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q eventQueue
+	seq := uint64(0)
+	var live []*Timer
+	popMin := func() *Timer {
+		best := -1
+		for i, x := range live {
+			if best < 0 || x.at < live[best].at || (x.at == live[best].at && x.seq < live[best].seq) {
+				best = i
+			}
+		}
+		x := live[best]
+		live = append(live[:best], live[best+1:]...)
+		return x
+	}
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // push a small same-timestamp run
+			live = append(live, queuePushPattern(rng, &q, &seq, 1+rng.Intn(4))...)
+		case r < 8: // pop min
+			if q.len() == 0 {
+				continue
+			}
+			want := popMin()
+			got := q.pop()
+			if got != want {
+				t.Fatalf("op %d: pop (at=%d seq=%d), want (at=%d seq=%d)",
+					op, got.at, got.seq, want.at, want.seq)
+			}
+		default: // cancel arbitrary
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			victim := live[i]
+			live = append(live[:i], live[i+1:]...)
+			victim.stopped = true
+			q.cancel(victim)
+		}
+		if q.len() != len(live) {
+			t.Fatalf("op %d: queue len %d, model %d", op, q.len(), len(live))
+		}
+	}
+	for q.len() > 0 {
+		want := popMin()
+		got := q.pop()
+		if got != want {
+			t.Fatalf("drain: pop (at=%d seq=%d), want (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if len(live) != 0 {
+		t.Fatalf("model not drained: %d left", len(live))
+	}
+}
+
+// TestQueueInvariants: after every operation, each heap slot's inline key
+// matches its bucket's live front, bucket back-pointers name their slots,
+// bucket seqs are strictly increasing, and the size counter equals the
+// number of live resident timers — the invariants Cancel and Step rest on.
+func TestQueueInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var q eventQueue
+	seq := uint64(0)
+	var live []*Timer
+	check := func(op int) {
+		total := 0
+		for i, ent := range q.h {
+			b := ent.b
+			if b.hidx != i {
+				t.Fatalf("op %d: slot %d holds bucket with hidx %d", op, i, b.hidx)
+			}
+			if b.first >= len(b.tms) {
+				t.Fatalf("op %d: slot %d holds drained bucket", op, i)
+			}
+			front := b.tms[b.first]
+			if front.stopped {
+				t.Fatalf("op %d: slot %d front is cancelled", op, i)
+			}
+			if ent.at != b.at || ent.at != front.at || ent.seq != front.seq {
+				t.Fatalf("op %d: slot %d key (%d,%d) diverges from front (%d,%d)",
+					op, i, ent.at, ent.seq, front.at, front.seq)
+			}
+			prev := uint64(0)
+			for j := b.first; j < len(b.tms); j++ {
+				tm := b.tms[j]
+				if tm.at != b.at {
+					t.Fatalf("op %d: bucket at=%d holds timer at=%d", op, b.at, tm.at)
+				}
+				if j > b.first && tm.seq <= prev {
+					t.Fatalf("op %d: bucket seqs not increasing", op)
+				}
+				prev = tm.seq
+				if !tm.stopped {
+					total++
+					if tm.bkt != b || tm.index != j {
+						t.Fatalf("op %d: timer linkage wrong (bkt ok=%v index=%d want %d)",
+							op, tm.bkt == b, tm.index, j)
+					}
+				}
+			}
+		}
+		if total != q.size {
+			t.Fatalf("op %d: size %d, counted %d live", op, q.size, total)
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		switch {
+		case rng.Intn(3) > 0 || q.len() == 0:
+			live = append(live, queuePushPattern(rng, &q, &seq, 1+rng.Intn(4))...)
+		case rng.Intn(2) == 0:
+			got := q.pop()
+			for i, x := range live {
+				if x == got {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		default:
+			i := rng.Intn(len(live))
+			victim := live[i]
+			live = append(live[:i], live[i+1:]...)
+			victim.stopped = true
+			q.cancel(victim)
+		}
+		check(op)
+	}
+}
+
+// TestDoPoolingRecycles: Do/DoAfter timers return to the freelist after
+// firing and are reused; handle-returning At/After timers never enter the
+// pool (a held *Timer must stay valid for Cancel after firing).
+func TestDoPoolingRecycles(t *testing.T) {
+	e := NewEnv()
+	ran := 0
+	for i := 0; i < 100; i++ {
+		e.DoAfter(Time(i), func() { ran++ })
+	}
+	e.Run()
+	if ran != 100 {
+		t.Fatalf("ran %d pooled events, want 100", ran)
+	}
+	if len(e.free) == 0 {
+		t.Fatal("freelist empty after pooled events fired")
+	}
+	highWater := len(e.free)
+	// Steady-state: one pooled event in flight at a time reuses one timer.
+	e.DoAfter(1, func() { ran++ })
+	e.Run()
+	if len(e.free) != highWater {
+		t.Fatalf("freelist grew in steady state: %d -> %d", highWater, len(e.free))
+	}
+	// Handle path must not feed the pool.
+	tm := e.After(1, func() {})
+	e.Run()
+	for _, f := range e.free {
+		if f == tm {
+			t.Fatal("cancellable timer entered the pool")
+		}
+	}
+	if tm.Stopped() {
+		t.Fatal("fired timer reports stopped")
+	}
+}
+
+// TestDoSchedulingAllocFree: in steady state the pooled path performs no
+// per-event allocations (the closure passed in is the caller's concern;
+// here it is preallocated, as on the Proc wakeup path).
+func TestDoSchedulingAllocFree(t *testing.T) {
+	e := NewEnv()
+	fn := func() {}
+	// Warm the pool.
+	e.DoAfter(0, fn)
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.DoAfter(1, fn)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("pooled schedule+fire allocates %.1f per event, want 0", avg)
+	}
+}
+
+// TestProcSleepAllocFree: a process sleep cycle reuses the preallocated
+// dispatch closure and a pooled timer — zero allocations per wakeup.
+func TestProcSleepAllocFree(t *testing.T) {
+	e := NewEnv()
+	stop := false
+	e.Spawn("sleeper", func(p *Proc) {
+		for !stop {
+			p.Sleep(Microsecond)
+		}
+	})
+	e.RunFor(10 * Microsecond) // warm up
+	avg := testing.AllocsPerRun(500, func() {
+		e.RunFor(Microsecond)
+	})
+	stop = true
+	e.RunFor(Microsecond)
+	if avg > 0 {
+		t.Fatalf("proc sleep cycle allocates %.2f per wakeup, want 0", avg)
+	}
+}
+
+// TestNextEventTime covers the World engine's window-sizing peek.
+func TestNextEventTime(t *testing.T) {
+	e := NewEnv()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("empty env reports a next event")
+	}
+	e.At(5, func() {})
+	e.At(3, func() {})
+	if at, ok := e.NextEventTime(); !ok || at != 3 {
+		t.Fatalf("NextEventTime = %v,%v, want 3,true", at, ok)
+	}
+	e.Run()
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("drained env reports a next event")
+	}
+}
+
+// TestDoPastPanics: the pooled path enforces the same no-past-scheduling
+// contract as At.
+func TestDoPastPanics(t *testing.T) {
+	e := NewEnv()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Do in the past accepted")
+		}
+	}()
+	e.Do(5, func() {})
+}
+
+// TestDoAfterNegativePanics mirrors After's contract on the pooled path.
+func TestDoAfterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative DoAfter accepted")
+		}
+	}()
+	NewEnv().DoAfter(-1, func() {})
+}
+
+// BenchmarkEnvEventChurn measures the engine's core push/pop cycle with a
+// standing population of pending timers — the DES hot loop.
+func BenchmarkEnvEventChurn(b *testing.B) {
+	e := NewEnv()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.DoAfter(Time(i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DoAfter(1024, fn)
+		e.Step()
+	}
+}

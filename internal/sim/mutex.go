@@ -24,7 +24,7 @@ func (m *Mutex) Lock(p *Proc) {
 		m.held = true
 		return
 	}
-	m.waiters = append(m.waiters, func() { p.dispatch() })
+	m.waiters = append(m.waiters, p.dispatchFn)
 	p.park()
 }
 
@@ -41,5 +41,5 @@ func (m *Mutex) Unlock() {
 	next := m.waiters[0]
 	m.waiters = m.waiters[1:]
 	// Ownership transfers directly; the waiter resumes as a fresh event.
-	m.env.After(0, next)
+	m.env.DoAfter(0, next)
 }

@@ -18,6 +18,10 @@ type Proc struct {
 	resume chan struct{}
 	parked chan struct{}
 	done   bool
+	// dispatchFn is the preallocated wakeup closure. Sleep/Wait/WaitCond
+	// run once per simulated operation on hot paths; reusing one closure
+	// (and the pooled Do scheduling path) keeps wakeups allocation-free.
+	dispatchFn func()
 }
 
 // Spawn starts fn as a new simulation process. The process begins running
@@ -30,6 +34,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		parked: make(chan struct{}),
 	}
+	p.dispatchFn = p.dispatch
 	go func() {
 		<-p.resume
 		defer func() {
@@ -42,7 +47,7 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.After(0, func() { p.dispatch() })
+	e.DoAfter(0, p.dispatchFn)
 	return p
 }
 
@@ -79,7 +84,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: negative sleep")
 	}
-	p.env.After(d, func() { p.dispatch() })
+	p.env.DoAfter(d, p.dispatchFn)
 	p.park()
 }
 
@@ -113,7 +118,7 @@ func (c *Completion) Fire() {
 	fns := c.fns
 	c.fns = nil
 	for _, fn := range fns {
-		c.env.After(0, fn)
+		c.env.DoAfter(0, fn)
 	}
 }
 
@@ -121,7 +126,7 @@ func (c *Completion) Fire() {
 // fires; if it has already fired the callback is scheduled immediately.
 func (c *Completion) OnFire(fn func()) {
 	if c.fired {
-		c.env.After(0, fn)
+		c.env.DoAfter(0, fn)
 		return
 	}
 	c.fns = append(c.fns, fn)
@@ -132,7 +137,7 @@ func (p *Proc) Wait(c *Completion) {
 	if c.fired {
 		return
 	}
-	c.fns = append(c.fns, func() { p.dispatch() })
+	c.fns = append(c.fns, p.dispatchFn)
 	p.park()
 }
 
@@ -156,7 +161,7 @@ func (c *Cond) Broadcast() {
 	fns := c.fns
 	c.fns = nil
 	for _, fn := range fns {
-		c.env.After(0, fn)
+		c.env.DoAfter(0, fn)
 	}
 }
 
@@ -165,6 +170,6 @@ func (c *Cond) OnNext(fn func()) { c.fns = append(c.fns, fn) }
 
 // WaitCond blocks the process until the next Broadcast on c.
 func (p *Proc) WaitCond(c *Cond) {
-	c.fns = append(c.fns, func() { p.dispatch() })
+	c.fns = append(c.fns, p.dispatchFn)
 	p.park()
 }

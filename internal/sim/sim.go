@@ -16,10 +16,14 @@
 //     synchronously, which keeps the simulation deterministic. Client jobs
 //     and CUDA-style adaptor code use processes, mirroring the stackful
 //     Boost coroutines used by the paper's dispatcher (§4.2).
+//
+// For multi-GPU cluster simulations, World composes several Envs — one
+// shard per replica plus a control shard — and executes replica windows
+// concurrently under a conservative synchronization protocol while keeping
+// results bit-identical to a serial run (see world.go).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -60,11 +64,19 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 // Timer is a scheduled event. It may be cancelled with Cancel before it
 // fires; firing and cancellation are both idempotent.
 type Timer struct {
-	at      Time
-	seq     uint64
-	index   int // heap index, -1 once popped
+	at  Time
+	seq uint64
+	// bkt/index locate a queued timer: bkt is its run bucket and index its
+	// slot there (see heap.go); bkt == nil with index -2 means the
+	// immediate FIFO; bkt == nil with index -1 means not queued.
+	bkt     *bucket
+	index   int
 	fn      func()
 	stopped bool
+	// pooled marks a timer created through the handle-free Do/DoAfter
+	// path: no caller holds a reference, so the Env recycles it after it
+	// fires to keep the per-event allocation rate near zero.
+	pooled bool
 }
 
 // At reports the virtual time at which the timer is (or was) due.
@@ -77,10 +89,26 @@ func (t *Timer) Stopped() bool { return t.stopped }
 // usable; construct with NewEnv.
 type Env struct {
 	now     Time
-	events  eventHeap
+	events  eventQueue
 	seq     uint64
 	steps   uint64
 	running bool
+	// imm is a circular FIFO of events due exactly at the current clock —
+	// the zero-delay handoffs (process wakeups, completion fires, mutex
+	// transfers) that dominate a DES run. Because every entry was scheduled
+	// while the clock already stood at its due time, entries are in seq
+	// order, and any heap event sharing that timestamp was scheduled
+	// earlier (smaller seq); comparing the FIFO front against the heap top
+	// by (at, seq) therefore reproduces the exact global event order while
+	// keeping the common case O(1) instead of O(log n). The FIFO always
+	// drains before the clock can advance, so entries never go stale.
+	imm      []*Timer
+	immFirst int
+	immLen   int
+	// immDead counts cancelled-but-unpopped FIFO entries (removed lazily).
+	immDead int
+	// free is the recycled-timer pool fed by pooled (Do/DoAfter) events.
+	free []*Timer
 	// procPanic carries a panic out of a process goroutine so that it
 	// surfaces on the main (test) goroutine instead of being lost.
 	procPanic any
@@ -113,7 +141,68 @@ func (e *Env) Now() Time { return e.now }
 func (e *Env) Steps() uint64 { return e.steps }
 
 // Pending returns the number of scheduled, uncancelled events.
-func (e *Env) Pending() int { return len(e.events) }
+func (e *Env) Pending() int { return e.events.len() + e.immLen - e.immDead }
+
+// NextEventTime returns the due time of the earliest pending event, and
+// whether one exists. The World engine uses it to size conservative
+// execution windows.
+func (e *Env) NextEventTime() (Time, bool) {
+	if f := e.immFront(); f != nil {
+		// FIFO entries are due at the current clock, which is ≤ any heap
+		// event's due time.
+		return f.at, true
+	}
+	if e.events.len() == 0 {
+		return 0, false
+	}
+	at, _ := e.events.minKey()
+	return at, true
+}
+
+// immFront returns the earliest live immediate-FIFO entry, discarding
+// cancelled entries on the way (lazy removal), or nil when the FIFO is
+// empty.
+func (e *Env) immFront() *Timer {
+	for e.immLen > 0 {
+		tm := e.imm[e.immFirst]
+		if !tm.stopped {
+			return tm
+		}
+		e.popImm()
+		e.immDead--
+	}
+	return nil
+}
+
+// pushImm appends an event due exactly now to the immediate FIFO.
+func (e *Env) pushImm(tm *Timer) {
+	if e.immLen == len(e.imm) {
+		e.growImm()
+	}
+	tm.index = -2
+	e.imm[(e.immFirst+e.immLen)&(len(e.imm)-1)] = tm
+	e.immLen++
+}
+
+// popImm removes the FIFO front (which callers have already inspected).
+func (e *Env) popImm() *Timer {
+	tm := e.imm[e.immFirst]
+	e.imm[e.immFirst] = nil
+	e.immFirst = (e.immFirst + 1) & (len(e.imm) - 1)
+	e.immLen--
+	tm.index = -1
+	return tm
+}
+
+// growImm doubles the FIFO ring (minimum 16 slots, power of two),
+// relocating live entries to the front.
+func (e *Env) growImm() {
+	next := make([]*Timer, max(16, 2*len(e.imm)))
+	for i := 0; i < e.immLen; i++ {
+		next[i] = e.imm[(e.immFirst+i)&(len(e.imm)-1)]
+	}
+	e.imm, e.immFirst = next, 0
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality. Scheduling exactly at Now is
@@ -124,7 +213,11 @@ func (e *Env) At(t Time, fn func()) *Timer {
 	}
 	tm := &Timer{at: t, seq: e.seq, fn: fn}
 	e.seq++
-	heap.Push(&e.events, tm)
+	if t == e.now {
+		e.pushImm(tm)
+	} else {
+		e.events.push(tm)
+	}
 	return tm
 }
 
@@ -137,15 +230,59 @@ func (e *Env) After(d Time, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
+// Do schedules fn at absolute time t without returning a cancellation
+// handle. Because no caller can hold (or Cancel) the timer, the Env
+// recycles it after it fires — the hot-path scheduling primitive for
+// events that are never cancelled (process wakeups, device kicks,
+// notification posts). Semantically identical to At.
+func (e *Env) Do(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	var tm *Timer
+	if n := len(e.free); n > 0 {
+		tm = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		tm.at, tm.fn, tm.stopped = t, fn, false
+	} else {
+		tm = &Timer{at: t, fn: fn, pooled: true}
+	}
+	tm.seq = e.seq
+	e.seq++
+	if t == e.now {
+		e.pushImm(tm)
+	} else {
+		e.events.push(tm)
+	}
+}
+
+// DoAfter schedules fn after a delay without a cancellation handle; see Do.
+func (e *Env) DoAfter(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Do(e.now+d, fn)
+}
+
 // Cancel stops a pending timer. Cancelling an already-fired or
 // already-cancelled timer is a no-op.
 func (e *Env) Cancel(t *Timer) {
-	if t == nil || t.stopped || t.index < 0 {
+	if t == nil || t.stopped {
 		t.markStopped()
 		return
 	}
+	if t.index == -2 {
+		// Parked in the immediate FIFO: mark dead, removed lazily when it
+		// reaches the front.
+		t.stopped = true
+		e.immDead++
+		return
+	}
 	t.stopped = true
-	heap.Remove(&e.events, t.index)
+	if t.bkt != nil {
+		e.events.cancel(t)
+	}
 }
 
 func (t *Timer) markStopped() {
@@ -157,13 +294,35 @@ func (t *Timer) markStopped() {
 // Step executes the single earliest pending event, advancing the clock to
 // its due time. It returns false if no events are pending.
 func (e *Env) Step() bool {
-	if len(e.events) == 0 {
-		return false
+	var tm *Timer
+	if f := e.immFront(); f != nil {
+		// The FIFO front is due now; it loses only to a queued event at the
+		// same timestamp scheduled earlier (smaller seq).
+		fromQueue := false
+		if e.events.len() > 0 {
+			if at, seq := e.events.minKey(); at == f.at && seq < f.seq {
+				fromQueue = true
+			}
+		}
+		if fromQueue {
+			tm = e.events.pop()
+		} else {
+			tm = e.popImm()
+		}
+	} else {
+		if e.events.len() == 0 {
+			return false
+		}
+		tm = e.events.pop()
 	}
-	tm := heap.Pop(&e.events).(*Timer)
 	e.now = tm.at
 	e.steps++
-	tm.fn()
+	fn := tm.fn
+	if tm.pooled {
+		tm.fn = nil
+		e.free = append(e.free, tm)
+	}
+	fn()
 	if e.hasPanic {
 		p := e.procPanic
 		e.procPanic, e.hasPanic = nil, false
@@ -181,7 +340,11 @@ func (e *Env) Run() {
 // RunUntil executes all events due at or before t, then advances the clock
 // to exactly t (even if the last event fired earlier).
 func (e *Env) RunUntil(t Time) {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for {
+		at, ok := e.NextEventTime()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if t > e.now {
@@ -191,38 +354,3 @@ func (e *Env) RunUntil(t Time) {
 
 // RunFor executes events for a span of d virtual nanoseconds from now.
 func (e *Env) RunFor(d Time) { e.RunUntil(e.now + d) }
-
-// eventHeap is a min-heap ordered by (at, seq) so that events scheduled for
-// the same instant fire in insertion order.
-type eventHeap []*Timer
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
-}

@@ -1,0 +1,303 @@
+package sim
+
+// World executes a multi-replica simulation as one control Env plus N shard
+// Envs under a conservative time-window protocol (Chandy–Misra style
+// lookahead). Each shard holds a fully isolated replica — in the Paella
+// cluster, a dispatcher with its private GPU, cudart/PCIe link, and VRAM
+// state (§4, Figure 5) — and replicas only interact through the control
+// shard: routing decisions, failover, and terminal-event delivery.
+//
+// The execution loop repeats:
+//
+//  1. t  = earliest pending event across every shard and the control Env.
+//  2. H  = min(t+Δ, next control event, run limit) — the window horizon.
+//     Clamping to the next control event means control events (request
+//     arrivals, crash injections) never execute late; only the Δ-bounded
+//     batching below is approximate.
+//  3. Every shard runs its own events up to and including H — concurrently
+//     on per-shard goroutines when parallel mode is on — then advances its
+//     clock to exactly H. Shards share no state, so any interleaving of
+//     this step commutes.
+//  4. Cross-shard messages emitted during the window (World.Post) are
+//     merged into the control heap in canonical (timestamp, shard,
+//     emission-order) order.
+//  5. The control Env runs its events up to H. Control events execute as
+//     serialization points: all shards are parked at exactly H, so a
+//     control event may read or write any replica's state directly.
+//
+// Determinism argument: within a window each shard's event order is fixed
+// by its own (time, seq) heap; shards touch only their own state, so steps
+// 3's goroutine interleaving cannot change any outcome. Every cross-shard
+// effect funnels through step 4's canonical merge or through control
+// events, both of which are ordered identically whether step 3 ran on one
+// goroutine or N. Hence a serial World run and a parallel World run are
+// bit-identical — same metrics, same trace bytes — for every seed.
+//
+// The window Δ is a fidelity/overhead knob, not a correctness knob: a
+// posted message carries its emission timestamp and executes on the
+// control timeline at that timestamp, but by then the shard clocks have
+// advanced to H, so follow-on work it schedules into a replica lands up to
+// Δ late. Δ=0 removes the distortion at the cost of a barrier per distinct
+// event time. Results are bit-identical across serial/parallel for any Δ;
+// different Δ values are different (equally valid) simulations.
+type World struct {
+	ctrl     *Env
+	shards   []*Env
+	window   Time
+	parallel bool
+
+	// posts[i] is shard i's outbox. During a window only the goroutine
+	// running shard i appends to it; the coordinator drains it at the
+	// barrier. Within one shard, timestamps are nondecreasing (the shard
+	// clock is monotone), which flushPosts relies on for its k-way merge.
+	posts [][]wpost
+
+	runners []*shardRunner // persistent per-shard goroutines (parallel mode)
+	active  []bool         // scratch: shards dispatched this window
+	merge   []int          // scratch: per-shard merge cursors
+}
+
+type wpost struct {
+	at Time
+	fn func()
+}
+
+type shardRunner struct {
+	cmd  chan Time // window horizon to run to
+	done chan any  // recovered panic, or nil
+}
+
+// DefaultWindow is the default conservative window Δ. It is comfortably
+// above the dispatcher's per-job costs (admit ≈1.5µs, dispatch ≈2µs) so a
+// window amortizes many events, yet small against the millisecond-scale
+// inference latencies the experiments measure.
+const DefaultWindow Time = 50 * Microsecond
+
+// NewWorld returns a world with a control Env, no shards, the default
+// window, and parallel execution off.
+func NewWorld() *World {
+	return &World{ctrl: NewEnv(), window: DefaultWindow}
+}
+
+// Ctrl returns the control Env. Request generators, fault injectors, and
+// anything else that spans replicas must schedule here.
+func (w *World) Ctrl() *Env { return w.ctrl }
+
+// AddShard creates and returns a new shard Env. All shards must be added
+// before the first Run/RunUntil call.
+func (w *World) AddShard() *Env {
+	e := NewEnv()
+	w.shards = append(w.shards, e)
+	w.posts = append(w.posts, nil)
+	return e
+}
+
+// Shard returns shard i's Env.
+func (w *World) Shard(i int) *Env { return w.shards[i] }
+
+// NumShards returns the number of shards.
+func (w *World) NumShards() int { return len(w.shards) }
+
+// Window returns the conservative window Δ.
+func (w *World) Window() Time { return w.window }
+
+// SetWindow sets the conservative window Δ. Must not be negative.
+func (w *World) SetWindow(d Time) {
+	if d < 0 {
+		panic("sim: negative world window")
+	}
+	w.window = d
+}
+
+// Parallel reports whether shard windows run on per-shard goroutines.
+func (w *World) Parallel() bool { return w.parallel }
+
+// SetParallel switches shard-window execution between inline (serial) and
+// per-shard goroutines. Results are bit-identical either way.
+func (w *World) SetParallel(on bool) { w.parallel = on }
+
+// Post enqueues fn to run on the control timeline at the emitting shard's
+// current time. It is the only legal way for code executing on a shard to
+// affect the control shard or another replica: the callback runs at the
+// next barrier, with every shard parked, in canonical (timestamp, shard,
+// emission-order) order.
+func (w *World) Post(shard int, fn func()) {
+	w.posts[shard] = append(w.posts[shard], wpost{at: w.shards[shard].now, fn: fn})
+}
+
+// Run executes events until no shard and the control Env have any left.
+func (w *World) Run() {
+	w.flushPosts()
+	for {
+		t, ok := w.nextTime()
+		if !ok {
+			return
+		}
+		h := t + w.window
+		if ct, o := w.ctrl.NextEventTime(); o && ct < h {
+			h = ct
+		}
+		w.stepWindow(h)
+	}
+}
+
+// RunUntil executes all events due at or before limit, then advances every
+// clock to exactly limit.
+func (w *World) RunUntil(limit Time) {
+	w.flushPosts()
+	for {
+		t, ok := w.nextTime()
+		if !ok || t > limit {
+			break
+		}
+		h := t + w.window
+		if ct, o := w.ctrl.NextEventTime(); o && ct < h {
+			h = ct
+		}
+		if h > limit {
+			h = limit
+		}
+		w.stepWindow(h)
+	}
+	for _, s := range w.shards {
+		if s.now < limit {
+			s.now = limit
+		}
+	}
+	w.ctrl.RunUntil(limit)
+}
+
+// Close stops the per-shard runner goroutines (if parallel mode started
+// them). The world must not be run again after Close.
+func (w *World) Close() {
+	for _, r := range w.runners {
+		close(r.cmd)
+	}
+	w.runners = nil
+}
+
+// stepWindow runs one window to horizon h: shards, then the post merge,
+// then the control events — the serialization point.
+func (w *World) stepWindow(h Time) {
+	w.runShards(h)
+	w.flushPosts()
+	w.ctrl.RunUntil(h)
+}
+
+// nextTime returns the earliest pending event time across all heaps.
+func (w *World) nextTime() (Time, bool) {
+	best, ok := w.ctrl.NextEventTime()
+	for _, s := range w.shards {
+		if t, o := s.NextEventTime(); o && (!ok || t < best) {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
+// runShards executes every shard's events up to and including h and
+// advances all shard clocks to exactly h.
+func (w *World) runShards(h Time) {
+	if !w.parallel || len(w.shards) < 2 {
+		for _, s := range w.shards {
+			s.RunUntil(h)
+		}
+		return
+	}
+	w.startRunners()
+	if w.active == nil {
+		w.active = make([]bool, len(w.shards))
+	}
+	for i, s := range w.shards {
+		if t, o := s.NextEventTime(); o && t <= h {
+			w.active[i] = true
+			w.runners[i].cmd <- h
+		} else {
+			w.active[i] = false
+			if s.now < h {
+				s.now = h
+			}
+		}
+	}
+	// Collect in shard order so a panic surfaces deterministically (lowest
+	// shard first) and every dispatched runner is drained before panicking.
+	var firstPanic any
+	for i := range w.shards {
+		if !w.active[i] {
+			continue
+		}
+		if p := <-w.runners[i].done; p != nil && firstPanic == nil {
+			firstPanic = p
+		}
+	}
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
+
+func (w *World) startRunners() {
+	if len(w.runners) == len(w.shards) {
+		return
+	}
+	w.Close()
+	w.runners = make([]*shardRunner, len(w.shards))
+	for i, s := range w.shards {
+		r := &shardRunner{cmd: make(chan Time), done: make(chan any)}
+		w.runners[i] = r
+		go func(e *Env) {
+			for h := range r.cmd {
+				r.done <- runShardWindow(e, h)
+			}
+		}(s)
+	}
+}
+
+// runShardWindow runs one shard window, converting a panic (including a
+// process panic re-raised by Step) into a value for deterministic
+// propagation by the coordinator.
+func runShardWindow(e *Env, h Time) (p any) {
+	defer func() { p = recover() }()
+	e.RunUntil(h)
+	return nil
+}
+
+// flushPosts drains every shard outbox into the control heap. Outboxes are
+// individually time-sorted, so a k-way merge by (timestamp, shard index)
+// — with emission order preserved within a shard — yields the canonical
+// total order regardless of how the window was executed.
+func (w *World) flushPosts() {
+	total := 0
+	for i := range w.posts {
+		total += len(w.posts[i])
+	}
+	if total == 0 {
+		return
+	}
+	if w.merge == nil {
+		w.merge = make([]int, len(w.posts))
+	}
+	for i := range w.merge {
+		w.merge[i] = 0
+	}
+	for {
+		bi := -1
+		var bt Time
+		for i := range w.posts {
+			if w.merge[i] < len(w.posts[i]) {
+				if at := w.posts[i][w.merge[i]].at; bi < 0 || at < bt {
+					bi, bt = i, at
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		p := w.posts[bi][w.merge[bi]]
+		w.posts[bi][w.merge[bi]] = wpost{}
+		w.merge[bi]++
+		w.ctrl.Do(p.at, p.fn)
+	}
+	for i := range w.posts {
+		w.posts[i] = w.posts[i][:0]
+	}
+}

@@ -21,6 +21,16 @@ import (
 // iteration — a seeded simulation produces an identical file on every run
 // (the property the golden-trace CI job checks).
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTraceAll(w, r)
+}
+
+// WriteChromeTraceAll exports several recorders into one Chrome trace-event
+// JSON file, offsetting each recorder's pids past the previous recorders'
+// so the streams cannot collide — the merged view of a World run, where
+// every replica shard (and the control Env) records independently. Nil
+// recorders are skipped. With a single recorder the output is byte-for-byte
+// WriteChromeTrace's.
+func WriteChromeTraceAll(w io.Writer, recs ...*Recorder) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
@@ -33,21 +43,26 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		first = false
 		bw.WriteString(line)
 	}
-	if r != nil {
+	off := 0
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
 		// Metadata: names and stable sort order for every process/thread.
 		for i := range r.procs {
-			pid := i + 1
+			pid := off + i + 1
 			emit(metaEvent("process_name", pid, 0, "name", strconv.Quote(r.procs[i].name)))
 			emit(metaEvent("process_sort_index", pid, 0, "sort_index", strconv.Itoa(pid)))
 		}
 		for i := range r.threads {
 			th := &r.threads[i]
-			emit(metaEvent("thread_name", int(th.proc), int(th.tid), "name", strconv.Quote(th.name)))
-			emit(metaEvent("thread_sort_index", int(th.proc), int(th.tid), "sort_index", strconv.Itoa(int(th.tid))))
+			emit(metaEvent("thread_name", off+int(th.proc), int(th.tid), "name", strconv.Quote(th.name)))
+			emit(metaEvent("thread_sort_index", off+int(th.proc), int(th.tid), "sort_index", strconv.Itoa(int(th.tid))))
 		}
 		for i := range r.events {
-			emit(r.chromeEvent(&r.events[i]))
+			emit(r.chromeEvent(&r.events[i], off))
 		}
+		off += len(r.procs)
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
 		return err
@@ -75,7 +90,7 @@ func tsMicros(t sim.Time) string {
 		fmt.Sprintf("%03d", int64(t)%1000)
 }
 
-func (r *Recorder) chromeEvent(e *event) string {
+func (r *Recorder) chromeEvent(e *event, off int) string {
 	switch e.kind {
 	case evSpan:
 		th := &r.threads[e.track-1]
@@ -83,14 +98,14 @@ func (r *Recorder) chromeEvent(e *event) string {
 			",\"cat\":" + strconv.Quote(e.cat) +
 			",\"ph\":\"X\",\"ts\":" + tsMicros(e.start) +
 			",\"dur\":" + tsMicros(e.end-e.start) +
-			",\"pid\":" + strconv.Itoa(int(th.proc)) +
+			",\"pid\":" + strconv.Itoa(off+int(th.proc)) +
 			",\"tid\":" + strconv.Itoa(int(th.tid)) +
 			argsJSON(e.args) + "}"
 	case evAsync:
 		head := "{\"name\":" + strconv.Quote(e.name) +
 			",\"cat\":" + strconv.Quote(e.cat) +
 			",\"id\":\"0x" + strconv.FormatUint(e.id, 16) + "\"" +
-			",\"pid\":" + strconv.Itoa(int(e.proc)) + ",\"tid\":0"
+			",\"pid\":" + strconv.Itoa(off+int(e.proc)) + ",\"tid\":0"
 		b := head + ",\"ph\":\"b\",\"ts\":" + tsMicros(e.start) + argsJSON(e.args) + "}"
 		end := head + ",\"ph\":\"e\",\"ts\":" + tsMicros(e.end) + "}"
 		return b + ",\n" + end
@@ -99,14 +114,14 @@ func (r *Recorder) chromeEvent(e *event) string {
 		return "{\"name\":" + strconv.Quote(e.name) +
 			",\"cat\":" + strconv.Quote(e.cat) +
 			",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + tsMicros(e.start) +
-			",\"pid\":" + strconv.Itoa(int(th.proc)) +
+			",\"pid\":" + strconv.Itoa(off+int(th.proc)) +
 			",\"tid\":" + strconv.Itoa(int(th.tid)) +
 			argsJSON(e.args) + "}"
 	case evSample:
 		ci := &r.counters[e.ctr-1]
 		return "{\"name\":" + strconv.Quote(ci.name) +
 			",\"ph\":\"C\",\"ts\":" + tsMicros(e.start) +
-			",\"pid\":" + strconv.Itoa(int(ci.proc)) +
+			",\"pid\":" + strconv.Itoa(off+int(ci.proc)) +
 			",\"args\":{" + strconv.Quote(e.series) + ":" + formatValue(e.value) + "}}"
 	}
 	return "{}"
