@@ -65,6 +65,8 @@ func main() {
 		par     = flag.Bool("parallel", false, "execute replica shards on goroutines (bit-identical to serial); requires -replicas > 1")
 		window  = flag.Duration("window", 50*time.Microsecond, "conservative synchronization window (with -replicas > 1)")
 		balName = flag.String("balancer", "least-loaded", "cluster balancer: round-robin | least-loaded | model-affinity | residency-aware")
+		maxBat  = flag.Int("max-batch", 0, "dynamic-batching width cap for the gated Paella dispatcher (≤1 = off)")
+		batWin  = flag.Duration("batch-window", 0, "max batch-formation hold for a lone ready kernel (with -max-batch > 1)")
 	)
 	flag.Parse()
 
@@ -104,6 +106,8 @@ func main() {
 	if *vramMiB > 0 {
 		opts.VRAM = &vram.Config{CapacityBytes: *vramMiB << 20}
 	}
+	opts.MaxBatch = *maxBat
+	opts.BatchWindow = sim.Time((*batWin).Nanoseconds())
 	names := make([]string, len(opts.Models))
 	for i, m := range opts.Models {
 		names[i] = m.Name
@@ -228,6 +232,14 @@ func main() {
 		fmt.Printf("vram       : budget=%dMiB cold-starts=%d warm-hit=%.1f%% mean-load=%v\n",
 			*vramMiB, col.ColdStarts(), 100*col.WarmHitRatio(), col.MeanLoadNs())
 	}
+	if ds, ok := sys.(interface{ Dispatcher() *core.Dispatcher }); ok {
+		// Covers both -max-batch on a Paella run and the stock Paella-batch
+		// system, which enables batching from inside serving.
+		if st := ds.Dispatcher().Stats(); st.BatchHolds > 0 || st.Batches > 0 {
+			fmt.Printf("batching   : batches=%d batched-jobs=%d holds=%d mean-size=%.2f\n",
+				st.Batches, st.BatchedJobs, st.BatchHolds, col.MeanBatchSize())
+		}
+	}
 	if *perMod {
 		for _, name := range names {
 			sub := col.FilterModel(name)
@@ -281,6 +293,8 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 	c, err := cluster.NewWorldWithConfig(w, devs, func(int, gpu.Config) core.Config {
 		cfg := core.DefaultConfig(sched.NewPaella(serving.DefaultFairnessThreshold))
 		cfg.VRAM = opts.VRAM
+		cfg.MaxBatch = opts.MaxBatch
+		cfg.BatchWindow = opts.BatchWindow
 		if opts.Faults != nil {
 			// Mirror the serving layer: a faulty run arms tolerant
 			// notification handling plus the kernel watchdog.

@@ -46,7 +46,10 @@ func chaosLowPlan(seed int64) *fault.Plan {
 }
 
 // runWorldCluster executes one cell of the matrix on the World engine.
-func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, plan *fault.Plan, parallel, traced bool) worldRunResult {
+// maxBatch > 1 turns on dispatcher dynamic batching (the matrix's batching
+// column): every replica batches same-kernel jobs with a 50µs formation
+// window, which must not cost any determinism.
+func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, plan *fault.Plan, parallel, traced bool, maxBatch int) worldRunResult {
 	t.Helper()
 	w := sim.NewWorld()
 	w.SetParallel(parallel)
@@ -60,6 +63,10 @@ func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, pl
 	devs := []gpu.Config{gpu.TeslaT4(), gpu.TeslaT4(), gpu.TeslaT4(), gpu.TeslaT4()}
 	c, err := cluster.NewWorldWithConfig(w, devs, func(int, gpu.Config) core.Config {
 		cfg := core.DefaultConfig(sched.NewPaella(10000))
+		if maxBatch > 1 {
+			cfg.MaxBatch = maxBatch
+			cfg.BatchWindow = 50 * sim.Microsecond
+		}
 		if plan != nil {
 			// Faulty cells arm the recovery machinery, mirroring how the
 			// serving layer runs fault plans: tolerant notification handling
@@ -166,35 +173,37 @@ func TestWorldSerialParallelBitIdentical(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 4, 5} {
 		for _, b := range balancers {
 			for _, p := range plans {
-				name := fmt.Sprintf("seed%d/%s/%s", seed, b.name, p.name)
-				t.Run(name, func(t *testing.T) {
-					// Trace a deterministic subset: full trace comparison is
-					// the expensive axis, one seed of it per cell suffices.
-					traced := seed == 3
-					serial := runWorldCluster(t, seed, b.mk, p.mk(seed), false, traced)
-					par := runWorldCluster(t, seed, b.mk, p.mk(seed), true, traced)
-					if serial.completed == 0 {
-						t.Fatal("no requests completed; workload broken")
-					}
-					if serial.completed+serial.failed != 90 {
-						t.Fatalf("conservation: %d completed + %d failed != 90",
-							serial.completed, serial.failed)
-					}
-					if serial.completed != par.completed || serial.failed != par.failed {
-						t.Fatalf("outcome counts diverge: serial %d/%d, parallel %d/%d",
-							serial.completed, serial.failed, par.completed, par.failed)
-					}
-					if serial.metricsJSON != par.metricsJSON {
-						t.Fatal("per-request metrics JSON diverges between serial and parallel")
-					}
-					if serial.failures != par.failures {
-						t.Fatalf("failure summaries diverge:\n serial: %s\n parallel: %s",
-							serial.failures, par.failures)
-					}
-					if serial.traceBytes != par.traceBytes {
-						t.Fatal("merged trace bytes diverge between serial and parallel")
-					}
-				})
+				for _, maxBatch := range []int{0, 4} {
+					name := fmt.Sprintf("seed%d/%s/%s/batch%d", seed, b.name, p.name, maxBatch)
+					t.Run(name, func(t *testing.T) {
+						// Trace a deterministic subset: full trace comparison is
+						// the expensive axis, one seed of it per cell suffices.
+						traced := seed == 3
+						serial := runWorldCluster(t, seed, b.mk, p.mk(seed), false, traced, maxBatch)
+						par := runWorldCluster(t, seed, b.mk, p.mk(seed), true, traced, maxBatch)
+						if serial.completed == 0 {
+							t.Fatal("no requests completed; workload broken")
+						}
+						if serial.completed+serial.failed != 90 {
+							t.Fatalf("conservation: %d completed + %d failed != 90",
+								serial.completed, serial.failed)
+						}
+						if serial.completed != par.completed || serial.failed != par.failed {
+							t.Fatalf("outcome counts diverge: serial %d/%d, parallel %d/%d",
+								serial.completed, serial.failed, par.completed, par.failed)
+						}
+						if serial.metricsJSON != par.metricsJSON {
+							t.Fatal("per-request metrics JSON diverges between serial and parallel")
+						}
+						if serial.failures != par.failures {
+							t.Fatalf("failure summaries diverge:\n serial: %s\n parallel: %s",
+								serial.failures, par.failures)
+						}
+						if serial.traceBytes != par.traceBytes {
+							t.Fatal("merged trace bytes diverge between serial and parallel")
+						}
+					})
+				}
 			}
 		}
 	}
@@ -203,8 +212,8 @@ func TestWorldSerialParallelBitIdentical(t *testing.T) {
 // TestWorldRunRepeatable: the same seed twice on the parallel engine gives
 // identical bytes — determinism across runs, not just across modes.
 func TestWorldRunRepeatable(t *testing.T) {
-	a := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true)
-	b := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true)
+	a := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true, 4)
+	b := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true, 4)
 	if a.metricsJSON != b.metricsJSON || a.failures != b.failures || a.traceBytes != b.traceBytes {
 		t.Fatal("parallel runs with identical seeds diverge")
 	}

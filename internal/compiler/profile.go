@@ -17,6 +17,12 @@ type KernelStat struct {
 	Count float64
 	// MeanTime is the average wall-clock execution time (T̄ᵢ).
 	MeanTime sim.Time
+	// BatchAlpha is the kernel's batch-scaling coefficient: the marginal
+	// per-block cost of one extra batched sample relative to the first
+	// (see Profile.BatchScale). Learned during profiling from the kernel's
+	// measured solo occupancy; zero means unprofiled (no batching benefit
+	// assumed).
+	BatchAlpha float64
 
 	samples int
 	total   sim.Time
@@ -100,6 +106,30 @@ func (p *Profile) RemainingByFormula(executedCounts map[string]int) sim.Time {
 	return total
 }
 
+// BatchAlpha returns the named kernel's learned batch-scaling coefficient
+// (1 — no batching benefit — when the kernel is unknown or unprofiled).
+func (p *Profile) BatchAlpha(kernel string) float64 {
+	if st := p.stats[kernel]; st != nil && st.BatchAlpha > 0 {
+		return st.BatchAlpha
+	}
+	return 1
+}
+
+// BatchScale returns the per-block duration multiplier for an n-way
+// batched launch of the named kernel: s(n) = (1+(n−1)α)/n, so the widened
+// grid's total block-time is B·d·(1+(n−1)α) — the first sample pays full
+// cost, each extra sample pays the marginal fraction α. α is per-kernel
+// (learned by ProfileModel from measured solo occupancy), not one global
+// constant: a kernel already saturating the device gains little from
+// batching while an occupancy-starved one gains nearly 1/n.
+func (p *Profile) BatchScale(kernel string, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	a := p.BatchAlpha(kernel)
+	return (1 + float64(n-1)*a) / float64(n)
+}
+
 // rebuild recomputes the suffix table from the model sequence and current
 // means.
 func (p *Profile) rebuild(m *model.Model) {
@@ -143,9 +173,24 @@ func ProfileModel(ins *Instrumented, devCfg gpu.Config, runs int) (*Profile, err
 	env.Run()
 	// Per-job execution counts are exact for deterministic sequences.
 	counts := m.Counts()
+	alphaLo, alphaHi := ins.Cfg.batchAlphaRange()
 	for i, k := range m.Kernels {
 		if st := p.stats[k.Name]; st != nil {
 			st.Count = float64(counts[i])
+			// Batch-scaling coefficient from the kernel's solo device
+			// utilization on the profiling device: the fraction of the
+			// occupancy limit one launch already consumes. A saturating
+			// kernel (util 1) serializes extra batched samples into more
+			// waves (α → max); a small kernel's extra blocks ride idle SMs
+			// (α → min).
+			util := 1.0
+			if maxRes := k.MaxResident(devCfg); maxRes > 0 {
+				util = float64(k.Blocks) / float64(maxRes)
+				if util > 1 {
+					util = 1
+				}
+			}
+			st.BatchAlpha = alphaLo + (alphaHi-alphaLo)*util
 		}
 	}
 	p.rebuild(m)

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"paella/internal/gpu"
+	"paella/internal/rbtree"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/trace"
+)
+
+// Dynamic batching (perf extension of §6's software-defined dispatch):
+// same-model jobs whose cursors sit at the same kernel position coalesce
+// into one batched launch with a widened grid (blocks × batch size) and the
+// profiled sub-linear per-block batch curve (compiler.Profile.BatchScale).
+// Formation is scheduler-driven — the policy's pick stays the batch head,
+// partners ride along in request-id order — and SLO-aware: a lone ready
+// kernel may be held open for partners only while the ready queue is deep
+// enough to pay for the wait and the hold fits inside the head's deadline
+// slack. Everything here is inert unless Config.MaxBatch > 1; the disabled
+// dispatch path is byte-identical to the unbatched dispatcher.
+
+// batchKey groups batch-compatible jobs: same model, same position in the
+// kernel sequence (so the pending launches are clones of one spec).
+type batchKey struct {
+	model string
+	pos   int
+}
+
+// batchSpecKey caches widened kernel clones per (base spec, width).
+type batchSpecKey struct {
+	spec *gpu.KernelSpec
+	n    int
+}
+
+// batchTraceBase offsets batch async-span ids away from request ids.
+const batchTraceBase uint64 = 1 << 32
+
+func (d *Dispatcher) batchKeyOf(j *Job) batchKey {
+	return batchKey{model: j.Req.Model, pos: j.cursor}
+}
+
+// policyAdd makes the job visible to the picker and, when batching is on,
+// to the same-kernel batch index. All gated model-path Add sites route
+// through here (adaptor waitlists keep their own reconcile path and never
+// enter the batch index).
+func (d *Dispatcher) policyAdd(j *Job) {
+	d.cfg.Policy.Add(&j.entry)
+	j.inPolicy = true
+	if d.batchIndex != nil && j.wl == nil {
+		d.batchIndexAdd(j)
+	}
+}
+
+// policyRemove hides the job from the picker and tears down its batching
+// state (index membership and any open hold).
+func (d *Dispatcher) policyRemove(j *Job) {
+	d.cfg.Policy.Remove(&j.entry)
+	j.inPolicy = false
+	if d.batchIndex != nil && j.batchNode != nil {
+		d.releaseHold(j)
+		d.batchIndexRemove(j)
+	}
+}
+
+// batchIndexAdd registers the ready job under its batch key. A partner
+// arriving is what a held job has been waiting for: the hold releases and
+// the next dispatch pass forms the batch.
+func (d *Dispatcher) batchIndexAdd(j *Job) {
+	key := d.batchKeyOf(j)
+	t := d.batchIndex[key]
+	if t == nil {
+		t = rbtree.New(func(a, b *Job) bool { return a.Req.ID < b.Req.ID })
+		d.batchIndex[key] = t
+	}
+	j.batchNode = t.Insert(j)
+	if held := d.holds[key]; held != nil && held != j {
+		d.releaseHold(held)
+		d.wakeNow()
+	}
+}
+
+func (d *Dispatcher) batchIndexRemove(j *Job) {
+	key := d.batchKeyOf(j)
+	t := d.batchIndex[key]
+	t.Delete(j.batchNode)
+	j.batchNode = nil
+	if t.Len() == 0 {
+		delete(d.batchIndex, key)
+	}
+}
+
+// releaseHold reopens a held job for dispatch (a partner arrived, or the
+// job is leaving the policy altogether). The wait is attributed to the
+// job's record; the generation bump disarms the pending expiry timer.
+func (d *Dispatcher) releaseHold(j *Job) {
+	if !j.held {
+		return
+	}
+	j.held = false
+	j.holdGen++
+	j.rec.BatchWaitNs += d.env.Now() - j.holdStart
+	delete(d.holds, d.batchKeyOf(j))
+}
+
+// expireHold is the hold timer's landing: the window closed partnerless,
+// so the job dispatches solo (noHold keeps it from re-arming until it has
+// actually dispatched once).
+func (d *Dispatcher) expireHold(j *Job, gen uint64) {
+	if !j.held || j.holdGen != gen {
+		return // released by a partner, dispatched, or superseded
+	}
+	j.held = false
+	j.holdGen++
+	j.noHold = true
+	j.rec.BatchWaitNs += d.env.Now() - j.holdStart
+	delete(d.holds, d.batchKeyOf(j))
+	d.wakeNow()
+}
+
+// batchHoldWindow sizes the adaptive formation window for a lone ready
+// kernel: zero (dispatch now) when holds are disabled or the ready queue is
+// shallow; otherwise a wait that grows with queue depth — deeper backlog
+// means partners are likelier to arrive in time — capped at BatchWindow and
+// at half the job's deadline slack, so batching never spends latency an SLO
+// cannot afford.
+func (d *Dispatcher) batchHoldWindow(j *Job) sim.Time {
+	if d.cfg.BatchWindow <= 0 {
+		return 0
+	}
+	minDepth := d.cfg.BatchMinDepth
+	if minDepth <= 0 {
+		minDepth = 2 * d.cfg.MaxBatch
+	}
+	depth := d.cfg.Policy.Len()
+	if depth < minDepth {
+		return 0
+	}
+	wait := d.cfg.BatchWindow * sim.Time(depth) / sim.Time(2*minDepth)
+	if wait > d.cfg.BatchWindow {
+		wait = d.cfg.BatchWindow
+	}
+	if j.entry.Deadline > 0 {
+		slack := j.entry.Deadline - d.env.Now() - j.entry.Remaining
+		if slack <= 0 {
+			return 0
+		}
+		if wait > slack/2 {
+			wait = slack / 2
+		}
+	}
+	return wait
+}
+
+// tryBatch is the dispatch loop's batching gate for a picked, fitting job.
+// It either dispatches the job as the head of a batched launch (partners
+// ready now), holds it open for partners (adaptive window), or reports
+// false so the caller releases it solo.
+func (d *Dispatcher) tryBatch(j *Job) bool {
+	key := d.batchKeyOf(j)
+	t := d.batchIndex[key]
+	if t == nil || j.batchNode == nil {
+		return false
+	}
+	if t.Len() >= 2 {
+		members := append(d.batchScratch[:0], j)
+		for n := t.Min(); n != nil && len(members) < d.cfg.MaxBatch; n = n.Next() {
+			if p := n.Item; p != j {
+				members = append(members, p)
+			}
+		}
+		// Keep the widened grid inside the §6 dispatch budget: the batch may
+		// occupy headroom plus the overshoot allowance, never less than the
+		// solo launch the gate already admitted.
+		base := j.currentKernel()
+		if nCap := (d.mirror.headroomBlocks() + d.mirror.overshoot) / base.Blocks; nCap < len(members) {
+			if nCap < 1 {
+				nCap = 1
+			}
+			members = members[:nCap]
+		}
+		if len(members) >= 2 {
+			d.dispatchBatch(members)
+			return true
+		}
+		return false
+	}
+	// Alone at this key: consider holding the window open for partners.
+	if j.noHold {
+		return false
+	}
+	wait := d.batchHoldWindow(j)
+	if wait <= 0 {
+		return false
+	}
+	j.held = true
+	j.holdGen++
+	gen := j.holdGen
+	j.holdStart = d.env.Now()
+	d.holds[key] = j
+	d.stats.BatchHolds++
+	d.env.After(wait, func() { d.expireHold(j, gen) })
+	return true
+}
+
+// batchedSpec returns the cached widened clone of base for width n.
+func (d *Dispatcher) batchedSpec(base *gpu.KernelSpec, n int, scale float64) *gpu.KernelSpec {
+	key := batchSpecKey{spec: base, n: n}
+	if s := d.batchSpecs[key]; s != nil {
+		return s
+	}
+	s := base.Batched(n, scale)
+	d.batchSpecs[key] = s
+	return s
+}
+
+// dispatchBatch releases one batched kernel launch covering every member.
+// The per-decision dispatch cost was charged once by the loop — that
+// amortization is the dispatcher-side win — and is attributed to members
+// pro rata. Fairness accounting still charges every member's client
+// (sched.BatchDispatched), and the launch's SRPT position is the
+// pessimistic member's (sched.BatchRemaining).
+func (d *Dispatcher) dispatchBatch(members []*Job) {
+	head := members[0]
+	base := head.currentKernel()
+	n := len(members)
+	bspec := d.batchedSpec(base, n, head.Ins.Profile.BatchScale(base.Name, n))
+	now := d.env.Now()
+
+	entries := d.entryScratch[:0]
+	for _, m := range members {
+		entries = append(entries, &m.entry)
+	}
+	sched.BatchDispatched(d.cfg.Policy, entries)
+	batchRem := sched.BatchRemaining(entries)
+
+	perJobSched := (d.cfg.SchedDelay + d.cfg.DispatchCost) / sim.Time(n)
+	for _, m := range members {
+		d.policyRemove(m)
+		m.noHold = false
+		if m.rec.FirstDispatch == 0 {
+			m.rec.FirstDispatch = now
+		}
+		m.rec.SchedNs += perJobSched
+		if m.rec.BatchSize < n {
+			m.rec.BatchSize = n
+		}
+		m.kernelsInFlight++
+		if m.isFinalGPUOp() {
+			d.ringBell(m)
+		}
+	}
+
+	var actBytes int64
+	if d.vramMgr != nil {
+		// Per-member activation scratch: weights are shared across the batch
+		// (one resident copy) but every member brings its own input/output
+		// tensors to the device for the widened launch.
+		actBytes = int64(n) * head.Ins.Model.ActivationBytes()
+		d.vramMgr.ReserveActivations(actBytes)
+	}
+
+	d.nextKernelID++
+	kid := d.nextKernelID
+	mcopy := make([]*Job, n)
+	copy(mcopy, members)
+	d.inflight[kid] = &inflightKernel{
+		job: head, spec: bspec, members: mcopy, sentAt: now, actBytes: actBytes,
+	}
+	d.mirror.Reserve(bspec)
+	d.stats.KernelsSent++
+	d.stats.Batches++
+	d.stats.BatchedJobs += uint64(n)
+	if d.rec != nil {
+		d.rec.InstantArgs(d.schedTrack, bspec.Name, "batch-dispatch", now,
+			trace.Int("size", int64(n)),
+			trace.Int("head", int64(head.Req.ID)),
+			trace.Int("kernel_id", int64(kid)),
+			trace.Str("policy", d.cfg.Policy.Name()),
+			trace.Int("batch_remaining_ns", int64(batchRem)))
+		d.traceCounters()
+	}
+	d.queueCursor = (d.queueCursor + 1) % d.dev.NumQueues()
+	d.dev.Submit(d.queueCursor, &gpu.Launch{
+		Spec:         bspec,
+		KernelID:     kid,
+		JobTag:       head.Req.Model,
+		Instrumented: true,
+	})
+	if d.cfg.KernelTimeout > 0 {
+		bound := sim.Time(bspec.Blocks)*bspec.BlockDuration + d.cfg.KernelTimeout
+		bound <<= uint(head.retries)
+		d.env.After(bound, func() { d.onKernelTimeout(kid) })
+	}
+}
+
+// batchComplete fans a finished batched launch out to its members: one
+// completed kernel execution each, in formation order. Online profile
+// refinement is skipped — the observed span measures the widened launch,
+// not the solo kernel the profile models.
+func (d *Dispatcher) batchComplete(kid uint32, fl *inflightKernel) {
+	now := d.env.Now()
+	if fl.actBytes > 0 {
+		d.vramMgr.ReleaseActivations(fl.actBytes)
+	}
+	if d.rec != nil {
+		d.rec.AsyncArgs(d.traceProc, batchTraceBase|uint64(kid), fl.spec.Name, "batch",
+			fl.sentAt, now, trace.Int("size", int64(len(fl.members))))
+		for _, m := range fl.members {
+			d.rec.Async(d.traceProc, m.Req.ID, "batch-exec", "job", fl.sentAt, now)
+		}
+	}
+	for _, m := range fl.members {
+		m.execsDone++
+		m.kernelsInFlight--
+	}
+	for _, m := range fl.members {
+		d.opDone(m)
+	}
+	d.traceCounters()
+}
+
+// batchTimeout is the watchdog recovery path for a batched launch (the
+// mirror was already reconciled against the widened spec by the caller).
+// Never-placed batches re-dispatch each member solo through the policy —
+// re-batching a launch the device may be wedged on would repeat the fault
+// at full width — while partially-placed batches force-complete every
+// member, mirroring the unbatched lost-completion rule.
+func (d *Dispatcher) batchTimeout(fl *inflightKernel) {
+	if fl.actBytes > 0 {
+		d.vramMgr.ReleaseActivations(fl.actBytes)
+	}
+	for _, m := range fl.members {
+		m.kernelsInFlight--
+	}
+	max := d.cfg.MaxKernelRetries
+	if max <= 0 {
+		max = 3
+	}
+	for _, m := range fl.members {
+		if m.cancelled || m.failErr != nil {
+			if m.kernelsInFlight == 0 {
+				d.finish(m)
+			}
+			continue
+		}
+		if fl.placed == 0 {
+			if m.retries >= max {
+				d.failJob(m, ErrKernelTimeout)
+				continue
+			}
+			m.retries++
+			d.stats.KernelRetries++
+			m.entry.Remaining = m.Ins.Profile.RemainingAfter(m.execsDone)
+			d.policyAdd(m)
+			continue
+		}
+		m.execsDone++
+		d.opDone(m)
+	}
+	d.traceCounters()
+	d.wakeNow()
+}

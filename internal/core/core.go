@@ -31,6 +31,7 @@ import (
 	"paella/internal/cudart"
 	"paella/internal/gpu"
 	"paella/internal/metrics"
+	"paella/internal/rbtree"
 	"paella/internal/sched"
 	"paella/internal/sim"
 	"paella/internal/trace"
@@ -148,6 +149,26 @@ type Config struct {
 	// with fault injection: stale or duplicated notifications are counted
 	// and ignored instead of panicking. Implied by KernelTimeout > 0.
 	FaultTolerant bool
+
+	// MaxBatch enables dynamic batching in ModeGated when > 1: same-model,
+	// same-position ready jobs coalesce into one batched kernel launch with
+	// a widened grid (blocks × batch size) and the profiled sub-linear
+	// per-kernel batch curve (compiler.Profile.BatchScale). ≤ 1 (the
+	// default) disables batching entirely — the dispatch path is
+	// byte-identical to the unbatched dispatcher.
+	MaxBatch int
+	// BatchWindow bounds how long the dispatcher may hold a lone ready
+	// kernel waiting for batch partners. The effective wait is adaptive —
+	// scaled by ready-queue depth and capped at half the head job's
+	// deadline slack (see batchHoldWindow) — so batching engages under
+	// load and degenerates to immediate dispatch when the queue is short.
+	// Zero restricts batching to opportunistic coalescing (partners that
+	// are already ready; never waits).
+	BatchWindow sim.Time
+	// BatchMinDepth is the ready-queue depth below which batch-formation
+	// holds never engage (low occupancy: the latency cost cannot pay for
+	// itself). Default 2×MaxBatch.
+	BatchMinDepth int
 }
 
 // DefaultConfig returns dispatcher costs calibrated to the paper's
@@ -253,6 +274,14 @@ type inflightKernel struct {
 	// op links back to the waitlist entry for adaptor-backed jobs (nil for
 	// the standard model path).
 	op *wlOp
+	// members holds every job riding a batched launch (nil for an
+	// unbatched kernel; members[0] == job). Completion fans out to each
+	// member in formation order.
+	members []*Job
+	// sentAt stamps the dispatch (batch span tracing); actBytes is the
+	// activation scratch reserved for the batch's members (vram gauge).
+	sentAt   sim.Time
+	actBytes int64
 }
 
 // Dispatcher is the Paella service. Construct with New, register models,
@@ -277,6 +306,23 @@ type Dispatcher struct {
 	nextKernelID uint32
 	queueCursor  int
 	nbuf         []channel.Notification
+
+	// fitsFn is the dispatch-gate predicate handed to Policy.PickFit,
+	// allocated once at construction: the dispatch loop runs per kernel
+	// release, and a per-pass closure literal was its only steady-state
+	// heap allocation.
+	fitsFn func(*sched.JobEntry) bool
+
+	// Dynamic batching state (inert unless Config.MaxBatch > 1; see
+	// batch.go). batchIndex groups ready same-model, same-position jobs by
+	// batch key; holds tracks the (at most one per key) job held open for
+	// partners; batchSpecs caches widened kernel clones; the scratch
+	// slices are reused across formations.
+	batchIndex   map[batchKey]*rbtree.Tree[*Job]
+	holds        map[batchKey]*Job
+	batchSpecs   map[batchSpecKey]*gpu.KernelSpec
+	batchScratch []*Job
+	entryScratch []*sched.JobEntry
 
 	rtCtx        *cudart.Context
 	sharedStream *cudart.Stream
@@ -351,6 +397,12 @@ type Stats struct {
 	// LoadRetries and LoadFailures count weight-load recovery activity.
 	LoadRetries  uint64
 	LoadFailures uint64
+	// Batches counts batched kernel launches (width ≥ 2); BatchedJobs sums
+	// their member counts; BatchHolds counts batch-formation windows armed
+	// on a lone ready kernel. All zero when batching is off.
+	Batches     uint64
+	BatchedJobs uint64
+	BatchHolds  uint64
 	// BusyNs is the dispatcher core's cumulative busy time (the paper's
 	// single-core claim is checkable: BusyNs / elapsed is its utilization).
 	BusyNs sim.Time
@@ -378,6 +430,28 @@ func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) 
 		pcieFactor:   1,
 	}
 	d.mirror = newMirror(dev.Config(), cfg.OvershootBlocks)
+	// The gate predicate is allocated once: kernels of a cold model cannot
+	// run (weights still paging in), jobs held for batch formation are
+	// skipped (fitting partners will release them), and everything else is
+	// gated by the occupancy mirror. The scan skips non-fitting jobs so
+	// warm work keeps the device busy.
+	d.fitsFn = func(e *sched.JobEntry) bool {
+		j := e.Payload.(*Job)
+		if !d.ModelResident(j.Req.Model) {
+			return false
+		}
+		if d.cfg.MaxBatch > 1 && j.held {
+			return false
+		}
+		return d.mirror.CanAccept(j.peekKernel())
+	}
+	if cfg.MaxBatch > 1 {
+		d.batchIndex = make(map[batchKey]*rbtree.Tree[*Job])
+		d.holds = make(map[batchKey]*Job)
+		d.batchSpecs = make(map[batchSpecKey]*gpu.KernelSpec)
+		d.batchScratch = make([]*Job, 0, cfg.MaxBatch)
+		d.entryScratch = make([]*sched.JobEntry, 0, cfg.MaxBatch)
+	}
 	// Track SM retirements: the occupancy mirror must gate against the
 	// surviving capacity, or the dispatcher would keep over-releasing work
 	// the device can no longer absorb.
@@ -636,18 +710,8 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 		// fitting job, scanning past unplaceable candidates for work
 		// conservation.
 		if d.cfg.Mode == ModeGated {
-			fits := func(e *sched.JobEntry) bool {
-				j := e.Payload.(*Job)
-				// Kernels of a cold model cannot run: its weights are still
-				// paging in (or queued for memory). The scan skips past such
-				// jobs so warm work keeps the device busy during the load.
-				if !d.ModelResident(j.Req.Model) {
-					return false
-				}
-				return d.mirror.CanAccept(j.peekKernel())
-			}
 			for {
-				e := d.cfg.Policy.PickFit(fits, d.cfg.DispatchScan)
+				e := d.cfg.Policy.PickFit(d.fitsFn, d.cfg.DispatchScan)
 				if e == nil {
 					break
 				}
@@ -658,6 +722,12 @@ func (d *Dispatcher) loop(p *sim.Proc) {
 					// callback in that window (client disconnect, cancel)
 					// may have failed the job and pulled it from the
 					// policy. Skip it; its terminal path is already set.
+					progressed = true
+					continue
+				}
+				if d.cfg.MaxBatch > 1 && j.wl == nil && d.tryBatch(j) {
+					// Dispatched as a batched launch, or held open for
+					// partners; either way the head was consumed.
 					progressed = true
 					continue
 				}

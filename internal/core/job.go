@@ -9,6 +9,7 @@ import (
 	"paella/internal/cudart"
 	"paella/internal/gpu"
 	"paella/internal/metrics"
+	"paella/internal/rbtree"
 	"paella/internal/sched"
 	"paella/internal/sim"
 	"paella/internal/trace"
@@ -57,6 +58,20 @@ type Job struct {
 	// vramPinned marks a job holding a residency pin on its model's
 	// weights (released at finish).
 	vramPinned bool
+
+	// Dynamic-batching state (inert unless Config.MaxBatch > 1). held
+	// marks a job parked by the batch-formation window: it stays in the
+	// policy order but the dispatch gate skips it until a partner arrives
+	// or the hold expires. holdGen invalidates stale hold timers;
+	// holdStart stamps the hold for per-member wait attribution; noHold
+	// marks a job whose hold expired partnerless — it dispatches solo
+	// rather than re-arming (reset on dispatch). batchNode is the job's
+	// handle in the dispatcher's same-kernel batch index.
+	held      bool
+	holdGen   uint64
+	holdStart sim.Time
+	noHold    bool
+	batchNode *rbtree.Node[*Job]
 
 	// wl holds the Figure 7 waitlists for adaptor-backed jobs; nil for the
 	// standard model path (whose ops follow the cursor above).
@@ -358,8 +373,7 @@ func (d *Dispatcher) advanceGated(j *Job) {
 		// The job becomes runnable; the loop's dispatch phase releases it
 		// when the policy and the occupancy mirror agree.
 		j.entry.Remaining = j.Ins.Profile.RemainingAfter(j.execsDone)
-		d.cfg.Policy.Add(&j.entry)
-		j.inPolicy = true
+		d.policyAdd(j)
 		d.wakeNow()
 	case opCopyIn, opCopyOut:
 		// Copies bypass the SM occupancy gate (they use the DMA engines).
@@ -393,8 +407,8 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 		spec = j.currentKernel()
 	}
 	d.cfg.Policy.Dispatched(&j.entry)
-	d.cfg.Policy.Remove(&j.entry)
-	j.inPolicy = false
+	d.policyRemove(j)
+	j.noHold = false
 	if j.rec.FirstDispatch == 0 {
 		j.rec.FirstDispatch = d.env.Now()
 	}
@@ -476,13 +490,17 @@ func (d *Dispatcher) onKernelTimeout(kid uint32) {
 	if n := spec.Blocks - fl.completed; n > 0 {
 		d.mirror.Complete(spec, n)
 	}
-	j.kernelsInFlight--
 	if d.rec != nil {
 		d.rec.InstantArgs(d.schedTrack, spec.Name, "kernel-timeout", d.env.Now(),
 			trace.Int("job", int64(j.Req.ID)), trace.Int("kernel_id", int64(kid)),
 			trace.Int("placed", int64(fl.placed)), trace.Int("completed", int64(fl.completed)),
 			trace.Int("retries", int64(j.retries)))
 	}
+	if fl.members != nil {
+		d.batchTimeout(fl)
+		return
+	}
+	j.kernelsInFlight--
 	if j.cancelled || j.failErr != nil {
 		if j.kernelsInFlight == 0 {
 			d.finish(j)
@@ -503,8 +521,7 @@ func (d *Dispatcher) onKernelTimeout(kid uint32) {
 		// Back into the ready queue: the cursor never advanced, so the
 		// policy re-releases exactly this kernel once it fits again.
 		j.entry.Remaining = j.Ins.Profile.RemainingAfter(j.execsDone)
-		d.cfg.Policy.Add(&j.entry)
-		j.inPolicy = true
+		d.policyAdd(j)
 		d.wakeNow()
 		return
 	}
@@ -606,6 +623,10 @@ func (d *Dispatcher) applyNotif(n channel.Notification) {
 		d.mirror.Complete(fl.spec, count)
 		if fl.completed == fl.spec.Blocks {
 			delete(d.inflight, n.KernelID())
+			if fl.members != nil {
+				d.batchComplete(n.KernelID(), fl)
+				return
+			}
 			fl.job.execsDone++
 			fl.job.kernelsInFlight--
 			if d.cfg.RefineOnline {
@@ -670,8 +691,7 @@ func (d *Dispatcher) failJob(j *Job, err error) {
 	}
 	j.failErr = err
 	if j.inPolicy {
-		d.cfg.Policy.Remove(&j.entry)
-		j.inPolicy = false
+		d.policyRemove(j)
 	}
 	if d.rec != nil {
 		d.rec.InstantArgs(d.schedTrack, j.Req.Model, "job-failed", d.env.Now(),
@@ -715,8 +735,7 @@ func (d *Dispatcher) cancel(reqID uint64) {
 	j.cancelled = true
 	j.rec.Cancelled = true
 	if j.inPolicy {
-		d.cfg.Policy.Remove(&j.entry)
-		j.inPolicy = false
+		d.policyRemove(j)
 	}
 	if j.kernelsInFlight == 0 {
 		d.finish(j)

@@ -99,6 +99,13 @@ func (m *mirror) rescale(cfg gpu.Config, online int) {
 	m.capShmem = online * cfg.SM.MaxSharedMem
 }
 
+// headroomBlocks returns capacity minus resident and reserved blocks —
+// how many more blocks fit before the overshoot budget starts burning.
+// Negative once dispatch has run past full utilization.
+func (m *mirror) headroomBlocks() int {
+	return m.capBlocks - m.resBlocks - m.rsvBlocks
+}
+
 // Idle reports whether the mirror believes the device is empty.
 func (m *mirror) Idle() bool {
 	return m.resBlocks == 0 && m.rsvBlocks == 0

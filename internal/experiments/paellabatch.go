@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"paella/internal/core"
+	"paella/internal/model"
+	"paella/internal/serving"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "batching",
+		Title: "Extension (§8): SLO-aware dynamic batching in the Paella dispatcher",
+		Run:   runPaellaBatching,
+	})
+}
+
+// BatchTrajEnv names the environment variable that, when set, makes the
+// batching experiment append its headline cell (the saturating-load
+// Paella-batch vs Paella comparison) as one NDJSON line to the named file —
+// the bench trajectory successive revisions extend (BENCH_trajectory.ndjson
+// at the repo root).
+const BatchTrajEnv = "PAELLA_BATCH_TRAJ"
+
+// batchTrajCell is one NDJSON line of the bench trajectory.
+type batchTrajCell struct {
+	Schema         string  `json:"schema"` // "paella-batch-traj/v1"
+	Detail         string  `json:"detail"` // "quick" | "full"
+	Rate           float64 `json:"rate"`   // saturating offered load (req/s)
+	SLOMs          float64 `json:"slo_ms"`
+	PaellaTput     float64 `json:"paella_tput"`
+	BatchTput      float64 `json:"batch_tput"`
+	TputSpeedup    float64 `json:"tput_speedup"`
+	PaellaGoodput  float64 `json:"paella_goodput"`
+	BatchGoodput   float64 `json:"batch_goodput"`
+	GoodputSpeedup float64 `json:"goodput_speedup"`
+	MeanBatch      float64 `json:"mean_batch"`
+}
+
+// batchSLO is the completion deadline the goodput columns score against —
+// loose enough that an unloaded system always meets it, tight enough that a
+// saturated unbatched queue blows through it.
+const batchSLO = 100 * sim.Millisecond
+
+// runPaellaBatching sweeps offered load over a zipf many-models workload
+// and compares unbatched Paella, Paella with dispatcher batching
+// (serving.NewPaellaBatching), and the Triton batching baseline. The
+// interesting cells are the extremes: at low load batching must disengage
+// (identical latency), at saturating load the widened launches must buy
+// goodput.
+func runPaellaBatching(out io.Writer, d Detail) error {
+	jobs, zoo := 3000, 12
+	rates := []float64{200, 1000, 2000, 4000, 8000}
+	detail := "full"
+	if d == Quick {
+		jobs, zoo = 250, 8
+		rates = []float64{300, 2400}
+		detail = "quick"
+	}
+	models := model.SyntheticZoo(zoo)
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	mix := workload.ZipfMix(names, 1.1)
+
+	opts := serving.DefaultOptions()
+	opts.Models = models
+	opts.ProfileRuns = 1
+
+	systems := []string{"Paella", "Paella-batch", "Triton-batch"}
+	fmt.Fprintf(out, "Extension — dispatcher batching, zipf(1.1) over SyntheticZoo(%d), SLO %v:\n", zoo, batchSLO)
+
+	// results[system][rateIdx]
+	goodputs := map[string][]float64{}
+	tputs := map[string][]float64{}
+	var meanBatch float64
+	for _, system := range systems {
+		fmt.Fprintf(out, "\n  %s:\n", system)
+		fmt.Fprintf(out, "    %10s %12s %14s %12s %12s\n", "offered", "tput(req/s)", "goodput(req/s)", "p50", "p99")
+		for _, rate := range rates {
+			trace := workload.MustGenerate(workload.Spec{
+				Mix: mix, Sigma: 2, RatePerSec: rate,
+				Jobs: jobs, Clients: 8, Seed: 5,
+			})
+			runOpts := opts
+			runOpts.MaxSimTime = trace[len(trace)-1].At + 8*sim.Second
+			sys := serving.MustNewSystem(system)
+			col := serving.MustRunTrace(sys, trace, runOpts)
+			fmt.Fprintf(out, "    %10.0f %12.1f %14.1f %12v %12v\n",
+				rate, col.Throughput(), col.Goodput(batchSLO), col.P50(), col.P99())
+			tputs[system] = append(tputs[system], col.Throughput())
+			goodputs[system] = append(goodputs[system], col.Goodput(batchSLO))
+			if system == "Paella-batch" && rate == rates[len(rates)-1] {
+				meanBatch = col.MeanBatchSize()
+				if ds, ok := sys.(interface{ Dispatcher() *core.Dispatcher }); ok {
+					st := ds.Dispatcher().Stats()
+					fmt.Fprintf(out, "    batches=%d batched-jobs=%d holds=%d mean-size=%.2f\n",
+						st.Batches, st.BatchedJobs, st.BatchHolds, meanBatch)
+				}
+			}
+		}
+	}
+
+	last := len(rates) - 1
+	cell := batchTrajCell{
+		Schema: "paella-batch-traj/v1", Detail: detail,
+		Rate: rates[last], SLOMs: batchSLO.Millis(),
+		PaellaTput: tputs["Paella"][last], BatchTput: tputs["Paella-batch"][last],
+		PaellaGoodput: goodputs["Paella"][last], BatchGoodput: goodputs["Paella-batch"][last],
+		MeanBatch: meanBatch,
+	}
+	if cell.PaellaTput > 0 {
+		cell.TputSpeedup = cell.BatchTput / cell.PaellaTput
+	}
+	if cell.PaellaGoodput > 0 {
+		cell.GoodputSpeedup = cell.BatchGoodput / cell.PaellaGoodput
+	}
+	fmt.Fprintf(out, "\nSaturating load (%.0f req/s): Paella-batch vs Paella = %.2fx throughput, %.2fx goodput(SLO %v).\n",
+		cell.Rate, cell.TputSpeedup, cell.GoodputSpeedup, batchSLO)
+	fmt.Fprintln(out, "At low load the adaptive window disengages (no holds), so unbatched")
+	fmt.Fprintln(out, "and batched latency match; Triton-batch pays its window on every request.")
+
+	if path := os.Getenv(BatchTrajEnv); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(&cell); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nappended headline cell to %s\n", path)
+	}
+	return nil
+}

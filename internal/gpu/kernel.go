@@ -77,6 +77,25 @@ func (k *KernelSpec) MaxResident(c Config) int {
 	return k.MaxResidentPerSM(c.SM) * c.NumSMs
 }
 
+// Batched returns a widened clone of the spec for an n-way batched launch:
+// the grid grows to n×Blocks (one sub-grid per batched sample) while the
+// per-block resource vector is unchanged, so placement and occupancy
+// accounting (FitsSM, MaxResident, the dispatcher's Table 1 mirror) hold
+// exactly as for n separate launches. BlockDuration is scaled by
+// perBlockScale — the profiled sub-linear batch curve — which is where the
+// batching win lives: total block-time B·n·d·s(n) < n·B·d when s(n) < 1.
+// n ≤ 1 returns the receiver unchanged.
+func (k *KernelSpec) Batched(n int, perBlockScale float64) *KernelSpec {
+	if n <= 1 {
+		return k
+	}
+	c := *k
+	c.Name = fmt.Sprintf("%s#b%d", k.Name, n)
+	c.Blocks = k.Blocks * n
+	c.BlockDuration = sim.Time(float64(k.BlockDuration) * perBlockScale)
+	return &c
+}
+
 // LaunchState tracks one submitted kernel instance through placement and
 // completion.
 type LaunchState int

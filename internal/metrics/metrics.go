@@ -44,6 +44,14 @@ type JobRecord struct {
 	// LoadNs is the time this request spent blocked on weight loading —
 	// from admission until its model became resident. Zero for warm hits.
 	LoadNs sim.Time
+	// BatchSize is the widest batched kernel launch this request rode
+	// (core dynamic batching); zero for a request that was never batched,
+	// so the field is inert — and its JSON omitted — when batching is off.
+	BatchSize int
+	// BatchWaitNs accumulates time the request spent held by the
+	// dispatcher's batch-formation window (the latency cost of batching,
+	// attributed per member).
+	BatchWaitNs sim.Time
 	// Cancelled marks a request aborted by the client before completion.
 	Cancelled bool
 	// Failed marks a request that terminated with a typed error instead of
@@ -177,6 +185,32 @@ func (c *Collector) MeanLoadNs() sim.Time {
 	return total / sim.Time(len(c.records))
 }
 
+// BatchSizeHistogram returns how many records rode each widest-batch
+// size (key 0 = never batched). Empty map for an empty collector.
+func (c *Collector) BatchSizeHistogram() map[int]int {
+	out := map[int]int{}
+	for _, r := range c.records {
+		out[r.BatchSize]++
+	}
+	return out
+}
+
+// MeanBatchSize returns the mean widest-batch size over batched records
+// (BatchSize > 0); zero when nothing was ever batched.
+func (c *Collector) MeanBatchSize() float64 {
+	total, n := 0, 0
+	for _, r := range c.records {
+		if r.BatchSize > 0 {
+			total += r.BatchSize
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
 // Throughput returns completed jobs per second of virtual time over the
 // span from the first submit to the last delivery.
 func (c *Collector) Throughput() float64 {
@@ -283,6 +317,8 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 		JCTNs         int64  `json:"jct_ns"`
 		ColdStart     bool   `json:"cold_start,omitempty"`
 		LoadNs        int64  `json:"load_ns,omitempty"`
+		BatchSize     int    `json:"batch,omitempty"`
+		BatchWaitNs   int64  `json:"batch_wait_ns,omitempty"`
 		Failed        bool   `json:"failed,omitempty"`
 		FailureReason string `json:"failure_reason,omitempty"`
 	}
@@ -294,6 +330,7 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 			FirstDispatch: int64(r.FirstDispatch), ExecDoneNs: int64(r.ExecDone),
 			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
 			ColdStart: r.ColdStart, LoadNs: int64(r.LoadNs),
+			BatchSize: r.BatchSize, BatchWaitNs: int64(r.BatchWaitNs),
 			Failed: r.Failed, FailureReason: r.FailureReason,
 		}
 	}

@@ -44,7 +44,26 @@ func (t *Tree[T]) Len() int { return t.size }
 
 // Insert adds item to the tree and returns its handle.
 func (t *Tree[T]) Insert(item T) *Node[T] {
-	n := &Node[T]{Item: item, color: red, tree: t}
+	return t.insertNode(&Node[T]{Item: item})
+}
+
+// InsertNode re-inserts a detached node (one previously removed with
+// Delete), reusing its allocation; the node's Item is kept. This is the
+// zero-allocation path for reposition-heavy callers — delete-then-reinsert
+// of the same handle on every update (e.g. the Paella policy's per-dispatch
+// deficit bookkeeping) would otherwise allocate a fresh node each time.
+func (t *Tree[T]) InsertNode(n *Node[T]) {
+	if n.tree != nil {
+		panic("rbtree: inserting node already in a tree")
+	}
+	t.insertNode(n)
+}
+
+func (t *Tree[T]) insertNode(n *Node[T]) *Node[T] {
+	item := n.Item
+	n.color = red
+	n.tree = t
+	n.parent, n.left, n.right = nil, nil, nil
 	// Standard BST insert; equal keys go right so iteration preserves
 	// insertion order among equals.
 	var parent *Node[T]

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"paella/internal/sim"
+)
+
+// benchEntries builds n runnable entries spread over eight clients with
+// varied remaining-time keys (the shape the dispatcher feeds the policy
+// under load).
+func benchEntries(n int) []*JobEntry {
+	entries := make([]*JobEntry, n)
+	for i := range entries {
+		entries[i] = &JobEntry{
+			ID:        uint64(i + 1),
+			Client:    i % 8,
+			Arrival:   sim.Time(i) * sim.Microsecond,
+			Total:     sim.Time(1+i%17) * sim.Millisecond,
+			Remaining: sim.Time(1+(i*7)%23) * sim.Millisecond,
+		}
+	}
+	return entries
+}
+
+func benchPolicies() []struct {
+	name string
+	mk   func() Policy
+} {
+	return []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"Paella", func() Policy { return NewPaella(10000) }},
+		{"SRPT", func() Policy { return NewSRPT() }},
+		{"FIFO", func() Policy { return NewFIFO() }},
+		{"RR", func() Policy { return NewRR() }},
+	}
+}
+
+// BenchmarkPick measures the picker's steady-state cost on a populated
+// policy (no mutation: Pick is read-only).
+func BenchmarkPick(b *testing.B) {
+	for _, pc := range benchPolicies() {
+		for _, n := range []int{16, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", pc.name, n), func(b *testing.B) {
+				p := pc.mk()
+				for _, e := range benchEntries(n) {
+					p.JobAdmitted(e.Client)
+					p.Add(e)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if p.Pick() == nil {
+						b.Fatal("empty pick")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPickFit measures the dispatch gate's hot path: PickFit with a
+// predicate that rejects the first few candidates (forcing a scan), using a
+// preallocated closure exactly as the dispatcher does. The benchmark's
+// allocation report is the regression guard: the per-dispatch path must not
+// allocate.
+func BenchmarkPickFit(b *testing.B) {
+	for _, pc := range benchPolicies() {
+		for _, n := range []int{16, 256} {
+			b.Run(fmt.Sprintf("%s/n=%d", pc.name, n), func(b *testing.B) {
+				p := pc.mk()
+				for _, e := range benchEntries(n) {
+					p.JobAdmitted(e.Client)
+					p.Add(e)
+				}
+				fits := func(e *JobEntry) bool { return e.ID%4 == 0 }
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.PickFit(fits, 16)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkDispatched measures the fairness bookkeeping charged on every
+// kernel release (the deficit update in the Paella policy).
+func BenchmarkDispatched(b *testing.B) {
+	for _, pc := range benchPolicies() {
+		b.Run(pc.name, func(b *testing.B) {
+			p := pc.mk()
+			entries := benchEntries(64)
+			for _, e := range entries {
+				p.JobAdmitted(e.Client)
+				p.Add(e)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Dispatched(entries[i%len(entries)])
+			}
+		})
+	}
+}

@@ -203,13 +203,15 @@ func (p *PaellaPolicy) Dispatched(j *JobEntry) {
 		return
 	}
 	// stored -= 1, everyone += 1/n  ⇔  c loses (1 − 1/n), others gain 1/n.
+	// The node handle is reused across the delete/reinsert (InsertNode), so
+	// the per-dispatch hot path does not allocate.
 	reposition := c.node != nil
 	if reposition {
 		p.deficit.Delete(c.node)
 	}
 	c.stored--
 	if reposition {
-		c.node = p.deficit.Insert(c)
+		p.deficit.InsertNode(c.node)
 	}
 	p.boost += 1 / float64(n)
 

@@ -86,6 +86,33 @@ type Policy interface {
 	Len() int
 }
 
+// BatchRemaining returns the SRPT remaining-work key of a batched
+// dispatch: the maximum over the members' remaining estimates. A batched
+// kernel launch finishes when its slowest member's work does, so the batch
+// inherits the pessimistic member's position in the SRPT order — batching
+// must never let a long job tunnel ahead of shorter ones by hiding inside
+// a batch of short jobs (§6's SRPT semantics applied at batch
+// granularity).
+func BatchRemaining(members []*JobEntry) sim.Time {
+	var max sim.Time
+	for _, e := range members {
+		if e.Remaining > max {
+			max = e.Remaining
+		}
+	}
+	return max
+}
+
+// BatchDispatched charges one batched kernel dispatch to every member's
+// client: each member consumed device capacity, so each member's client
+// pays the §6 deficit bookkeeping — a client cannot launder service past
+// the fairness threshold by riding other clients' batches.
+func BatchDispatched(p Policy, members []*JobEntry) {
+	for _, e := range members {
+		p.Dispatched(e)
+	}
+}
+
 // nopLifecycle provides no-op lifecycle hooks for policies that do not
 // track clients.
 type nopLifecycle struct{}

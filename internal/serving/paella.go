@@ -82,6 +82,32 @@ func NewPaellaTweaked(name string, tweak func(*core.Config)) System {
 	}
 }
 
+// DefaultBatchWindow is the formation window used by the stock
+// "Paella-batch" system: generous enough to gather partners under load, and
+// adaptively shrunk (or skipped entirely) by the dispatcher at low
+// occupancy, so unloaded latency is untouched.
+const DefaultBatchWindow = 50 * sim.Microsecond
+
+// DefaultMaxBatch is the stock "Paella-batch" width cap.
+const DefaultMaxBatch = 8
+
+// NewPaellaBatching builds the default gated Paella system with dynamic
+// batching enabled: up to maxBatch same-kernel jobs per launch, lone
+// kernels held for partners at most window (adaptively scaled by queue
+// depth and deadline slack). Values ≤ 0 select the stock defaults.
+func NewPaellaBatching(name string, maxBatch int, window sim.Time) System {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	if window <= 0 {
+		window = DefaultBatchWindow
+	}
+	return NewPaellaTweaked(name, func(cfg *core.Config) {
+		cfg.MaxBatch = maxBatch
+		cfg.BatchWindow = window
+	})
+}
+
 func (s *paellaSystem) Name() string { return s.name }
 
 func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
@@ -93,6 +119,10 @@ func (s *paellaSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	cfg := core.DefaultConfig(pol)
 	cfg.Mode = s.mode
 	cfg.VRAM = opts.VRAM
+	if s.mode == core.ModeGated {
+		cfg.MaxBatch = opts.MaxBatch
+		cfg.BatchWindow = opts.BatchWindow
+	}
 	if opts.Faults != nil && s.mode == core.ModeGated {
 		// A faulty run arms the recovery machinery: tolerant notification
 		// handling plus the kernel watchdog (healthy runs leave it off so

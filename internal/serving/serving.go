@@ -64,6 +64,14 @@ type Options struct {
 	// KernelTimeoutGrace overrides the watchdog grace period armed when
 	// Faults is set (default 50µs beyond each kernel's serial upper bound).
 	KernelTimeoutGrace sim.Time
+	// MaxBatch, when > 1, enables dynamic batching in the gated Paella
+	// dispatcher: same-model, same-position ready kernels coalesce into one
+	// widened launch (core.Config.MaxBatch). The baselines ignore it —
+	// Triton's batching variant carries its own knobs.
+	MaxBatch int
+	// BatchWindow bounds the batch-formation hold for a lone ready kernel
+	// (core.Config.BatchWindow). Zero means opportunistic coalescing only.
+	BatchWindow sim.Time
 }
 
 // DefaultOptions returns a T4 setup with the full Table 2 zoo.

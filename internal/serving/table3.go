@@ -39,6 +39,10 @@ func NewSystem(name string) (System, error) {
 	case "Paella", "Paella-SS", "Paella-MS-jbj", "Paella-MS-kbk",
 		"Paella-SJF", "Paella-RR", "Paella-FIFO":
 		return PaellaVariant(name)
+	case "Paella-batch":
+		return NewPaellaBatching(name, 0, 0), nil
+	case "Triton-batch":
+		return NewTritonBatching(DefaultBatchWindow, DefaultMaxBatch), nil
 	default:
 		return nil, fmt.Errorf("serving: unknown system %q", name)
 	}

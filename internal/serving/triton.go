@@ -74,8 +74,13 @@ type tritonSystem struct {
 type execQueue struct {
 	pending []*tritonJob
 	busy    bool
-	// windowArmed marks a pending batch-window timer (batching mode).
+	// windowArmed marks a pending batch-window timer (batching mode);
+	// windowGen invalidates stale timers once a batch dispatches. Without
+	// it, a full batch firing inside an armed window left windowArmed stuck
+	// until the orphaned timer landed — later arrivals inherited a
+	// mis-timed (possibly already-expired) window instead of a fresh one.
 	windowArmed bool
+	windowGen   uint64
 }
 
 type tritonJob struct {
@@ -176,7 +181,11 @@ func (s *tritonSystem) pump(q *execQueue) {
 		// queued request, then run whatever accumulated.
 		if !q.windowArmed {
 			q.windowArmed = true
+			gen := q.windowGen
 			s.env.After(s.batchWindow, func() {
+				if q.windowGen != gen {
+					return // this window's batch already dispatched
+				}
 				q.windowArmed = false
 				s.runBatch(q)
 			})
@@ -198,6 +207,10 @@ func (s *tritonSystem) runBatch(q *execQueue) {
 	}
 	batch := q.pending[:n:n]
 	q.pending = q.pending[n:]
+	// The dispatched batch consumes any window armed for its head; the next
+	// arrival (or leftover pending work) gets a fresh full window.
+	q.windowGen++
+	q.windowArmed = false
 	m := batch[0].m
 	// Batched execution scales kernel time by n×batchEfficiency and
 	// transfers n tensors per copy.

@@ -94,6 +94,9 @@ type Stats struct {
 	BytesLoaded int64
 	// BytesEvicted totals weight bytes dropped by eviction.
 	BytesEvicted int64
+	// PeakActivationBytes is the high-water mark of the activation gauge
+	// (per-member scratch of batched launches; see ReserveActivations).
+	PeakActivationBytes int64
 }
 
 // HitRatio returns WarmHits / Pins (1 when nothing was ever pinned).
@@ -131,7 +134,10 @@ type Manager struct {
 	// pressureBlocks is memory carved out by ReservePressure (fault
 	// injection: a co-tenant allocation spike); counted inside usedBlocks.
 	pressureBlocks int
-	entries        map[string]*entry
+	// activationBytes is the in-flight batched-launch scratch gauge
+	// (ReserveActivations); accounting only, outside the block budget.
+	activationBytes int64
+	entries         map[string]*entry
 
 	// OnEvict, if set, observes each victim while it is in the Evicting
 	// state (metrics hooks, tests).
@@ -473,6 +479,37 @@ func (m *Manager) FreeBytes() int64 {
 
 // Stats returns a snapshot of lifetime counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// ReserveActivations accounts device scratch for in-flight batched
+// launches: members of a batch share one weight allocation (the refcounted
+// Pin) but each carries its own input/output activations. The gauge is
+// pure accounting — activations live in the runtime's pre-sized scratch
+// arena, not the paged weight budget — so it never triggers eviction, but
+// it makes the per-member footprint of batching observable (Stats records
+// the high-water mark).
+func (m *Manager) ReserveActivations(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m.activationBytes += bytes
+	if m.activationBytes > m.stats.PeakActivationBytes {
+		m.stats.PeakActivationBytes = m.activationBytes
+	}
+}
+
+// ReleaseActivations returns scratch reserved by ReserveActivations.
+func (m *Manager) ReleaseActivations(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	m.activationBytes -= bytes
+	if m.activationBytes < 0 {
+		panic("vram: activation gauge went negative")
+	}
+}
+
+// ActivationBytes returns the current activation gauge.
+func (m *Manager) ActivationBytes() int64 { return m.activationBytes }
 
 // ResidentModels returns the names of resident models, sorted (tests,
 // experiment reports).
