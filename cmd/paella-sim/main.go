@@ -33,6 +33,8 @@ import (
 	"paella/internal/core"
 	"paella/internal/fault"
 	"paella/internal/gpu"
+	"paella/internal/llm"
+	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/serving"
@@ -67,6 +69,11 @@ func main() {
 		balName = flag.String("balancer", "least-loaded", "cluster balancer: round-robin | least-loaded | model-affinity | residency-aware")
 		maxBat  = flag.Int("max-batch", 0, "dynamic-batching width cap for the gated Paella dispatcher (≤1 = off)")
 		batWin  = flag.Duration("batch-window", 0, "max batch-formation hold for a lone ready kernel (with -max-batch > 1)")
+		llmOn   = flag.Bool("llm", false, "generative (LLM) serving: autoregressive jobs with a paged KV-cache and continuous batching")
+		llmStat = flag.Bool("llm-static", false, "use launch-time (static) decode batching instead of continuous (with -llm)")
+		maxTok  = flag.Int("max-tokens", 0, "cap sampled output-token counts (with -llm; 0 = distribution default)")
+		kvBlock = flag.Int64("kv-block", 0, "KV-cache page size in KiB (with -llm; 0 = 2048)")
+		pdStr   = flag.String("pd-split", "", "disaggregate prefill/decode as \"P:D\" replica pools (with -llm; empty = colocated -replicas engines)")
 	)
 	flag.Parse()
 
@@ -86,6 +93,15 @@ func main() {
 		opts.DevCfg = gpu.GTX1660Super()
 	default:
 		fatal("unknown gpu preset %q", *device)
+	}
+	if *llmOn {
+		runLLM(opts.DevCfg, *jobs, *rate, *sigma, *clients, *seed, *vramMiB, *maxBat,
+			*maxTok, *kvBlock, *llmStat, *pdStr, *nrepl, *par,
+			sim.Time((*window).Nanoseconds()), *asJSON)
+		return
+	}
+	if *llmStat || *maxTok > 0 || *kvBlock > 0 || *pdStr != "" {
+		fatal("-llm-static, -max-tokens, -kv-block, and -pd-split require -llm")
 	}
 	if n, ok := strings.CutPrefix(*models, "synth:"); ok {
 		count, err := strconv.Atoi(n)
@@ -404,6 +420,140 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 				name, sub.Len(), sub.P50(), sub.P99(), sub.MeanJCT())
 		}
 	}
+}
+
+// runLLM executes a generative (autoregressive) workload on the
+// prefill/decode front of internal/cluster: seeded open-loop arrivals with
+// lognormal token lengths, a paged KV-cache per engine, and either
+// continuous or launch-time decode batching. -pd-split "P:D" disaggregates
+// prefill and decode onto separate engine pools with the KV handoff
+// charged over the interconnect; otherwise -replicas colocated engines
+// each run both phases.
+func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed int64,
+	vramMiB int64, maxBatch, maxTokens int, kvBlockKiB int64, static bool,
+	pdSplit string, replicas int, parallel bool, window sim.Time, asJSON bool) {
+	toks := workload.DefaultTokenSpec(seed)
+	if maxTokens > 0 {
+		toks.MaxOutput = maxTokens
+	}
+	sampler, err := workload.NewTokenSampler(toks)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg := llm.Config{
+		Spec:       llm.DefaultSpec(),
+		DevCfg:     devCfg,
+		MaxBatch:   maxBatch,
+		Continuous: !static,
+	}
+	if vramMiB > 0 {
+		cfg.VRAMBytes = vramMiB << 20
+	}
+	if kvBlockKiB > 0 {
+		cfg.KVBlockBytes = kvBlockKiB << 10
+	}
+	pdCfg := cluster.PDConfig{LLM: cfg, Prefills: replicas}
+	deploy := fmt.Sprintf("colocated ×%d", replicas)
+	if pdSplit != "" {
+		p, d := 0, 0
+		if _, serr := fmt.Sscanf(pdSplit, "%d:%d", &p, &d); serr != nil || p < 1 || d < 1 {
+			fatal("bad -pd-split %q (want \"P:D\" with P,D ≥ 1)", pdSplit)
+		}
+		pdCfg.Prefills, pdCfg.Decodes = p, d
+		deploy = fmt.Sprintf("disaggregated %dP:%dD", p, d)
+	}
+
+	// Arrival times reuse the standard trace generator; token lengths come
+	// from the seeded sampler, drawn in submission order.
+	reqs, err := workload.Generate(workload.Spec{
+		Mix:        workload.Uniform("llm"),
+		Sigma:      sigma,
+		RatePerSec: rate,
+		Jobs:       jobs,
+		Clients:    clients,
+		Seed:       seed,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(reqs) == 0 {
+		fatal("empty trace")
+	}
+	until := reqs[len(reqs)-1].At + 30*sim.Second
+
+	var pd *cluster.PD
+	var schedule func(at sim.Time, fn func())
+	var run func(until sim.Time)
+	if parallel {
+		if pdCfg.Prefills+pdCfg.Decodes < 2 {
+			fatal("-parallel requires more than one engine (-replicas > 1 or -pd-split)")
+		}
+		w := sim.NewWorld()
+		w.SetWindow(window)
+		w.SetParallel(true)
+		defer w.Close()
+		if pd, err = cluster.NewPDWorld(w, pdCfg); err != nil {
+			fatal("%v", err)
+		}
+		ctrl := w.Ctrl()
+		schedule = func(at sim.Time, fn func()) { ctrl.At(at, fn) }
+		run = func(t sim.Time) { w.RunUntil(t) }
+	} else {
+		env := sim.NewEnv()
+		if pd, err = cluster.NewPD(env, pdCfg); err != nil {
+			fatal("%v", err)
+		}
+		schedule = func(at sim.Time, fn func()) { env.At(at, fn) }
+		run = func(t sim.Time) { env.RunUntil(t) }
+	}
+
+	completed, failed := 0, 0
+	pd.OnFinish = func(rec metrics.JobRecord) {
+		if rec.Failed {
+			failed++
+		} else {
+			completed++
+		}
+	}
+	for i, r := range reqs {
+		tk := sampler.Next()
+		req := llm.Request{
+			ID:     uint64(i + 1),
+			Client: r.Client,
+			Submit: r.At,
+			Prompt: tk.Prompt,
+			Output: tk.Output,
+		}
+		schedule(r.At, func() { pd.Submit(req) })
+	}
+	run(until)
+
+	col := pd.Collector()
+	if asJSON {
+		if err := col.WriteJSON(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	mode := "continuous"
+	if static {
+		mode = "static"
+	}
+	const ttftSLO = 200 * sim.Millisecond
+	ttfts, tpots := col.TTFTs(), col.TPOTs()
+	transfers, kvBytes := pd.Transfers()
+	fmt.Printf("system     : Paella-LLM (%s batching), %s\n", mode, deploy)
+	fmt.Printf("workload   : %d reqs, %.0f req/s offered, σ=%.1f, %d clients, prompt~LN(%.0f), output~LN(%.0f)≤%d tok\n",
+		jobs, rate, sigma, clients, toks.PromptMean, toks.OutputMean, toks.MaxOutput)
+	fmt.Printf("completed  : %d (%.1f%%) failed=%d lost=%d\n",
+		completed, 100*float64(completed)/float64(jobs), failed, jobs-completed-failed)
+	fmt.Printf("ttft       : p50=%v p99=%v goodput(<200ms)=%.1f req/s\n",
+		metrics.Percentile(ttfts, 50), metrics.Percentile(ttfts, 99), col.TTFTGoodput(ttftSLO))
+	fmt.Printf("tpot       : p50=%v p99=%v\n",
+		metrics.Percentile(tpots, 50), metrics.Percentile(tpots, 99))
+	fmt.Printf("tokens     : %.1f tok/s\n", col.TokensPerSec())
+	fmt.Printf("kv         : peak-pages=%d preemptions=%d transfers=%d (%.1f MiB)\n",
+		pd.KVPeakPages(), pd.Preemptions(), transfers, float64(kvBytes)/(1<<20))
 }
 
 func writeTrace(path string, write func(w io.Writer) error) {

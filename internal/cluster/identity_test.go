@@ -13,6 +13,8 @@ import (
 	"paella/internal/core"
 	"paella/internal/fault"
 	"paella/internal/gpu"
+	"paella/internal/llm"
+	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/sim"
@@ -205,6 +207,89 @@ func TestWorldSerialParallelBitIdentical(t *testing.T) {
 					})
 				}
 			}
+		}
+	}
+}
+
+// runWorldLLM executes one cell of the matrix's LLM column: a generative
+// prefill/decode deployment (colocated or disaggregated) on the World
+// engine, with a KV pool small enough that paging preemption fires.
+func runWorldLLM(t *testing.T, seed int64, split, parallel bool) worldRunResult {
+	t.Helper()
+	w := sim.NewWorld()
+	w.SetParallel(parallel)
+	defer w.Close()
+	cfg := cluster.PDConfig{LLM: llmTestConfig(24), Prefills: 2}
+	if split {
+		cfg.Prefills, cfg.Decodes = 1, 1
+	}
+	pd, err := cluster.NewPDWorld(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := worldRunResult{}
+	pd.OnFinish = func(r metrics.JobRecord) {
+		if r.Failed {
+			res.failed++
+		} else {
+			res.completed++
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const n = 60
+	at := sim.Time(0)
+	for i := 0; i < n; i++ {
+		at += sim.Time(rng.Intn(80)+10) * sim.Microsecond
+		req := llm.Request{
+			ID:     uint64(i + 1),
+			Client: i % 4,
+			Submit: at,
+			Prompt: rng.Intn(24) + 4,
+			Output: rng.Intn(12) + 2,
+		}
+		w.Ctrl().At(at, func() { pd.Submit(req) })
+	}
+	w.RunUntil(at + 2*sim.Second)
+	recs := pd.Collector().Records()
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	mj, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.metricsJSON = string(mj)
+	return res
+}
+
+// TestWorldSerialParallelBitIdenticalLLM extends the acceptance matrix with
+// the generative column: seeds × {colocated, disaggregated}, each run
+// serially and in parallel, comparing the sorted per-request metrics JSON
+// (which includes TTFT inputs, token counts, preemptions, and KV-transfer
+// times — any scheduling divergence shows up there).
+func TestWorldSerialParallelBitIdenticalLLM(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, split := range []bool{false, true} {
+			name := fmt.Sprintf("seed%d/colocated", seed)
+			if split {
+				name = fmt.Sprintf("seed%d/disaggregated", seed)
+			}
+			t.Run(name, func(t *testing.T) {
+				serial := runWorldLLM(t, seed, split, false)
+				par := runWorldLLM(t, seed, split, true)
+				if serial.completed == 0 {
+					t.Fatal("no requests completed; workload broken")
+				}
+				if serial.completed+serial.failed != 60 {
+					t.Fatalf("conservation: %d completed + %d failed != 60",
+						serial.completed, serial.failed)
+				}
+				if serial.completed != par.completed || serial.failed != par.failed {
+					t.Fatalf("outcome counts diverge: serial %d/%d, parallel %d/%d",
+						serial.completed, serial.failed, par.completed, par.failed)
+				}
+				if serial.metricsJSON != par.metricsJSON {
+					t.Fatal("per-request metrics JSON diverges between serial and parallel")
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"fmt"
+
+	"paella/internal/cudart"
+	"paella/internal/llm"
+	"paella/internal/metrics"
+	"paella/internal/sim"
+)
+
+// PDConfig describes a generative-serving deployment: N replicas either
+// colocated (every engine prefills and decodes its own requests) or
+// disaggregated (dedicated prefill replicas hand prefilled KV state to
+// dedicated decode replicas over the interconnect). Disaggregation trades
+// a per-request KV transfer for decode replicas whose iteration cadence is
+// never perturbed by long prefill grids.
+type PDConfig struct {
+	LLM llm.Config
+	// Prefills and Decodes are the replica counts. Decodes == 0 selects the
+	// colocated deployment: Prefills full engines, no transfers.
+	Prefills int
+	Decodes  int
+	// LinkLatency and LinkBytesPerNs model the KV-transfer interconnect
+	// (defaults: 10µs setup, 12 B/ns — the PCIe peer-to-peer path).
+	LinkLatency    sim.Time
+	LinkBytesPerNs float64
+}
+
+func (c *PDConfig) withDefaults() (PDConfig, error) {
+	out := *c
+	if out.Prefills <= 0 {
+		return out, fmt.Errorf("cluster: pd needs at least one replica, got %d", out.Prefills)
+	}
+	if out.Decodes < 0 {
+		return out, fmt.Errorf("cluster: negative decode replica count %d", out.Decodes)
+	}
+	if out.LinkLatency == 0 {
+		out.LinkLatency = 10 * sim.Microsecond
+	}
+	if out.LinkBytesPerNs == 0 {
+		out.LinkBytesPerNs = 12.0
+	}
+	return out, nil
+}
+
+// PD fronts a set of llm engines with least-outstanding routing and, when
+// disaggregated, the prefill→decode KV handoff pipeline. On a sim.World
+// each engine lives on its own shard Env; routing, handoff, and transfer
+// completion serialize on the control Env exactly as Cluster does, so runs
+// are bit-identical serial or parallel.
+type PD struct {
+	env   *sim.Env
+	world *sim.World
+	cfg   PDConfig
+
+	engines []*llm.Engine
+	envs    []*sim.Env
+	cols    []*metrics.Collector
+	// inflight counts requests currently assigned to each engine,
+	// maintained at the front where routing decides.
+	inflight []int
+	link     *cudart.PCIeLink
+
+	transfers int
+	kvBytes   int64
+
+	// OnFinish observes every terminal record on the control timeline.
+	OnFinish func(metrics.JobRecord)
+}
+
+// NewPD builds the deployment on a single serial Env.
+func NewPD(env *sim.Env, cfg PDConfig) (*PD, error) {
+	return buildPD(env, nil, cfg)
+}
+
+// NewPDWorld builds the deployment on a conservative-window engine: one
+// shard per llm engine. The world must have no shards yet; request
+// generators must schedule on w.Ctrl().
+func NewPDWorld(w *sim.World, cfg PDConfig) (*PD, error) {
+	if w.NumShards() != 0 {
+		return nil, fmt.Errorf("cluster: world already has %d shards", w.NumShards())
+	}
+	return buildPD(w.Ctrl(), w, cfg)
+}
+
+func buildPD(env *sim.Env, w *sim.World, cfg PDConfig) (*PD, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	pd := &PD{env: env, world: w, cfg: cfg}
+	pd.link = cudart.NewPCIeLink(env, cfg.LinkLatency, cfg.LinkBytesPerNs)
+	n := cfg.Prefills + cfg.Decodes
+	for i := 0; i < n; i++ {
+		senv := env
+		if w != nil {
+			senv = w.AddShard()
+		}
+		// Each engine compiles its own copy: the Compiled's launch-spec
+		// caches are mutated at runtime and must not be shared across
+		// shards. Profiling is deterministic, so the copies agree.
+		comp, err := llm.CompileSpec(cfg.LLM)
+		if err != nil {
+			return nil, err
+		}
+		col := metrics.NewCollector()
+		eng, err := llm.NewEngine(senv, comp, col)
+		if err != nil {
+			return nil, err
+		}
+		i := i
+		eng.OnFinish = func(rec metrics.JobRecord) { pd.cross(i, func() { pd.finished(i, rec) }) }
+		if pd.split() && i < cfg.Prefills {
+			eng.HandoffPrefill = func(h llm.Handoff) { pd.cross(i, func() { pd.handoff(i, h) }) }
+		}
+		pd.engines = append(pd.engines, eng)
+		pd.envs = append(pd.envs, senv)
+		pd.cols = append(pd.cols, col)
+		pd.inflight = append(pd.inflight, 0)
+	}
+	return pd, nil
+}
+
+// split reports whether the deployment is disaggregated.
+func (pd *PD) split() bool { return pd.cfg.Decodes > 0 }
+
+// cross runs fn on the control timeline: shard-side engine callbacks must
+// not touch front state (inflight counters, the link) directly when the
+// engine lives on a shard.
+func (pd *PD) cross(from int, fn func()) {
+	if pd.world != nil {
+		pd.world.Post(from, fn)
+		return
+	}
+	fn()
+}
+
+// toEngine runs fn against engine g's state on its own timeline. From a
+// control event the shards are parked at the window barrier, so scheduling
+// at the shard's current time is the canonical ctrl→shard crossing.
+func (pd *PD) toEngine(g int, fn func(*llm.Engine)) {
+	eng := pd.engines[g]
+	if pd.world == nil {
+		fn(eng)
+		return
+	}
+	senv := pd.envs[g]
+	senv.Do(senv.Now(), func() { fn(eng) })
+}
+
+// leastLoadedIn picks the engine with the fewest assigned requests among
+// indices [lo, hi), lowest index on ties.
+func (pd *PD) leastLoadedIn(lo, hi int) int {
+	best, bestLoad := lo, pd.inflight[lo]
+	for i := lo + 1; i < hi; i++ {
+		if pd.inflight[i] < bestLoad {
+			best, bestLoad = i, pd.inflight[i]
+		}
+	}
+	return best
+}
+
+// Submit routes one request: to the least-loaded prefill replica
+// (disaggregated) or the least-loaded engine (colocated). It returns the
+// chosen engine index. Call on the control timeline.
+func (pd *PD) Submit(req llm.Request) int {
+	hi := len(pd.engines)
+	if pd.split() {
+		hi = pd.cfg.Prefills
+	}
+	g := pd.leastLoadedIn(0, hi)
+	pd.inflight[g]++
+	pd.toEngine(g, func(eng *llm.Engine) { eng.Admit(req) })
+	return g
+}
+
+// handoff moves a prefilled sequence to a decode replica: pick the
+// least-loaded one, model the KV transfer on the interconnect, then admit
+// the sequence with its transferred KV state.
+func (pd *PD) handoff(from int, h llm.Handoff) {
+	pd.inflight[from]--
+	d := pd.leastLoadedIn(pd.cfg.Prefills, len(pd.engines))
+	pd.inflight[d]++
+	bytes := int(int64(h.Req.Prompt) * pd.cfg.LLM.Spec.KVBytesPerToken)
+	pd.transfers++
+	pd.kvBytes += int64(bytes)
+	enq := pd.env.Now()
+	pd.link.Transfer(cudart.DeviceToDevice, bytes, func() {
+		h := h
+		h.Rec.KVTransferNs += pd.env.Now() - enq
+		pd.toEngine(d, func(eng *llm.Engine) { eng.AdmitDecoded(h) })
+	})
+}
+
+func (pd *PD) finished(idx int, rec metrics.JobRecord) {
+	pd.inflight[idx]--
+	if pd.OnFinish != nil {
+		pd.OnFinish(rec)
+	}
+}
+
+// World returns the conservative-window engine, or nil when serial.
+func (pd *PD) World() *sim.World { return pd.world }
+
+// Size returns the engine count.
+func (pd *PD) Size() int { return len(pd.engines) }
+
+// Engine returns the i-th engine (prefill replicas first).
+func (pd *PD) Engine(i int) *llm.Engine { return pd.engines[i] }
+
+// InFlight returns the front's view of outstanding requests.
+func (pd *PD) InFlight() int {
+	total := 0
+	for _, n := range pd.inflight {
+		total += n
+	}
+	return total
+}
+
+// Transfers returns the KV handoff count and total bytes moved.
+func (pd *PD) Transfers() (int, int64) { return pd.transfers, pd.kvBytes }
+
+// Preemptions sums KV preemptions across engines.
+func (pd *PD) Preemptions() int {
+	total := 0
+	for _, e := range pd.engines {
+		total += e.Preemptions()
+	}
+	return total
+}
+
+// KVPeakPages returns the highest per-engine KV page watermark.
+func (pd *PD) KVPeakPages() int {
+	peak := 0
+	for _, e := range pd.engines {
+		if p := e.Mem().Stats().KVPeakBlocks; p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// Collector returns a merged view of all engines' completion records.
+func (pd *PD) Collector() *metrics.Collector {
+	merged := metrics.NewCollector()
+	for _, col := range pd.cols {
+		for _, r := range col.Records() {
+			merged.Add(r)
+		}
+	}
+	return merged
+}

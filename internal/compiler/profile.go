@@ -70,6 +70,15 @@ func (p *Profile) RefreshEvery(m *model.Model, every int) bool {
 // Stat returns the statistics of the named kernel, or nil.
 func (p *Profile) Stat(kernel string) *KernelStat { return p.stats[kernel] }
 
+// MeanTime returns the named kernel's learned mean execution time (zero
+// when the kernel is unknown).
+func (p *Profile) MeanTime(kernel string) sim.Time {
+	if st := p.stats[kernel]; st != nil {
+		return st.MeanTime
+	}
+	return 0
+}
+
 // TotalTime returns the estimated execution time of a fresh job.
 func (p *Profile) TotalTime() sim.Time {
 	if len(p.remainingAfter) == 0 {

@@ -18,6 +18,12 @@ import (
 // enough to pay for the wait and the hold fits inside the head's deadline
 // slack. Everything here is inert unless Config.MaxBatch > 1; the disabled
 // dispatch path is byte-identical to the unbatched dispatcher.
+//
+// Batches formed here live for one launch: the group drains as a unit.
+// The generative engine (internal/llm, DESIGN.md §10) lifts that rule to
+// iteration boundaries — continuous batching rebuilds the decode batch
+// after every completed iteration, reusing this file's fairness semantics
+// via sched.BatchDispatched and the same profiled batch curve.
 
 // batchKey groups batch-compatible jobs: same model, same position in the
 // kernel sequence (so the pending launches are clones of one spec).

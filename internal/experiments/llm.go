@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"paella/internal/cluster"
+	"paella/internal/gpu"
+	"paella/internal/llm"
+	"paella/internal/metrics"
+	"paella/internal/serving"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		Name:  "llm",
+		Title: "Extension (§10): generative serving — continuous batching and prefill/decode disaggregation",
+		Run:   runLLM,
+	})
+}
+
+// LLMTrajEnv names the environment variable that, when set, makes the llm
+// experiment append its headline cell (continuous vs static TTFT-goodput at
+// the saturating load, plus the P/D disaggregation tradeoff) as one NDJSON
+// line to the named file.
+const LLMTrajEnv = "PAELLA_LLM_TRAJ"
+
+// llmTrajCell is one NDJSON line of the bench trajectory.
+type llmTrajCell struct {
+	Schema           string  `json:"schema"` // "paella-llm-traj/v1"
+	Detail           string  `json:"detail"` // "quick" | "full"
+	Rate             float64 `json:"rate"`   // saturating offered load (req/s)
+	SLOMs            float64 `json:"slo_ms"`
+	StaticGoodput    float64 `json:"static_goodput"`
+	ContGoodput      float64 `json:"cont_goodput"`
+	GoodputSpeedup   float64 `json:"goodput_speedup"`
+	StaticTTFTp99Ms  float64 `json:"static_ttft_p99_ms"`
+	ContTTFTp99Ms    float64 `json:"cont_ttft_p99_ms"`
+	ColocTPOTp99Ms   float64 `json:"coloc_tpot_p99_ms"`
+	DisaggTPOTp99Ms  float64 `json:"disagg_tpot_p99_ms"`
+	DisaggTTFTp99Ms  float64 `json:"disagg_ttft_p99_ms"`
+	ColocTTFTp99Ms   float64 `json:"coloc_ttft_p99_ms"`
+	KVTransferMeanMs float64 `json:"kv_transfer_mean_ms"`
+}
+
+// llmSLO is the time-to-first-token deadline the goodput columns score
+// against: the interactive budget the paper's SLO discussion targets.
+const llmSLO = 200 * sim.Millisecond
+
+// runLLM has two parts.
+//
+// Part A (continuous vs launch-time batching): sweep offered load over the
+// generative workload and score TTFT goodput at the 200ms SLO. At low load
+// the two match — the batch rarely has more than one member. At saturating
+// load static batching makes latecomers wait for the formed batch to drain
+// every member's full output, so TTFT (and goodput) collapses while
+// continuous batching admits them at the next iteration boundary.
+//
+// Part B (colocated vs disaggregated prefill/decode): at a moderate load,
+// compare two colocated engines against a 1-prefill/1-decode split. The
+// split isolates decode from prefill interference (lower TPOT tail) but
+// pays the KV-cache handoff over the interconnect on every request (higher
+// TTFT).
+func runLLM(out io.Writer, d Detail) error {
+	jobs, clients := 600, 8
+	rates := []float64{100, 400, 1200}
+	pdJobs := 400
+	detail := "full"
+	if d == Quick {
+		jobs, pdJobs = 120, 100
+		rates = []float64{100, 1200}
+		detail = "quick"
+	}
+	toks := workload.DefaultTokenSpec(7)
+	toks.MaxOutput = 64 // bound per-request decode work so sweeps stay fast
+
+	mkOpts := func() serving.Options {
+		opts := serving.DefaultOptions()
+		opts.Models = nil // generative systems compile their own spec
+		opts.LLM = &serving.LLMOptions{Tokens: toks}
+		return opts
+	}
+
+	fmt.Fprintf(out, "Extension — generative serving, prompt~LN(%.0f) output~LN(%.0f)≤%d tok, TTFT SLO %v:\n",
+		toks.PromptMean, toks.OutputMean, toks.MaxOutput, llmSLO)
+
+	// Part A: continuous vs launch-time batching.
+	goodputs := map[string][]float64{}
+	ttftP99s := map[string][]sim.Time{}
+	for _, system := range []string{"Paella-LLM-static", "Paella-LLM"} {
+		fmt.Fprintf(out, "\n  %s:\n", system)
+		fmt.Fprintf(out, "    %10s %12s %12s %12s %16s\n", "offered", "ttft-p50", "ttft-p99", "tpot-p99", "goodput(req/s)")
+		for _, rate := range rates {
+			trace := workload.MustGenerate(workload.Spec{
+				Mix: workload.Uniform("llm"), Sigma: 2, RatePerSec: rate,
+				Jobs: jobs, Clients: clients, Seed: 7,
+			})
+			opts := mkOpts()
+			opts.MaxSimTime = trace[len(trace)-1].At + 30*sim.Second
+			col := serving.MustRunTrace(serving.MustNewSystem(system), trace, opts)
+			ttfts, tpots := col.TTFTs(), col.TPOTs()
+			goodput := col.TTFTGoodput(llmSLO)
+			fmt.Fprintf(out, "    %10.0f %12v %12v %12v %16.1f\n",
+				rate, metrics.Percentile(ttfts, 50), metrics.Percentile(ttfts, 99),
+				metrics.Percentile(tpots, 99), goodput)
+			goodputs[system] = append(goodputs[system], goodput)
+			ttftP99s[system] = append(ttftP99s[system], metrics.Percentile(ttfts, 99))
+		}
+	}
+
+	last := len(rates) - 1
+	cell := llmTrajCell{
+		Schema: "paella-llm-traj/v1", Detail: detail,
+		Rate: rates[last], SLOMs: llmSLO.Millis(),
+		StaticGoodput:   goodputs["Paella-LLM-static"][last],
+		ContGoodput:     goodputs["Paella-LLM"][last],
+		StaticTTFTp99Ms: ttftP99s["Paella-LLM-static"][last].Millis(),
+		ContTTFTp99Ms:   ttftP99s["Paella-LLM"][last].Millis(),
+	}
+	if cell.StaticGoodput > 0 {
+		cell.GoodputSpeedup = cell.ContGoodput / cell.StaticGoodput
+	}
+	fmt.Fprintf(out, "\nSaturating load (%.0f req/s): continuous vs static = %.2fx TTFT-goodput (SLO %v);\n",
+		cell.Rate, cell.GoodputSpeedup, llmSLO)
+	fmt.Fprintf(out, "static TTFT p99 %v vs continuous %v — latecomers wait for formed batches to drain.\n",
+		ttftP99s["Paella-LLM-static"][last], ttftP99s["Paella-LLM"][last])
+
+	// Part B: colocated vs disaggregated prefill/decode at moderate load.
+	fmt.Fprintf(out, "\n  Prefill/decode placement (2 engines, %d reqs):\n", pdJobs)
+	fmt.Fprintf(out, "    %-22s %12s %12s %12s %14s\n", "deployment", "ttft-p99", "tpot-p50", "tpot-p99", "kv-moved(MiB)")
+	type pdResult struct {
+		ttftP99, tpotP50, tpotP99, kvMean sim.Time
+	}
+	runPD := func(split bool) (pdResult, error) {
+		env := sim.NewEnv()
+		cfg := cluster.PDConfig{
+			LLM: llm.Config{
+				Spec:       llm.DefaultSpec(),
+				DevCfg:     gpu.TeslaT4(),
+				MaxBatch:   8,
+				Continuous: true,
+			},
+			Prefills: 2,
+		}
+		if split {
+			cfg.Prefills, cfg.Decodes = 1, 1
+		}
+		pd, err := cluster.NewPD(env, cfg)
+		if err != nil {
+			return pdResult{}, err
+		}
+		sampler, err := workload.NewTokenSampler(toks)
+		if err != nil {
+			return pdResult{}, err
+		}
+		rng := rand.New(rand.NewSource(7))
+		at := sim.Time(0)
+		for i := 0; i < pdJobs; i++ {
+			at += sim.Time(rng.Intn(4000)+1000) * sim.Microsecond / 2
+			tk := sampler.Next()
+			req := llm.Request{
+				ID: uint64(i + 1), Client: i % clients, Submit: at,
+				Prompt: tk.Prompt, Output: tk.Output,
+			}
+			env.At(at, func() { pd.Submit(req) })
+		}
+		env.RunUntil(at + 30*sim.Second)
+		col := pd.Collector()
+		ttfts, tpots := col.TTFTs(), col.TPOTs()
+		res := pdResult{
+			ttftP99: metrics.Percentile(ttfts, 99),
+			tpotP50: metrics.Percentile(tpots, 50),
+			tpotP99: metrics.Percentile(tpots, 99),
+			kvMean:  meanOf(col.Records(), func(r metrics.JobRecord) sim.Time { return sim.Time(r.KVTransferNs) }),
+		}
+		_, kvBytes := pd.Transfers()
+		name := "colocated ×2"
+		if split {
+			name = "disaggregated 1P:1D"
+		}
+		fmt.Fprintf(out, "    %-22s %12v %12v %12v %14.1f\n",
+			name, res.ttftP99, res.tpotP50, res.tpotP99, float64(kvBytes)/(1<<20))
+		return res, nil
+	}
+	coloc, err := runPD(false)
+	if err != nil {
+		return err
+	}
+	disagg, err := runPD(true)
+	if err != nil {
+		return err
+	}
+	cell.ColocTPOTp99Ms = coloc.tpotP99.Millis()
+	cell.DisaggTPOTp99Ms = disagg.tpotP99.Millis()
+	cell.ColocTTFTp99Ms = coloc.ttftP99.Millis()
+	cell.DisaggTTFTp99Ms = disagg.ttftP99.Millis()
+	cell.KVTransferMeanMs = disagg.kvMean.Millis()
+	fmt.Fprintf(out, "\nDisaggregation trades the per-request KV handoff (mean %v) for a decode pool\n", disagg.kvMean)
+	fmt.Fprintf(out, "that prefill bursts cannot stall: TPOT p99 %v vs %v colocated.\n",
+		disagg.tpotP99, coloc.tpotP99)
+
+	if path := os.Getenv(LLMTrajEnv); path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(&cell); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nappended headline cell to %s\n", path)
+	}
+	return nil
+}

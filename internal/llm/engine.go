@@ -1,0 +1,552 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+
+	"paella/internal/gpu"
+	"paella/internal/metrics"
+	"paella/internal/sched"
+	"paella/internal/sim"
+	"paella/internal/vram"
+)
+
+// ErrKVExhausted is the terminal paging failure: a sequence's KV demand can
+// never be satisfied (it exceeds the device's whole KV pool), or no live
+// work remains that could ever free the pages it is waiting for. The engine
+// fails such requests instead of spinning the preemption machinery.
+var ErrKVExhausted = errors.New("llm: KV demand exceeds device capacity")
+
+// errKVStall is the retriable sibling: pages are unavailable right now but
+// in-flight work will release some. Internal only — stalled sequences wait
+// in place and are re-kicked on every completion.
+var errKVStall = errors.New("llm: KV pages unavailable")
+
+// Hardware-queue assignment: decode iterations and prefill passes ride
+// separate queues so the two phases overlap on the device — which is
+// exactly the prefill/decode interference that disaggregation removes.
+const (
+	decodeQueue  = 0
+	prefillQueue = 1
+)
+
+// Request is one generative inference call: a prompt to prefill and a
+// target number of output tokens to decode (sampled by the workload layer;
+// the simulator knows the length up front, the scheduler must not exploit
+// beyond what Paella's profile-based estimates would know).
+type Request struct {
+	ID     uint64
+	Client int
+	// Submit is when the client issued the call (for end-to-end metrics;
+	// Admit is stamped by the engine).
+	Submit sim.Time
+	Prompt int
+	Output int
+}
+
+// Handoff carries a prefilled sequence between engines in a disaggregated
+// prefill/decode deployment: the request plus its metrics record so far.
+// The KV pages themselves are freed on the prefill device and re-reserved
+// on the decode device after the transfer the caller models.
+type Handoff struct {
+	Req Request
+	Rec metrics.JobRecord
+}
+
+// seqState is one request's lifetime inside an engine.
+type seqState struct {
+	req Request
+	rec metrics.JobRecord
+	tag string
+
+	entry sched.JobEntry
+	// generated counts decode tokens produced so far. Preemption keeps it:
+	// recompute prefills prompt+generated tokens, then decoding resumes.
+	generated int
+	// pages is the KV pages currently reserved for this sequence.
+	pages int
+	// needCompute marks a sequence whose KV state must be (re)built by a
+	// prefill pass — fresh arrivals and preemption victims. False for
+	// handed-off sequences whose KV arrives over the interconnect.
+	needCompute bool
+	inPolicy    bool
+}
+
+// Engine serves one generative model on one device: a FIFO prefill lane on
+// its own hardware queue, and a continuously-batched decode loop that
+// rebuilds its batch from the Paella policy at every iteration boundary.
+type Engine struct {
+	env    *sim.Env
+	dev    *gpu.Device
+	mem    *vram.Manager
+	comp   *Compiled
+	policy sched.Policy
+	col    *metrics.Collector
+
+	// prefillQ holds sequences awaiting KV pages and (when needCompute) a
+	// prefill pass, FIFO. At most one prefill kernel is in flight.
+	prefillQ    []*seqState
+	prefillBusy bool
+	// ready mirrors the policy's membership for deterministic victim scans.
+	ready []*seqState
+	// batch is the in-flight decode iteration's membership; group is the
+	// static-mode resident batch (persists across iterations until drained).
+	batch      []*seqState
+	group      []*seqState
+	groupWidth int
+	decodeBusy bool
+
+	maxKVPages  int
+	inflight    int
+	preemptions int
+	iterations  uint64
+
+	// HandoffPrefill, when set, makes this a prefill-only engine: a
+	// completed prefill releases its local KV pages and hands the sequence
+	// to the callback (the disaggregation front models the transfer and
+	// calls AdmitDecoded on a decode engine).
+	HandoffPrefill func(Handoff)
+	// OnFinish observes every terminal record (after the collector).
+	OnFinish func(metrics.JobRecord)
+}
+
+// NewEngine builds an engine on the environment: device, VRAM manager with
+// the model's weights pinned resident, and a Paella policy for decode order.
+func NewEngine(env *sim.Env, comp *Compiled, col *metrics.Collector) (*Engine, error) {
+	cfg := comp.Cfg
+	mem, err := vram.NewManager(vram.Config{CapacityBytes: cfg.VRAMBytes, BlockBytes: cfg.KVBlockBytes})
+	if err != nil {
+		return nil, err
+	}
+	name := cfg.Spec.Name + "/weights"
+	if err := mem.Register(name, cfg.Spec.WeightBytes); err != nil {
+		return nil, err
+	}
+	mem.Pin(name, env.Now())
+	if cfg.Spec.WeightBytes > 0 {
+		if err := mem.BeginLoad(name, env.Now()); err != nil {
+			return nil, err
+		}
+		mem.FinishLoad(name, env.Now())
+	}
+	e := &Engine{
+		env:        env,
+		dev:        gpu.NewDevice(env, cfg.DevCfg, nil),
+		mem:        mem,
+		comp:       comp,
+		policy:     sched.NewPaella(cfg.FairnessThreshold),
+		col:        col,
+		maxKVPages: int(cfg.VRAMBytes/cfg.KVBlockBytes) - mem.UsedBlocks(),
+	}
+	if e.maxKVPages <= 0 {
+		return nil, fmt.Errorf("llm %q: weights leave no KV pages", cfg.Spec.Name)
+	}
+	return e, nil
+}
+
+// MustNewEngine is NewEngine for known-good configurations.
+func MustNewEngine(env *sim.Env, comp *Compiled, col *metrics.Collector) *Engine {
+	e, err := NewEngine(env, comp, col)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Admit accepts a fresh request: it queues for KV pages and a prefill pass,
+// then joins the decode loop (or the handoff callback, on a prefill-only
+// engine).
+func (e *Engine) Admit(req Request) {
+	now := e.env.Now()
+	s := &seqState{req: req, needCompute: true, tag: fmt.Sprintf("llm-%d", req.ID)}
+	s.rec = metrics.JobRecord{
+		ID: req.ID, Model: e.comp.Cfg.Spec.Name, Client: req.Client,
+		Submit: req.Submit, Admit: now, PromptTokens: req.Prompt,
+	}
+	e.admit(s, now, e.comp.PrefillMean()+sim.Time(req.Output)*e.comp.DecodeMean())
+}
+
+// AdmitDecoded accepts a sequence prefilled elsewhere (disaggregated
+// serving): its KV state arrives with the handoff, so it needs pages but no
+// prefill pass before joining the decode loop.
+func (e *Engine) AdmitDecoded(h Handoff) {
+	now := e.env.Now()
+	s := &seqState{req: h.Req, rec: h.Rec, tag: fmt.Sprintf("llm-%d", h.Req.ID)}
+	e.admit(s, now, sim.Time(h.Req.Output)*e.comp.DecodeMean())
+}
+
+func (e *Engine) admit(s *seqState, now sim.Time, estimate sim.Time) {
+	s.entry = sched.JobEntry{
+		ID: s.req.ID, Client: s.req.Client, Arrival: now,
+		Total: estimate, Remaining: estimate, Payload: s,
+	}
+	e.policy.JobAdmitted(s.req.Client)
+	e.inflight++
+	e.prefillQ = append(e.prefillQ, s)
+	e.kickPrefill()
+}
+
+// kickPrefill drains the prefill queue head-first: reserve KV pages, then
+// either launch the prefill kernel (needCompute) or go straight to the
+// decode loop (handed-off KV). A head that cannot get pages stalls the
+// queue — FIFO order is part of the determinism contract — unless no live
+// work could ever free pages, which is terminal.
+func (e *Engine) kickPrefill() {
+	for len(e.prefillQ) > 0 {
+		s := e.prefillQ[0]
+		if s.needCompute && e.prefillBusy {
+			return
+		}
+		tokens := s.req.Prompt + s.generated
+		switch err := e.reserveFor(s, tokens, nil); {
+		case err == nil:
+		case errors.Is(err, ErrKVExhausted):
+			e.prefillQ = e.prefillQ[1:]
+			e.fail(s)
+			continue
+		default:
+			if e.noProgressPossible() {
+				e.prefillQ = e.prefillQ[1:]
+				e.fail(s)
+				continue
+			}
+			return
+		}
+		e.prefillQ = e.prefillQ[1:]
+		if !s.needCompute {
+			e.decodeReady(s)
+			continue
+		}
+		e.prefillBusy = true
+		now := e.env.Now()
+		if s.rec.FirstDispatch == 0 {
+			s.rec.FirstDispatch = now
+		}
+		e.policy.Dispatched(&s.entry)
+		e.dev.Submit(prefillQueue, &gpu.Launch{
+			Spec:       e.comp.PrefillSpec(tokens),
+			JobTag:     s.tag,
+			OnComplete: func() { e.prefillDone(s) },
+		})
+	}
+}
+
+// noProgressPossible reports whether nothing in flight or runnable could
+// ever release KV pages — the stalled queue head would wait forever.
+func (e *Engine) noProgressPossible() bool {
+	return !e.decodeBusy && !e.prefillBusy && len(e.ready) == 0 && len(e.group) == 0
+}
+
+func (e *Engine) prefillDone(s *seqState) {
+	e.prefillBusy = false
+	now := e.env.Now()
+	if e.HandoffPrefill != nil {
+		if s.pages > 0 {
+			e.mem.ReleaseKV(s.pages, now)
+			s.pages = 0
+		}
+		e.policy.JobFinished(s.req.Client)
+		e.inflight--
+		h := Handoff{Req: s.req, Rec: s.rec}
+		e.kickPrefill()
+		e.HandoffPrefill(h)
+		return
+	}
+	e.decodeReady(s)
+	e.kickPrefill()
+}
+
+func (e *Engine) decodeReady(s *seqState) {
+	s.needCompute = false
+	s.entry.Remaining = sim.Time(s.req.Output-s.generated) * e.comp.DecodeMean()
+	e.addToPolicy(s)
+	e.maybeIterate()
+}
+
+// maybeIterate forms and launches the next decode iteration. Continuous
+// mode rebuilds the batch from the policy every iteration (joins and
+// retirements at iteration boundaries); static mode forms a batch only
+// when the previous one has fully drained and pads its launches at the
+// formation width until then.
+func (e *Engine) maybeIterate() {
+	if e.decodeBusy {
+		return
+	}
+	var members []*seqState
+	width := 0
+	if e.comp.Cfg.Continuous {
+		for len(members) < e.comp.Cfg.MaxBatch {
+			j := e.policy.Pick()
+			if j == nil {
+				break
+			}
+			s := j.Payload.(*seqState)
+			e.removeFromPolicy(s)
+			members = append(members, s)
+		}
+	} else {
+		if len(e.group) == 0 {
+			for len(e.group) < e.comp.Cfg.MaxBatch {
+				j := e.policy.Pick()
+				if j == nil {
+					break
+				}
+				s := j.Payload.(*seqState)
+				e.removeFromPolicy(s)
+				e.group = append(e.group, s)
+			}
+			e.groupWidth = len(e.group)
+		}
+		members = append(members, e.group...)
+		width = e.groupWidth
+	}
+	if len(members) == 0 {
+		return
+	}
+
+	// Grow every member's KV by one token before launching. A member that
+	// cannot grow even after preemption waits out this iteration; one whose
+	// demand can never fit fails.
+	var alive []*seqState
+	for i := 0; i < len(members); i++ {
+		s := members[i]
+		if s == nil {
+			continue
+		}
+		victims := func() *seqState {
+			if v := e.readyVictim(); v != nil {
+				return v
+			}
+			// Sacrifice a not-yet-grown member from the batch tail: the
+			// SRPT-front member must make progress or the loop deadlocks
+			// with every sequence holding pages and none able to grow.
+			best, bi := (*seqState)(nil), -1
+			for j := i + 1; j < len(members); j++ {
+				m := members[j]
+				if m == nil || m.pages == 0 {
+					continue
+				}
+				if best == nil || worseThan(m, best) {
+					best, bi = m, j
+				}
+			}
+			if best != nil {
+				members[bi] = nil
+				e.dropFromGroup(best)
+			}
+			return best
+		}
+		switch err := e.reserveFor(s, s.req.Prompt+s.generated+1, victims); {
+		case err == nil:
+			alive = append(alive, s)
+		case errors.Is(err, ErrKVExhausted):
+			e.dropFromGroup(s)
+			e.fail(s)
+		default:
+			// Stall: skip this iteration. Static members stay in the group;
+			// continuous ones return to the policy to be re-picked.
+			if e.comp.Cfg.Continuous {
+				e.addToPolicy(s)
+			}
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	if width == 0 {
+		width = len(alive)
+	}
+	now := e.env.Now()
+	entries := make([]*sched.JobEntry, len(alive))
+	for i, s := range alive {
+		entries[i] = &s.entry
+		if s.rec.FirstDispatch == 0 {
+			s.rec.FirstDispatch = now
+		}
+		if width > s.rec.BatchSize {
+			s.rec.BatchSize = width
+		}
+	}
+	sched.BatchDispatched(e.policy, entries)
+	e.batch = alive
+	e.decodeBusy = true
+	e.iterations++
+	e.dev.Submit(decodeQueue, &gpu.Launch{
+		Spec:       e.comp.DecodeSpec(width),
+		JobTag:     DecodeKernel,
+		OnComplete: e.iterDone,
+	})
+}
+
+func (e *Engine) iterDone() {
+	now := e.env.Now()
+	e.decodeBusy = false
+	batch := e.batch
+	e.batch = nil
+	for _, s := range batch {
+		s.generated++
+		if s.rec.FirstToken == 0 {
+			s.rec.FirstToken = now
+		}
+		if s.generated >= s.req.Output {
+			e.retire(s, now)
+		} else if e.comp.Cfg.Continuous {
+			s.entry.Remaining = sim.Time(s.req.Output-s.generated) * e.comp.DecodeMean()
+			e.addToPolicy(s)
+		}
+	}
+	e.kickPrefill()
+	e.maybeIterate()
+}
+
+func (e *Engine) retire(s *seqState, now sim.Time) {
+	s.rec.ExecDone, s.rec.Delivered = now, now
+	s.rec.OutputTokens = s.generated
+	if s.pages > 0 {
+		e.mem.ReleaseKV(s.pages, now)
+		s.pages = 0
+	}
+	e.dropFromGroup(s)
+	e.policy.JobFinished(s.req.Client)
+	e.inflight--
+	e.col.Add(s.rec)
+	if e.OnFinish != nil {
+		e.OnFinish(s.rec)
+	}
+}
+
+func (e *Engine) fail(s *seqState) {
+	now := e.env.Now()
+	s.rec.Failed = true
+	s.rec.Delivered = now
+	s.rec.OutputTokens = s.generated
+	if s.pages > 0 {
+		e.mem.ReleaseKV(s.pages, now)
+		s.pages = 0
+	}
+	if s.inPolicy {
+		e.removeFromPolicy(s)
+	}
+	e.dropFromGroup(s)
+	e.policy.JobFinished(s.req.Client)
+	e.inflight--
+	e.col.Add(s.rec)
+	if e.OnFinish != nil {
+		e.OnFinish(s.rec)
+	}
+}
+
+// reserveFor grows s's KV reservation to cover the given token count,
+// invoking victims (when non-nil) to free pages by preemption until the
+// reservation fits. Partial progress is kept: a stalled sequence retains
+// the pages it already holds and retries with the smaller deficit later.
+func (e *Engine) reserveFor(s *seqState, tokens int, victims func() *seqState) error {
+	target := e.comp.PagesFor(tokens)
+	if target > e.maxKVPages {
+		return ErrKVExhausted
+	}
+	need := target - s.pages
+	if need <= 0 {
+		return nil
+	}
+	for {
+		if err := e.mem.ReserveKV(need, e.env.Now()); err == nil {
+			s.pages = target
+			return nil
+		}
+		if victims == nil {
+			return errKVStall
+		}
+		v := victims()
+		if v == nil {
+			return errKVStall
+		}
+		e.preempt(v)
+	}
+}
+
+// preempt evicts a sequence's KV pages and schedules it for recompute: the
+// generated tokens are kept, so the re-prefill covers prompt+generated and
+// decoding resumes where it stopped (vLLM's recompute-style preemption).
+func (e *Engine) preempt(v *seqState) {
+	if v.inPolicy {
+		e.removeFromPolicy(v)
+	}
+	if v.pages > 0 {
+		e.mem.ReleaseKV(v.pages, e.env.Now())
+		v.pages = 0
+	}
+	v.needCompute = true
+	v.rec.Preemptions++
+	e.preemptions++
+	e.prefillQ = append(e.prefillQ, v)
+}
+
+// readyVictim picks the preemption victim among policy-resident sequences:
+// the one SRPT would serve last (max remaining, then max ID) — evicting the
+// longest-remaining waiter costs the least expected progress.
+func (e *Engine) readyVictim() *seqState {
+	var best *seqState
+	for _, s := range e.ready {
+		if s.pages == 0 {
+			continue
+		}
+		if best == nil || worseThan(s, best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// worseThan orders preemption candidates: a is a better victim than b when
+// it has more remaining work (ID-descending tiebreak for determinism).
+func worseThan(a, b *seqState) bool {
+	if a.entry.Remaining != b.entry.Remaining {
+		return a.entry.Remaining > b.entry.Remaining
+	}
+	return a.req.ID > b.req.ID
+}
+
+func (e *Engine) addToPolicy(s *seqState) {
+	e.policy.Add(&s.entry)
+	s.inPolicy = true
+	e.ready = append(e.ready, s)
+}
+
+func (e *Engine) removeFromPolicy(s *seqState) {
+	e.policy.Remove(&s.entry)
+	s.inPolicy = false
+	for i, r := range e.ready {
+		if r == s {
+			e.ready = append(e.ready[:i], e.ready[i+1:]...)
+			break
+		}
+	}
+}
+
+func (e *Engine) dropFromGroup(s *seqState) {
+	for i, g := range e.group {
+		if g == s {
+			e.group = append(e.group[:i], e.group[i+1:]...)
+			if len(e.group) == 0 {
+				e.groupWidth = 0
+			}
+			return
+		}
+	}
+}
+
+// InFlight returns the number of admitted, unfinished sequences.
+func (e *Engine) InFlight() int { return e.inflight }
+
+// Preemptions returns how many KV preemption-by-recompute events occurred.
+func (e *Engine) Preemptions() int { return e.preemptions }
+
+// Iterations returns how many decode iterations were launched.
+func (e *Engine) Iterations() uint64 { return e.iterations }
+
+// Mem exposes the engine's VRAM manager (KV-page stats, invariants).
+func (e *Engine) Mem() *vram.Manager { return e.mem }
+
+// Device exposes the engine's simulated GPU.
+func (e *Engine) Device() *gpu.Device { return e.dev }

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"testing"
+
+	"paella/internal/sim"
+)
+
+// llmRecord builds a generative record with the given millisecond timeline.
+func llmRecord(id uint64, submitMs, firstTokMs, doneMs int64, outTokens int) JobRecord {
+	return JobRecord{
+		ID: id, Model: "llm", Client: 0,
+		Submit:       sim.Time(submitMs) * sim.Millisecond,
+		Admit:        sim.Time(submitMs) * sim.Millisecond,
+		FirstToken:   sim.Time(firstTokMs) * sim.Millisecond,
+		ExecDone:     sim.Time(doneMs) * sim.Millisecond,
+		Delivered:    sim.Time(doneMs) * sim.Millisecond,
+		OutputTokens: outTokens,
+	}
+}
+
+func TestTTFTAndTPOT(t *testing.T) {
+	r := llmRecord(1, 10, 30, 130, 11)
+	if got := r.TTFT(); got != 20*sim.Millisecond {
+		t.Fatalf("TTFT = %v, want 20ms", got)
+	}
+	// 10 inter-token intervals over 100ms → 10ms each.
+	if got := r.TPOT(); got != 10*sim.Millisecond {
+		t.Fatalf("TPOT = %v, want 10ms", got)
+	}
+	// Degenerate cases: no first token, single-token output.
+	none := llmRecord(2, 10, 0, 130, 5)
+	if none.TTFT() != 0 || none.TPOT() != 0 {
+		t.Fatal("record without a first token must report zero TTFT/TPOT")
+	}
+	single := llmRecord(3, 10, 30, 30, 1)
+	if single.TPOT() != 0 {
+		t.Fatal("single-token record must report zero TPOT")
+	}
+}
+
+// TestTTFTPercentileBoundaries pins the exact nearest-rank behaviour on the
+// TTFT population: rank = ⌈p/100·n⌉ computed in integer arithmetic, so
+// boundary percentiles land on exact elements with no float drift.
+func TestTTFTPercentileBoundaries(t *testing.T) {
+	c := NewCollector()
+	// TTFTs 10, 20, 30, 40 ms (submit 0, first token at the TTFT).
+	for i := int64(1); i <= 4; i++ {
+		c.Add(llmRecord(uint64(i), 0, 10*i, 200, 8))
+	}
+	ds := c.TTFTs()
+	if len(ds) != 4 {
+		t.Fatalf("TTFTs len = %d, want 4", len(ds))
+	}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{25, 10 * sim.Millisecond},     // ⌈25·4/100⌉ = 1 → first element
+		{25.001, 20 * sim.Millisecond}, // one millesimal past the boundary
+		{50, 20 * sim.Millisecond},
+		{75, 30 * sim.Millisecond},
+		{75.001, 40 * sim.Millisecond},
+		{99, 40 * sim.Millisecond},
+		{100, 40 * sim.Millisecond},
+	}
+	for _, tc := range cases {
+		if got := Percentile(ds, tc.p); got != tc.want {
+			t.Errorf("Percentile(TTFTs, %v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestTPOTPercentileBoundaries(t *testing.T) {
+	c := NewCollector()
+	// TPOTs: 5, 10, 15 ms (first token at 10ms, 11 tokens → 10 intervals).
+	c.Add(llmRecord(1, 0, 10, 10+50, 11))
+	c.Add(llmRecord(2, 0, 10, 10+100, 11))
+	c.Add(llmRecord(3, 0, 10, 10+150, 11))
+	ds := c.TPOTs()
+	if len(ds) != 3 {
+		t.Fatalf("TPOTs len = %d, want 3", len(ds))
+	}
+	// n=3: ⌈33.333·3/100⌉ = 1, ⌈33.334·3/100⌉ = 2 (millesimal precision).
+	if got := Percentile(ds, 33.333); got != 5*sim.Millisecond {
+		t.Errorf("p33.333 = %v, want 5ms", got)
+	}
+	if got := Percentile(ds, 33.334); got != 10*sim.Millisecond {
+		t.Errorf("p33.334 = %v, want 10ms", got)
+	}
+	if got := Percentile(ds, 66.667); got != 15*sim.Millisecond {
+		t.Errorf("p66.667 = %v, want 15ms", got)
+	}
+}
+
+func TestTTFTGoodputAndTokenRate(t *testing.T) {
+	c := NewCollector()
+	// Span: submit 0 → delivered 1000ms = 1s.
+	c.Add(llmRecord(1, 0, 50, 1000, 10))  // TTFT 50ms: meets a 100ms SLO
+	c.Add(llmRecord(2, 0, 200, 900, 20))  // TTFT 200ms: misses
+	c.Add(llmRecord(3, 0, 100, 800, 30))  // TTFT 100ms: meets exactly
+	failed := llmRecord(4, 0, 10, 700, 5) // fast first token, then failed
+	failed.Failed = true
+	c.Add(failed)
+	if got := c.TTFTGoodput(100 * sim.Millisecond); got != 2 {
+		t.Fatalf("TTFTGoodput = %v req/s, want 2", got)
+	}
+	if got := c.TokensPerSec(); got != 65 {
+		t.Fatalf("TokensPerSec = %v, want 65", got)
+	}
+	if got := NewCollector().TTFTGoodput(sim.Second); got != 0 {
+		t.Fatalf("empty TTFTGoodput = %v, want 0", got)
+	}
+}
+
+func TestPreemptionsTotal(t *testing.T) {
+	c := NewCollector()
+	a := llmRecord(1, 0, 10, 100, 5)
+	a.Preemptions = 2
+	b := llmRecord(2, 0, 10, 100, 5)
+	b.Preemptions = 1
+	c.Add(a)
+	c.Add(b)
+	if got := c.Preemptions(); got != 3 {
+		t.Fatalf("Preemptions = %d, want 3", got)
+	}
+}

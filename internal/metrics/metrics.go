@@ -52,6 +52,21 @@ type JobRecord struct {
 	// dispatcher's batch-formation window (the latency cost of batching,
 	// attributed per member).
 	BatchWaitNs sim.Time
+	// FirstToken is when the request's first output token completed — the
+	// end of the TTFT window (internal/llm's generative serving; zero for
+	// non-generative jobs and for requests that never produced a token).
+	FirstToken sim.Time
+	// PromptTokens and OutputTokens are the generative job's lengths: the
+	// prefill input and the tokens actually produced. Zero for
+	// non-generative jobs, so the fields (and their JSON) are inert.
+	PromptTokens int
+	OutputTokens int
+	// Preemptions counts how many times the request's KV pages were evicted
+	// under memory pressure and its prefill recomputed.
+	Preemptions int
+	// KVTransferNs accumulates time spent moving the request's KV-cache
+	// between prefill and decode replicas (P/D disaggregation).
+	KVTransferNs sim.Time
 	// Cancelled marks a request aborted by the client before completion.
 	Cancelled bool
 	// Failed marks a request that terminated with a typed error instead of
@@ -66,6 +81,26 @@ type JobRecord struct {
 
 // JCT returns the end-to-end job completion time.
 func (r *JobRecord) JCT() sim.Time { return r.Delivered - r.Submit }
+
+// TTFT returns the time-to-first-token: submit to first output token. Zero
+// when the request never produced a token (non-generative jobs, failures
+// before the first decode iteration).
+func (r *JobRecord) TTFT() sim.Time {
+	if r.FirstToken == 0 {
+		return 0
+	}
+	return r.FirstToken - r.Submit
+}
+
+// TPOT returns the mean time-per-output-token over the decode phase: the
+// span from the first to the last token divided by the intervals between
+// them. Zero for requests with fewer than two output tokens.
+func (r *JobRecord) TPOT() sim.Time {
+	if r.OutputTokens < 2 || r.FirstToken == 0 {
+		return 0
+	}
+	return (r.ExecDone - r.FirstToken) / sim.Time(r.OutputTokens-1)
+}
 
 // CommNs returns the pure communication latency: submit→admit plus
 // completion→delivery, net of framework processing. Clamped at zero — a
@@ -258,6 +293,93 @@ func (c *Collector) Goodput(deadline sim.Time) float64 {
 	return float64(met) / span
 }
 
+// TTFTs returns the time-to-first-token of every record that produced at
+// least one token (generative jobs only).
+func (c *Collector) TTFTs() []sim.Time {
+	var out []sim.Time
+	for i := range c.records {
+		if t := c.records[i].TTFT(); t > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TPOTs returns the mean time-per-output-token of every record with at
+// least two output tokens.
+func (c *Collector) TPOTs() []sim.Time {
+	var out []sim.Time
+	for i := range c.records {
+		if t := c.records[i].TPOT(); t > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TTFTGoodput returns requests per second whose first token arrived within
+// the deadline — the interactive-serving SLO metric: a request whose later
+// tokens stream slowly still feels responsive if the first one was fast.
+// The span is the same submit→deliver window Throughput uses.
+func (c *Collector) TTFTGoodput(deadline sim.Time) float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	met := 0
+	first, last := c.records[0].Submit, c.records[0].Delivered
+	for i := range c.records {
+		r := &c.records[i]
+		if t := r.TTFT(); t > 0 && t <= deadline && !r.Failed {
+			met++
+		}
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.Delivered > last {
+			last = r.Delivered
+		}
+	}
+	span := (last - first).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(met) / span
+}
+
+// TokensPerSec returns the aggregate output-token rate over the run's
+// submit→deliver span (generative serving's throughput unit).
+func (c *Collector) TokensPerSec() float64 {
+	if len(c.records) == 0 {
+		return 0
+	}
+	tokens := 0
+	first, last := c.records[0].Submit, c.records[0].Delivered
+	for i := range c.records {
+		r := &c.records[i]
+		tokens += r.OutputTokens
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.Delivered > last {
+			last = r.Delivered
+		}
+	}
+	span := (last - first).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(tokens) / span
+}
+
+// Preemptions totals KV-pressure preemptions across all records.
+func (c *Collector) Preemptions() int {
+	n := 0
+	for i := range c.records {
+		n += c.records[i].Preemptions
+	}
+	return n
+}
+
 // Percentile returns the p-th percentile (0 < p ≤ 100) of ds using
 // nearest-rank (rank = ⌈p/100·n⌉); zero for empty input. The rank is
 // computed in integer arithmetic — p is taken at millesimal precision
@@ -319,6 +441,11 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 		LoadNs        int64  `json:"load_ns,omitempty"`
 		BatchSize     int    `json:"batch,omitempty"`
 		BatchWaitNs   int64  `json:"batch_wait_ns,omitempty"`
+		FirstTokenNs  int64  `json:"first_token_ns,omitempty"`
+		PromptTokens  int    `json:"prompt_tokens,omitempty"`
+		OutputTokens  int    `json:"output_tokens,omitempty"`
+		Preemptions   int    `json:"preemptions,omitempty"`
+		KVTransferNs  int64  `json:"kv_transfer_ns,omitempty"`
 		Failed        bool   `json:"failed,omitempty"`
 		FailureReason string `json:"failure_reason,omitempty"`
 	}
@@ -331,7 +458,10 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
 			ColdStart: r.ColdStart, LoadNs: int64(r.LoadNs),
 			BatchSize: r.BatchSize, BatchWaitNs: int64(r.BatchWaitNs),
-			Failed: r.Failed, FailureReason: r.FailureReason,
+			FirstTokenNs: int64(r.FirstToken), PromptTokens: r.PromptTokens,
+			OutputTokens: r.OutputTokens, Preemptions: r.Preemptions,
+			KVTransferNs: int64(r.KVTransferNs),
+			Failed:       r.Failed, FailureReason: r.FailureReason,
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,139 @@
+package serving
+
+import (
+	"fmt"
+
+	"paella/internal/cluster"
+	"paella/internal/llm"
+	"paella/internal/metrics"
+	"paella/internal/sim"
+	"paella/internal/workload"
+)
+
+// LLMOptions configures the generative serving systems (Paella-LLM and
+// friends). All fields have working defaults; the zero LLMOptions — or a
+// nil Options.LLM — selects DefaultSpec on the run's device with seeded
+// default token lengths.
+type LLMOptions struct {
+	// Spec is the generative model (zero Name → llm.DefaultSpec()).
+	Spec llm.Spec
+	// Tokens is the prompt/output length distribution (zero → default
+	// spec, seed 1).
+	Tokens workload.TokenSpec
+	// MaxBatch caps the decode batch width (0 → 8).
+	MaxBatch int
+	// KVBlockBytes is the KV page granularity (0 → vram.DefaultBlockBytes).
+	KVBlockBytes int64
+	// VRAMBytes overrides the device-memory budget (0 → DevCfg.VRAMBytes).
+	VRAMBytes int64
+}
+
+// llmSystem is one generative serving deployment behind the System
+// interface: requests sample their token lengths from the seeded sampler
+// (in submission order — part of the determinism contract), then run on a
+// single colocated engine or a 1-prefill/1-decode disaggregated pair.
+type llmSystem struct {
+	name       string
+	continuous bool
+	pdSplit    bool
+
+	env     *sim.Env
+	sampler *workload.TokenSampler
+	engine  *llm.Engine
+	pd      *cluster.PD
+	col     *metrics.Collector
+	nextID  uint64
+}
+
+// NewPaellaLLM constructs one of the generative systems:
+//
+//   - "Paella-LLM": continuous batching, colocated prefill+decode.
+//   - "Paella-LLM-static": launch-time batching, colocated — the baseline
+//     continuous batching exists to beat.
+//   - "Paella-LLM-PD": continuous batching, disaggregated one-prefill/
+//     one-decode pair with the KV handoff over the interconnect.
+func NewPaellaLLM(name string) (System, error) {
+	s := &llmSystem{name: name}
+	switch name {
+	case "Paella-LLM":
+		s.continuous = true
+	case "Paella-LLM-static":
+	case "Paella-LLM-PD":
+		s.continuous, s.pdSplit = true, true
+	default:
+		return nil, fmt.Errorf("serving: unknown llm system %q", name)
+	}
+	return s, nil
+}
+
+func (s *llmSystem) Name() string { return s.name }
+
+func (s *llmSystem) Setup(env *sim.Env, opts Options, numClients int) error {
+	lo := LLMOptions{}
+	if opts.LLM != nil {
+		lo = *opts.LLM
+	}
+	if lo.Spec.Name == "" {
+		lo.Spec = llm.DefaultSpec()
+	}
+	if lo.Tokens.PromptMean == 0 {
+		lo.Tokens = workload.DefaultTokenSpec(1)
+	}
+	sampler, err := workload.NewTokenSampler(lo.Tokens)
+	if err != nil {
+		return err
+	}
+	cfg := llm.Config{
+		Spec:         lo.Spec,
+		DevCfg:       opts.DevCfg,
+		VRAMBytes:    lo.VRAMBytes,
+		KVBlockBytes: lo.KVBlockBytes,
+		MaxBatch:     lo.MaxBatch,
+		Continuous:   s.continuous,
+	}
+	s.env = env
+	s.sampler = sampler
+	if s.pdSplit {
+		pd, err := cluster.NewPD(env, cluster.PDConfig{LLM: cfg, Prefills: 1, Decodes: 1})
+		if err != nil {
+			return err
+		}
+		s.pd = pd
+		return nil
+	}
+	s.col = metrics.NewCollector()
+	comp, err := llm.CompileSpec(cfg)
+	if err != nil {
+		return err
+	}
+	eng, err := llm.NewEngine(env, comp, s.col)
+	if err != nil {
+		return err
+	}
+	s.engine = eng
+	return nil
+}
+
+func (s *llmSystem) Submit(req workload.Request) {
+	s.nextID++
+	toks := s.sampler.Next()
+	lreq := llm.Request{
+		ID:     s.nextID,
+		Client: req.Client,
+		Submit: s.env.Now(),
+		Prompt: toks.Prompt,
+		Output: toks.Output,
+	}
+	if s.pd != nil {
+		s.pd.Submit(lreq)
+		return
+	}
+	s.engine.Admit(lreq)
+}
+
+func (s *llmSystem) Collector() *metrics.Collector {
+	if s.pd != nil {
+		return s.pd.Collector()
+	}
+	return s.col
+}

@@ -72,6 +72,9 @@ type Options struct {
 	// BatchWindow bounds the batch-formation hold for a lone ready kernel
 	// (core.Config.BatchWindow). Zero means opportunistic coalescing only.
 	BatchWindow sim.Time
+	// LLM configures the generative systems (Paella-LLM and friends); nil
+	// selects their defaults. The non-generative systems ignore it.
+	LLM *LLMOptions
 }
 
 // DefaultOptions returns a T4 setup with the full Table 2 zoo.

@@ -41,6 +41,8 @@ func NewSystem(name string) (System, error) {
 		return PaellaVariant(name)
 	case "Paella-batch":
 		return NewPaellaBatching(name, 0, 0), nil
+	case "Paella-LLM", "Paella-LLM-static", "Paella-LLM-PD":
+		return NewPaellaLLM(name)
 	case "Triton-batch":
 		return NewTritonBatching(DefaultBatchWindow, DefaultMaxBatch), nil
 	default:

@@ -1,0 +1,110 @@
+package vram
+
+import (
+	"errors"
+	"testing"
+
+	"paella/internal/sim"
+)
+
+// kvManager returns a 10-block manager with an 8-block pinned resident
+// model — the LLM engine's shape: weights pinned for the engine's lifetime,
+// the remainder available as KV pages.
+func kvManager(t *testing.T) *Manager {
+	t.Helper()
+	m := MustNewManager(Config{CapacityBytes: 10 * DefaultBlockBytes})
+	if err := m.Register("weights", 8*DefaultBlockBytes); err != nil {
+		t.Fatal(err)
+	}
+	m.Pin("weights", 0)
+	if err := m.BeginLoad("weights", 0); err != nil {
+		t.Fatal(err)
+	}
+	m.FinishLoad("weights", sim.Microsecond)
+	m.CheckInvariants()
+	return m
+}
+
+// TestReserveKVFromFullyPinnedDevice is the regression test for allocating
+// from a fully-pinned device: KV pages pin their blocks, eviction must skip
+// both the pinned weights and the KV pages, and exhaustion must surface the
+// typed ErrNoMemory immediately — no eviction churn, no loop.
+func TestReserveKVFromFullyPinnedDevice(t *testing.T) {
+	m := kvManager(t)
+
+	// Fill the remaining 2 blocks with KV pages: the device is now
+	// entirely pinned (8 pinned weight blocks + 2 KV pages).
+	if err := m.ReserveKV(2, 2*sim.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	m.CheckInvariants()
+	if m.KVBlocks() != 2 || m.UsedBlocks() != 10 {
+		t.Fatalf("kv=%d used=%d, want 2/10", m.KVBlocks(), m.UsedBlocks())
+	}
+
+	// One more KV page must fail typed, without evicting anything.
+	err := m.ReserveKV(1, 3*sim.Microsecond)
+	if !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("ReserveKV on full device: err = %v, want ErrNoMemory", err)
+	}
+	// A weight load must fail the same way: the pinned weights and the KV
+	// pages are both ineligible victims.
+	if err := m.Register("other", 1*DefaultBlockBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginLoad("other", 4*sim.Microsecond); !errors.Is(err, ErrNoMemory) {
+		t.Fatalf("BeginLoad on full device: err = %v, want ErrNoMemory", err)
+	}
+	if ev := m.Stats().Evictions; ev != 0 {
+		t.Fatalf("%d evictions on a fully-pinned device, want 0", ev)
+	}
+	m.CheckInvariants()
+
+	// Releasing a page unblocks both paths.
+	m.ReleaseKV(1, 5*sim.Microsecond)
+	if err := m.BeginLoad("other", 6*sim.Microsecond); err != nil {
+		t.Fatalf("BeginLoad after KV release: %v", err)
+	}
+	m.FinishLoad("other", 7*sim.Microsecond)
+	m.CheckInvariants()
+	if m.UsedBlocks() != 10 || m.KVBlocks() != 1 {
+		t.Fatalf("kv=%d used=%d after reload, want 1/10", m.KVBlocks(), m.UsedBlocks())
+	}
+	if got := m.Stats().KVPeakBlocks; got != 2 {
+		t.Fatalf("KVPeakBlocks = %d, want 2", got)
+	}
+}
+
+// TestReserveKVEvictsUnpinned: an unpinned resident model is a legitimate
+// victim for KV growth, exactly as for a weight load.
+func TestReserveKVEvictsUnpinned(t *testing.T) {
+	m := MustNewManager(Config{CapacityBytes: 4 * DefaultBlockBytes})
+	if err := m.Register("cold-model", 3*DefaultBlockBytes); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginLoad("cold-model", 0); err != nil {
+		t.Fatal(err)
+	}
+	m.FinishLoad("cold-model", sim.Microsecond)
+	if err := m.ReserveKV(3, 2*sim.Microsecond); err != nil {
+		t.Fatalf("ReserveKV with an evictable resident: %v", err)
+	}
+	if m.Stats().Evictions != 1 || m.State("cold-model") != Cold {
+		t.Fatalf("unpinned model not evicted for KV growth (evictions=%d, state=%v)",
+			m.Stats().Evictions, m.State("cold-model"))
+	}
+	m.CheckInvariants()
+}
+
+func TestReleaseKVOverReleasePanics(t *testing.T) {
+	m := MustNewManager(Config{CapacityBytes: 4 * DefaultBlockBytes})
+	if err := m.ReserveKV(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	m.ReleaseKV(2, sim.Microsecond)
+}

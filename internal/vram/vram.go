@@ -97,6 +97,9 @@ type Stats struct {
 	// PeakActivationBytes is the high-water mark of the activation gauge
 	// (per-member scratch of batched launches; see ReserveActivations).
 	PeakActivationBytes int64
+	// KVPeakBlocks is the high-water mark of the paged KV-cache allocation
+	// (ReserveKV; internal/llm's per-token pages).
+	KVPeakBlocks int
 }
 
 // HitRatio returns WarmHits / Pins (1 when nothing was ever pinned).
@@ -134,6 +137,11 @@ type Manager struct {
 	// pressureBlocks is memory carved out by ReservePressure (fault
 	// injection: a co-tenant allocation spike); counted inside usedBlocks.
 	pressureBlocks int
+	// kvBlocks is memory held by the paged KV-cache (ReserveKV); counted
+	// inside usedBlocks. KV pages are pinned by construction — eviction
+	// never considers them, so exhaustion surfaces as ErrNoMemory and the
+	// caller (internal/llm) preempts a sequence to reclaim its pages.
+	kvBlocks int
 	// activationBytes is the in-flight batched-launch scratch gauge
 	// (ReserveActivations); accounting only, outside the block budget.
 	activationBytes int64
@@ -373,6 +381,62 @@ func (m *Manager) ReleasePressure(blocks int, now sim.Time) {
 // PressureBlocks returns the blocks currently held by injected pressure.
 func (m *Manager) PressureBlocks() int { return m.pressureBlocks }
 
+// ReserveKV allocates blocks for paged KV-cache entries (internal/llm's
+// vLLM-style token pages). LRU unpinned resident models are evicted to make
+// room, exactly as for a weight load; the reservation is all-or-nothing —
+// ErrNoMemory means the caller must free pages (retire or preempt a
+// sequence) before retrying. KV pages are pinned by construction: they are
+// never eviction candidates, so a fully-KV device fails fast instead of
+// thrashing the evictor.
+func (m *Manager) ReserveKV(blocks int, now sim.Time) error {
+	if blocks < 0 {
+		panic(fmt.Sprintf("vram: reserving %d KV blocks", blocks))
+	}
+	if blocks == 0 {
+		return nil
+	}
+	m.lastNow = now
+	if err := m.ensureFree(blocks); err != nil {
+		return err
+	}
+	m.usedBlocks += blocks
+	m.kvBlocks += blocks
+	if m.kvBlocks > m.stats.KVPeakBlocks {
+		m.stats.KVPeakBlocks = m.kvBlocks
+	}
+	if m.rec != nil {
+		m.rec.InstantArgs(m.evTrack, "kv", "vram-kv-reserve", now,
+			trace.Int("bytes", int64(blocks)*m.cfg.BlockBytes))
+		m.traceUsed()
+	}
+	return nil
+}
+
+// ReleaseKV returns previously reserved KV blocks to the budget. Releasing
+// more than is held panics (a paging bookkeeping bug in the caller).
+func (m *Manager) ReleaseKV(blocks int, now sim.Time) {
+	if blocks < 0 {
+		panic(fmt.Sprintf("vram: releasing %d KV blocks", blocks))
+	}
+	if blocks == 0 {
+		return
+	}
+	m.lastNow = now
+	if blocks > m.kvBlocks {
+		panic(fmt.Sprintf("vram: releasing %d KV blocks, holding %d", blocks, m.kvBlocks))
+	}
+	m.kvBlocks -= blocks
+	m.usedBlocks -= blocks
+	if m.rec != nil {
+		m.rec.InstantArgs(m.evTrack, "kv", "vram-kv-release", now,
+			trace.Int("bytes", int64(blocks)*m.cfg.BlockBytes))
+		m.traceUsed()
+	}
+}
+
+// KVBlocks returns the blocks currently held by the paged KV-cache.
+func (m *Manager) KVBlocks() int { return m.kvBlocks }
+
 // FinishLoad completes a load: loading → resident.
 func (m *Manager) FinishLoad(name string, now sim.Time) {
 	e := m.get(name)
@@ -541,9 +605,12 @@ func (m *Manager) CheckInvariants() {
 			panic(fmt.Sprintf("vram: model %q pin count %d", name, e.pinned))
 		}
 	}
-	if sum+m.pressureBlocks != m.usedBlocks {
-		panic(fmt.Sprintf("vram: used blocks %d but models hold %d and pressure %d",
-			m.usedBlocks, sum, m.pressureBlocks))
+	if sum+m.pressureBlocks+m.kvBlocks != m.usedBlocks {
+		panic(fmt.Sprintf("vram: used blocks %d but models hold %d, pressure %d, kv %d",
+			m.usedBlocks, sum, m.pressureBlocks, m.kvBlocks))
+	}
+	if m.kvBlocks < 0 {
+		panic(fmt.Sprintf("vram: kv block count %d", m.kvBlocks))
 	}
 	if m.usedBlocks > m.totalBlocks {
 		panic(fmt.Sprintf("vram: used %d of %d blocks", m.usedBlocks, m.totalBlocks))
