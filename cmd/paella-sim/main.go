@@ -39,6 +39,7 @@ import (
 	"paella/internal/sched"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 	"paella/internal/vram"
 	"paella/internal/workload"
@@ -74,6 +75,9 @@ func main() {
 		maxTok  = flag.Int("max-tokens", 0, "cap sampled output-token counts (with -llm; 0 = distribution default)")
 		kvBlock = flag.Int64("kv-block", 0, "KV-cache page size in KiB (with -llm; 0 = 2048)")
 		pdStr   = flag.String("pd-split", "", "disaggregate prefill/decode as \"P:D\" replica pools (with -llm; empty = colocated -replicas engines)")
+		telOut  = flag.String("telemetry-out", "", "write the windowed telemetry export (JSON, or CSV when the path ends in .csv)")
+		telWin  = flag.Duration("telemetry-window", 10*time.Millisecond, "telemetry aggregation window (virtual time)")
+		sloDur  = flag.Duration("slo", 50*time.Millisecond, "latency SLO deadline for the burn-rate monitor (JCT; TTFT@200ms is added on -llm)")
 	)
 	flag.Parse()
 
@@ -97,7 +101,8 @@ func main() {
 	if *llmOn {
 		runLLM(opts.DevCfg, *jobs, *rate, *sigma, *clients, *seed, *vramMiB, *maxBat,
 			*maxTok, *kvBlock, *llmStat, *pdStr, *nrepl, *par,
-			sim.Time((*window).Nanoseconds()), *asJSON)
+			sim.Time((*window).Nanoseconds()), *asJSON,
+			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()))
 		return
 	}
 	if *llmStat || *maxTok > 0 || *kvBlock > 0 || *pdStr != "" {
@@ -187,7 +192,8 @@ func main() {
 			fatal("-trace-csv is not supported with -replicas > 1 (use -trace-out for the merged trace)")
 		}
 		runCluster(opts, reqs, *nrepl, *par, sim.Time((*window).Nanoseconds()), *balName,
-			*jobs, *rate, *sigma, *clients, names, *asJSON, *perMod, *trcOut, *vramMiB)
+			*jobs, *rate, *sigma, *clients, names, *asJSON, *perMod, *trcOut, *vramMiB,
+			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()))
 		return
 	}
 	if *par {
@@ -196,6 +202,14 @@ func main() {
 
 	if *trcOut != "" || *trcCSV != "" {
 		opts.Trace = trace.New()
+	}
+	if *telOut != "" {
+		opts.Telemetry = telemetry.NewMeter("dev0", sim.Time((*telWin).Nanoseconds()))
+		opts.Telemetry.SLO(telemetry.SLOConfig{
+			Name:     fmt.Sprintf("goodput@%v", *sloDur),
+			Deadline: sim.Time((*sloDur).Nanoseconds()),
+			Target:   0.99,
+		})
 	}
 	sys, err := serving.NewSystem(*system)
 	if err != nil {
@@ -211,6 +225,9 @@ func main() {
 	if *trcCSV != "" {
 		writeTrace(*trcCSV, opts.Trace.WriteCSV)
 	}
+	if *telOut != "" {
+		writeTelemetry(*telOut, opts.MaxSimTime, col, opts.Telemetry)
+	}
 
 	if *asJSON {
 		if err := col.WriteJSON(os.Stdout); err != nil {
@@ -224,6 +241,14 @@ func main() {
 	fmt.Printf("completed  : %d (%.1f%%)\n", col.Len(), 100*float64(col.Len())/float64(*jobs))
 	fmt.Printf("throughput : %.1f req/s\n", col.Throughput())
 	fmt.Printf("latency    : p50=%v p99=%v mean=%v\n", col.P50(), col.P99(), col.MeanJCT())
+	fmt.Printf("anatomy    : %s\n", telemetry.AnatomyStatsLine(col))
+	if tel := opts.Telemetry; tel != nil {
+		if alerts := tel.Alerts(); len(alerts) > 0 {
+			last := alerts[len(alerts)-1]
+			fmt.Printf("slo        : %d burn-rate transitions, last %v firing=%v\n",
+				len(alerts), time.Duration(last.At), last.Firing)
+		}
+	}
 	if opts.Faults != nil {
 		okCol := col.Succeeded()
 		fmt.Printf("faults     : %d planned events (seed %d); ok=%d failed=%d lost=%d\n",
@@ -276,7 +301,8 @@ func main() {
 // time.
 func runCluster(opts serving.Options, reqs []workload.Request, replicas int, parallel bool,
 	window sim.Time, balName string, jobs int, rate, sigma float64, clients int,
-	names []string, asJSON, perMod bool, trcOut string, vramMiB int64) {
+	names []string, asJSON, perMod bool, trcOut string, vramMiB int64,
+	telOut string, telWin, sloDeadline sim.Time) {
 	var bal cluster.Balancer
 	switch balName {
 	case "round-robin":
@@ -302,6 +328,7 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 		ctrlRec = trace.New()
 		w.Ctrl().SetRecorder(ctrlRec)
 	}
+	shardMts := make([]*telemetry.Meter, replicas)
 	devs := make([]gpu.Config, replicas)
 	for i := range devs {
 		devs[i] = opts.DevCfg
@@ -322,6 +349,15 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 		if trcOut != "" {
 			shardRecs[i] = trace.New()
 			shard.SetRecorder(shardRecs[i])
+		}
+		if telOut != "" {
+			shardMts[i] = telemetry.NewMeter(fmt.Sprintf("replica%d", i), telWin)
+			shardMts[i].SLO(telemetry.SLOConfig{
+				Name:     fmt.Sprintf("goodput@%v", time.Duration(sloDeadline)),
+				Deadline: sloDeadline,
+				Target:   0.99,
+			})
+			shard.SetMeter(shardMts[i])
 		}
 	})
 	if err != nil {
@@ -375,6 +411,9 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 	}
 
 	col := c.Collector()
+	if telOut != "" {
+		writeTelemetry(telOut, opts.MaxSimTime, col, shardMts...)
+	}
 	if asJSON {
 		if err := col.WriteJSON(os.Stdout); err != nil {
 			fatal("%v", err)
@@ -392,6 +431,7 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 	fmt.Printf("completed  : %d (%.1f%%)\n", completed, 100*float64(completed)/float64(jobs))
 	fmt.Printf("throughput : %.1f req/s\n", col.Throughput())
 	fmt.Printf("latency    : p50=%v p99=%v mean=%v\n", col.P50(), col.P99(), col.MeanJCT())
+	fmt.Printf("anatomy    : %s\n", telemetry.AnatomyStatsLine(col))
 	if opts.Faults != nil {
 		fmt.Printf("faults     : %d planned events (seed %d); ok=%d failed=%d lost=%d (crashed=%d live=%d)\n",
 			len(opts.Faults.Events), opts.Faults.Seed, completed, failed,
@@ -431,7 +471,8 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 // each run both phases.
 func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed int64,
 	vramMiB int64, maxBatch, maxTokens int, kvBlockKiB int64, static bool,
-	pdSplit string, replicas int, parallel bool, window sim.Time, asJSON bool) {
+	pdSplit string, replicas int, parallel bool, window sim.Time, asJSON bool,
+	telOut string, telWin, sloDeadline sim.Time) {
 	toks := workload.DefaultTokenSpec(seed)
 	if maxTokens > 0 {
 		toks.MaxOutput = maxTokens
@@ -481,6 +522,18 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 	}
 	until := reqs[len(reqs)-1].At + 30*sim.Second
 
+	const ttftSLO = 200 * sim.Millisecond
+	var meters []*telemetry.Meter
+	llmSLOs := func(mt *telemetry.Meter) {
+		mt.SLO(telemetry.SLOConfig{
+			Name:     fmt.Sprintf("goodput@%v", time.Duration(sloDeadline)),
+			Deadline: sloDeadline,
+			Target:   0.99,
+		})
+		mt.SLO(telemetry.SLOConfig{
+			Name: "ttft@200ms", Metric: telemetry.SLOTTFT, Deadline: ttftSLO, Target: 0.99,
+		})
+	}
 	var pd *cluster.PD
 	var schedule func(at sim.Time, fn func())
 	var run func(until sim.Time)
@@ -492,6 +545,17 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 		w.SetWindow(window)
 		w.SetParallel(true)
 		defer w.Close()
+		if telOut != "" {
+			ctrlMt := telemetry.NewMeter("front", telWin)
+			w.Ctrl().SetMeter(ctrlMt)
+			meters = append(meters, ctrlMt)
+			pdCfg.ShardSetup = func(i int, env *sim.Env) {
+				mt := telemetry.NewMeter(fmt.Sprintf("engine%d", i), telWin)
+				llmSLOs(mt)
+				env.SetMeter(mt)
+				meters = append(meters, mt)
+			}
+		}
 		if pd, err = cluster.NewPDWorld(w, pdCfg); err != nil {
 			fatal("%v", err)
 		}
@@ -500,6 +564,14 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 		run = func(t sim.Time) { w.RunUntil(t) }
 	} else {
 		env := sim.NewEnv()
+		if telOut != "" {
+			// Serial mode shares one Env (and hence one meter) across the
+			// front and every engine.
+			mt := telemetry.NewMeter("llm", telWin)
+			llmSLOs(mt)
+			env.SetMeter(mt)
+			meters = append(meters, mt)
+		}
 		if pd, err = cluster.NewPD(env, pdCfg); err != nil {
 			fatal("%v", err)
 		}
@@ -529,6 +601,9 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 	run(until)
 
 	col := pd.Collector()
+	if telOut != "" {
+		writeTelemetry(telOut, until, col, meters...)
+	}
 	if asJSON {
 		if err := col.WriteJSON(os.Stdout); err != nil {
 			fatal("%v", err)
@@ -539,7 +614,6 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 	if static {
 		mode = "static"
 	}
-	const ttftSLO = 200 * sim.Millisecond
 	ttfts, tpots := col.TTFTs(), col.TPOTs()
 	transfers, kvBytes := pd.Transfers()
 	fmt.Printf("system     : Paella-LLM (%s batching), %s\n", mode, deploy)
@@ -554,6 +628,18 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 	fmt.Printf("tokens     : %.1f tok/s\n", col.TokensPerSec())
 	fmt.Printf("kv         : peak-pages=%d preemptions=%d transfers=%d (%.1f MiB)\n",
 		pd.KVPeakPages(), pd.Preemptions(), transfers, float64(kvBytes)/(1<<20))
+	fmt.Printf("anatomy    : %s\n", telemetry.AnatomyStatsLine(col))
+}
+
+// writeTelemetry writes the windowed telemetry export: CSV when the path
+// ends in .csv, the full JSON export (anatomy + meters + alerts) otherwise.
+func writeTelemetry(path string, endTime sim.Time, col *metrics.Collector, meters ...*telemetry.Meter) {
+	writeTrace(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".csv") {
+			return telemetry.WriteCSV(w, endTime, meters...)
+		}
+		return telemetry.WriteJSON(w, endTime, telemetry.Export{Collector: col, Meters: meters})
+	})
 }
 
 func writeTrace(path string, write func(w io.Writer) error) {

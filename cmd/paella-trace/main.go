@@ -6,6 +6,7 @@
 //	paella-trace workload -rate 200 -jobs 20 -sigma 2       # print a trace
 //	paella-trace gpu -system Paella -jobs 6                 # render SM timeline
 //	paella-trace timeline -system Paella -jobs 50           # counter telemetry
+//	paella-trace report a.json b.json -topk 5               # latency anatomy
 package main
 
 import (
@@ -13,16 +14,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"paella/internal/compiler"
 	"paella/internal/core"
 	"paella/internal/cudart"
 	"paella/internal/gpu"
+	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 	"paella/internal/vram"
 	"paella/internal/workload"
@@ -39,13 +43,15 @@ func main() {
 		gpuCmd(os.Args[2:])
 	case "timeline":
 		timelineCmd(os.Args[2:])
+	case "report":
+		reportCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: paella-trace workload|gpu|timeline [flags]")
+	fmt.Fprintln(os.Stderr, "usage: paella-trace workload|gpu|timeline|report [flags]")
 	os.Exit(2)
 }
 
@@ -179,6 +185,46 @@ func timelineCmd(args []string) {
 	if *csv != "" {
 		writeTo(*csv, rec.WriteCSV)
 		fmt.Printf("wrote counter CSV to %s\n", *csv)
+	}
+}
+
+// reportCmd renders the latency-anatomy report over one or more record
+// dumps (paella-sim -json > file): a per-system phase table (means and
+// p99s side by side) followed by a top-K slowest-request blame table per
+// input, attributing each straggler to its dominant phase.
+func reportCmd(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	topk := fs.Int("topk", 10, "slowest requests to blame per input (0 = skip the blame tables)")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		fatal("usage: paella-trace report [-topk N] records.json [more.json ...]")
+	}
+	var rows []telemetry.SystemAnatomy
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal("%v", err)
+		}
+		col, err := metrics.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fatal("%s: %v", path, err)
+		}
+		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		rows = append(rows, telemetry.SystemAnatomy{System: label, Collector: col})
+	}
+	if err := telemetry.WriteAnatomyTable(os.Stdout, rows); err != nil {
+		fatal("%v", err)
+	}
+	if *topk <= 0 {
+		return
+	}
+	for _, row := range rows {
+		fmt.Printf("\nslowest %d requests — %s:\n", *topk, row.System)
+		if err := telemetry.WriteBlameTable(os.Stdout, row.Collector, *topk); err != nil {
+			fatal("%v", err)
+		}
 	}
 }
 

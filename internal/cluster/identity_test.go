@@ -18,6 +18,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 )
 
@@ -25,11 +26,12 @@ import (
 // metrics (every per-request record, JSON-encoded), the failure summary,
 // and the merged Perfetto trace bytes.
 type worldRunResult struct {
-	metricsJSON string
-	failures    string
-	traceBytes  string
-	completed   int
-	failed      int
+	metricsJSON   string
+	failures      string
+	traceBytes    string
+	telemetryJSON string
+	completed     int
+	failed        int
 }
 
 // chaosLowPlan is the identity matrix's non-trivial fault column: a
@@ -58,6 +60,7 @@ func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, pl
 	defer w.Close()
 	var ctrlRec *trace.Recorder
 	shardRecs := make([]*trace.Recorder, 4)
+	shardMts := make([]*telemetry.Meter, 4)
 	if traced {
 		ctrlRec = trace.New()
 		w.Ctrl().SetRecorder(ctrlRec)
@@ -82,6 +85,15 @@ func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, pl
 			shardRecs[i] = trace.New()
 			shard.SetRecorder(shardRecs[i])
 		}
+		// The telemetry column rides the traced cells: one meter per
+		// shard (meters are single-shard state), with an SLO monitor so
+		// the alert stream joins the bit-identity comparison.
+		shardMts[i] = telemetry.NewMeter(fmt.Sprintf("replica%d", i), 0)
+		shardMts[i].SLO(telemetry.SLOConfig{
+			Name: "goodput@5ms", Deadline: 5 * sim.Millisecond, Target: 0.99,
+			Short: sim.Millisecond, Long: 10 * sim.Millisecond,
+		})
+		shard.SetMeter(shardMts[i])
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -149,6 +161,11 @@ func runWorldCluster(t *testing.T, seed int64, mkBal func() cluster.Balancer, pl
 		}
 		res.traceBytes = buf.String()
 	}
+	var tbuf bytes.Buffer
+	if err := telemetry.WriteJSON(&tbuf, w.Ctrl().Now(), telemetry.Export{Meters: shardMts}); err != nil {
+		t.Fatal(err)
+	}
+	res.telemetryJSON = tbuf.String()
 	return res
 }
 
@@ -204,6 +221,9 @@ func TestWorldSerialParallelBitIdentical(t *testing.T) {
 						if serial.traceBytes != par.traceBytes {
 							t.Fatal("merged trace bytes diverge between serial and parallel")
 						}
+						if serial.telemetryJSON != par.telemetryJSON {
+							t.Fatal("telemetry export diverges between serial and parallel")
+						}
 					})
 				}
 			}
@@ -222,6 +242,20 @@ func runWorldLLM(t *testing.T, seed int64, split, parallel bool) worldRunResult 
 	cfg := cluster.PDConfig{LLM: llmTestConfig(24), Prefills: 2}
 	if split {
 		cfg.Prefills, cfg.Decodes = 1, 1
+	}
+	// The telemetry column: a meter on the control timeline (routing,
+	// KV-handoff instruments) and one per engine shard via ShardSetup.
+	ctrlMt := telemetry.NewMeter("front", 0)
+	w.Ctrl().SetMeter(ctrlMt)
+	shardMts := []*telemetry.Meter{ctrlMt}
+	cfg.ShardSetup = func(i int, env *sim.Env) {
+		mt := telemetry.NewMeter(fmt.Sprintf("engine%d", i), 0)
+		mt.SLO(telemetry.SLOConfig{
+			Name: "ttft@2ms", Metric: telemetry.SLOTTFT, Deadline: 2 * sim.Millisecond,
+			Target: 0.9, Short: sim.Millisecond, Long: 10 * sim.Millisecond,
+		})
+		env.SetMeter(mt)
+		shardMts = append(shardMts, mt)
 	}
 	pd, err := cluster.NewPDWorld(w, cfg)
 	if err != nil {
@@ -257,6 +291,11 @@ func runWorldLLM(t *testing.T, seed int64, split, parallel bool) worldRunResult 
 		t.Fatal(err)
 	}
 	res.metricsJSON = string(mj)
+	var tbuf bytes.Buffer
+	if err := telemetry.WriteJSON(&tbuf, w.Ctrl().Now(), telemetry.Export{Collector: pd.Collector(), Meters: shardMts}); err != nil {
+		t.Fatal(err)
+	}
+	res.telemetryJSON = tbuf.String()
 	return res
 }
 
@@ -289,6 +328,9 @@ func TestWorldSerialParallelBitIdenticalLLM(t *testing.T) {
 				if serial.metricsJSON != par.metricsJSON {
 					t.Fatal("per-request metrics JSON diverges between serial and parallel")
 				}
+				if serial.telemetryJSON != par.telemetryJSON {
+					t.Fatal("telemetry export diverges between serial and parallel")
+				}
 			})
 		}
 	}
@@ -299,7 +341,8 @@ func TestWorldSerialParallelBitIdenticalLLM(t *testing.T) {
 func TestWorldRunRepeatable(t *testing.T) {
 	a := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true, 4)
 	b := runWorldCluster(t, 11, cluster.NewLeastLoaded, chaosLowPlan(11), true, true, 4)
-	if a.metricsJSON != b.metricsJSON || a.failures != b.failures || a.traceBytes != b.traceBytes {
+	if a.metricsJSON != b.metricsJSON || a.failures != b.failures || a.traceBytes != b.traceBytes ||
+		a.telemetryJSON != b.telemetryJSON {
 		t.Fatal("parallel runs with identical seeds diverge")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"paella/internal/llm"
 	"paella/internal/metrics"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 )
 
 // PDConfig describes a generative-serving deployment: N replicas either
@@ -25,6 +26,11 @@ type PDConfig struct {
 	// (defaults: 10µs setup, 12 B/ns — the PCIe peer-to-peer path).
 	LinkLatency    sim.Time
 	LinkBytesPerNs float64
+	// ShardSetup, if set, runs for each engine's Env right after the shard
+	// is created and before the engine is built — the hook to attach
+	// per-shard trace recorders or telemetry meters. On a serial Env it
+	// runs once per engine with the shared Env.
+	ShardSetup func(i int, env *sim.Env)
 }
 
 func (c *PDConfig) withDefaults() (PDConfig, error) {
@@ -65,6 +71,12 @@ type PD struct {
 	transfers int
 	kvBytes   int64
 
+	// mt is the control timeline's telemetry meter (nil = disabled):
+	// handoff count and per-transfer KV latency.
+	mt         *telemetry.Meter
+	mtHandoffs telemetry.MetricID
+	mtKVNs     telemetry.MetricID
+
 	// OnFinish observes every terminal record on the control timeline.
 	OnFinish func(metrics.JobRecord)
 }
@@ -91,11 +103,19 @@ func buildPD(env *sim.Env, w *sim.World, cfg PDConfig) (*PD, error) {
 	}
 	pd := &PD{env: env, world: w, cfg: cfg}
 	pd.link = cudart.NewPCIeLink(env, cfg.LinkLatency, cfg.LinkBytesPerNs)
+	if mt := telemetry.FromEnv(env); mt != nil {
+		pd.mt = mt
+		pd.mtHandoffs = mt.Counter("pd/kv_handoffs")
+		pd.mtKVNs = mt.Histogram("pd/kv_handoff_ns")
+	}
 	n := cfg.Prefills + cfg.Decodes
 	for i := 0; i < n; i++ {
 		senv := env
 		if w != nil {
 			senv = w.AddShard()
+		}
+		if cfg.ShardSetup != nil {
+			cfg.ShardSetup(i, senv)
 		}
 		// Each engine compiles its own copy: the Compiled's launch-spec
 		// caches are mutated at runtime and must not be shared across
@@ -186,9 +206,15 @@ func (pd *PD) handoff(from int, h llm.Handoff) {
 	pd.transfers++
 	pd.kvBytes += int64(bytes)
 	enq := pd.env.Now()
+	if pd.mt != nil {
+		pd.mt.Add(pd.mtHandoffs, enq, 1)
+	}
 	pd.link.Transfer(cudart.DeviceToDevice, bytes, func() {
 		h := h
 		h.Rec.KVTransferNs += pd.env.Now() - enq
+		if pd.mt != nil {
+			pd.mt.Observe(pd.mtKVNs, pd.env.Now(), float64(pd.env.Now()-enq))
+		}
 		pd.toEngine(d, func(eng *llm.Engine) { eng.AdmitDecoded(h) })
 	})
 }

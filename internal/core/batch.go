@@ -52,6 +52,7 @@ func (d *Dispatcher) batchKeyOf(j *Job) batchKey {
 func (d *Dispatcher) policyAdd(j *Job) {
 	d.cfg.Policy.Add(&j.entry)
 	j.inPolicy = true
+	j.readyAt = d.env.Now()
 	if d.batchIndex != nil && j.wl == nil {
 		d.batchIndexAdd(j)
 	}
@@ -105,6 +106,9 @@ func (d *Dispatcher) releaseHold(j *Job) {
 	j.held = false
 	j.holdGen++
 	j.rec.BatchWaitNs += d.env.Now() - j.holdStart
+	// Restart the head-of-line clock: the hold is already attributed as
+	// batch wait, so the HoL gap must not double-count it.
+	j.readyAt = d.env.Now()
 	delete(d.holds, d.batchKeyOf(j))
 }
 
@@ -119,6 +123,7 @@ func (d *Dispatcher) expireHold(j *Job, gen uint64) {
 	j.holdGen++
 	j.noHold = true
 	j.rec.BatchWaitNs += d.env.Now() - j.holdStart
+	j.readyAt = d.env.Now()
 	delete(d.holds, d.batchKeyOf(j))
 	d.wakeNow()
 }
@@ -245,7 +250,10 @@ func (d *Dispatcher) dispatchBatch(members []*Job) {
 		m.noHold = false
 		if m.rec.FirstDispatch == 0 {
 			m.rec.FirstDispatch = now
+		} else if m.readyAt > 0 {
+			m.rec.HoLNs += now - m.readyAt
 		}
+		m.readyAt = 0
 		m.rec.SchedNs += perJobSched
 		if m.rec.BatchSize < n {
 			m.rec.BatchSize = n
@@ -276,6 +284,7 @@ func (d *Dispatcher) dispatchBatch(members []*Job) {
 	d.stats.KernelsSent++
 	d.stats.Batches++
 	d.stats.BatchedJobs += uint64(n)
+	d.mt.Observe(d.mtBatchW, now, float64(n))
 	if d.rec != nil {
 		d.rec.InstantArgs(d.schedTrack, bspec.Name, "batch-dispatch", now,
 			trace.Int("size", int64(n)),
@@ -283,8 +292,8 @@ func (d *Dispatcher) dispatchBatch(members []*Job) {
 			trace.Int("kernel_id", int64(kid)),
 			trace.Str("policy", d.cfg.Policy.Name()),
 			trace.Int("batch_remaining_ns", int64(batchRem)))
-		d.traceCounters()
 	}
+	d.traceCounters()
 	d.queueCursor = (d.queueCursor + 1) % d.dev.NumQueues()
 	d.dev.Submit(d.queueCursor, &gpu.Launch{
 		Spec:         bspec,
@@ -356,6 +365,7 @@ func (d *Dispatcher) batchTimeout(fl *inflightKernel) {
 			}
 			m.retries++
 			d.stats.KernelRetries++
+			d.mt.Add(d.mtRetries, d.env.Now(), 1)
 			m.entry.Remaining = m.Ins.Profile.RemainingAfter(m.execsDone)
 			d.policyAdd(m)
 			continue

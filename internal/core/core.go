@@ -34,6 +34,7 @@ import (
 	"paella/internal/rbtree"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 	"paella/internal/vram"
 )
@@ -360,6 +361,18 @@ type Dispatcher struct {
 	readyC     trace.CounterID
 	inflightC  trace.CounterID
 	liveC      trace.CounterID
+
+	// mt is the windowed telemetry meter (nil = disabled), the recorder's
+	// aggregate sibling: load gauges sampled at the traceCounters sites,
+	// shed/retry counters, the batch-width histogram, and per-request
+	// records fed at completion (internal/telemetry).
+	mt         *telemetry.Meter
+	mtLive     telemetry.MetricID
+	mtInflight telemetry.MetricID
+	mtReady    telemetry.MetricID
+	mtShed     telemetry.MetricID
+	mtRetries  telemetry.MetricID
+	mtBatchW   telemetry.MetricID
 }
 
 // loadState is one model's cold-start bookkeeping: the jobs waiting for
@@ -468,6 +481,15 @@ func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) 
 		d.inflightC = rec.Counter(d.traceProc, "inflight kernels")
 		d.liveC = rec.Counter(d.traceProc, "live jobs")
 	}
+	if mt := telemetry.FromEnv(env); mt != nil {
+		d.mt = mt
+		d.mtLive = mt.Gauge("core/live_jobs")
+		d.mtInflight = mt.Gauge("core/inflight_kernels")
+		d.mtReady = mt.Gauge("core/ready_jobs")
+		d.mtShed = mt.Counter("core/shed")
+		d.mtRetries = mt.Counter("core/kernel_retries")
+		d.mtBatchW = mt.Histogram("core/batch_width")
+	}
 	if cfg.VRAM != nil {
 		d.vramMgr = vram.MustNewManager(*cfg.VRAM)
 		d.pcie = cudart.NewPCIeLink(env, cfg.MemcpyLatency, cfg.PCIeBytesPerNs)
@@ -475,6 +497,7 @@ func New(env *sim.Env, dev *gpu.Device, notifQ *channel.NotifQueue, cfg Config) 
 		if d.rec != nil {
 			d.vramMgr.AttachTrace(d.rec, d.traceProc)
 		}
+		d.vramMgr.AttachMeter(d.mt)
 	}
 	// The ablation modes drive the device through an unhooked CUDA
 	// runtime; dispatch costs are charged by the dispatcher loop, so the
@@ -658,17 +681,29 @@ func (d *Dispatcher) charge(p *sim.Proc, cost sim.Time) {
 }
 
 // traceCounters samples the dispatcher's load counters (live jobs,
-// in-flight kernels, policy ready-queue length). Change-deduplication in
-// the recorder keeps repeated calls cheap.
+// in-flight kernels, policy ready-queue length) into the trace recorder
+// and the telemetry meter. Change-deduplication in the recorder and
+// window aggregation in the meter keep repeated calls cheap; with both
+// disabled the call is a single branch.
 func (d *Dispatcher) traceCounters() {
-	if d.rec == nil {
+	if d.rec == nil && d.mt == nil {
 		return
 	}
 	now := d.env.Now()
-	d.rec.Sample(d.liveC, "value", now, float64(d.stats.Admitted-d.stats.Completed-d.stats.Failed))
-	d.rec.Sample(d.inflightC, "value", now, float64(len(d.inflight)))
-	if d.cfg.Policy != nil {
-		d.rec.Sample(d.readyC, "value", now, float64(d.cfg.Policy.Len()))
+	live := float64(d.stats.Admitted - d.stats.Completed - d.stats.Failed)
+	if d.rec != nil {
+		d.rec.Sample(d.liveC, "value", now, live)
+		d.rec.Sample(d.inflightC, "value", now, float64(len(d.inflight)))
+		if d.cfg.Policy != nil {
+			d.rec.Sample(d.readyC, "value", now, float64(d.cfg.Policy.Len()))
+		}
+	}
+	if d.mt != nil {
+		d.mt.Set(d.mtLive, now, live)
+		d.mt.Set(d.mtInflight, now, float64(len(d.inflight)))
+		if d.cfg.Policy != nil {
+			d.mt.Set(d.mtReady, now, float64(d.cfg.Policy.Len()))
+		}
 	}
 }
 

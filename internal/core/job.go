@@ -73,6 +73,12 @@ type Job struct {
 	noHold    bool
 	batchNode *rbtree.Node[*Job]
 
+	// readyAt stamps the job's latest entry into the scheduling policy (or
+	// the end of its latest batch hold). Dispatch consumes it into
+	// rec.HoLNs once the job is past its first dispatch — the ready-but-
+	// ungated head-of-line gap of the latency anatomy.
+	readyAt sim.Time
+
 	// wl holds the Figure 7 waitlists for adaptor-backed jobs; nil for the
 	// standard model path (whose ops follow the cursor above).
 	wl *waitlist
@@ -151,6 +157,7 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 			d.rec.InstantArgs(d.admitTrack, req.Model, "shed", d.env.Now(),
 				trace.Int("id", int64(req.ID)), trace.Int("live", int64(d.cfg.MaxLiveJobs)))
 		}
+		d.mt.Add(d.mtShed, d.env.Now(), 1)
 		d.rejectRequest(req, ErrAdmissionShed)
 		return
 	}
@@ -181,8 +188,8 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 	if d.rec != nil {
 		d.rec.InstantArgs(d.admitTrack, req.Model, "admit", now,
 			trace.Int("id", int64(req.ID)), trace.Int("client", int64(req.Client)))
-		d.traceCounters()
 	}
+	d.traceCounters()
 	switch d.cfg.Mode {
 	case ModeGated:
 		j.entry = sched.JobEntry{
@@ -216,12 +223,14 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 // if one is still listening.
 func (d *Dispatcher) rejectRequest(req Request, err error) {
 	now := d.env.Now()
-	d.collector.Add(metrics.JobRecord{
+	rec := metrics.JobRecord{
 		ID: req.ID, Model: req.Model, Client: req.Client,
 		Submit: req.Submit, Admit: now,
 		ExecDone: now, Delivered: now + d.cfg.ShmLatency,
 		Failed: true, FailureReason: err.Error(),
-	})
+	}
+	d.collector.Add(rec)
+	d.mt.RecordJob(rec.Delivered, &rec)
 	conn := d.clients[req.Client]
 	if conn.dead || conn.OnFailed == nil {
 		return
@@ -411,7 +420,12 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 	j.noHold = false
 	if j.rec.FirstDispatch == 0 {
 		j.rec.FirstDispatch = d.env.Now()
+	} else if j.readyAt > 0 {
+		// Ready but ungated since readyAt: the head-of-line dispatch gap
+		// hardware queues hide and the anatomy makes visible.
+		j.rec.HoLNs += d.env.Now() - j.readyAt
 	}
+	j.readyAt = 0
 	j.rec.SchedNs += d.cfg.SchedDelay + d.cfg.DispatchCost
 
 	if j.wl == nil && j.isFinalGPUOp() {
@@ -430,8 +444,8 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 			trace.Int("kernel_id", int64(kid)),
 			trace.Str("policy", d.cfg.Policy.Name()),
 			trace.Str("reason", d.dispatchReason(&j.entry)))
-		d.traceCounters()
 	}
+	d.traceCounters()
 	// The launch is always Ready: the dispatcher already enforced its
 	// dependencies. Virtual streams bind to hardware queues round-robin at
 	// launch time (§5.2's stream replacement).
@@ -518,6 +532,7 @@ func (d *Dispatcher) onKernelTimeout(kid uint32) {
 		}
 		j.retries++
 		d.stats.KernelRetries++
+		d.mt.Add(d.mtRetries, d.env.Now(), 1)
 		// Back into the ready queue: the cursor never advanced, so the
 		// policy re-releases exactly this kernel once it fits again.
 		j.entry.Remaining = j.Ins.Profile.RemainingAfter(j.execsDone)
@@ -770,9 +785,10 @@ func (d *Dispatcher) finish(j *Job) {
 	}
 	if d.rec != nil {
 		d.traceJob(&j.rec)
-		d.traceCounters()
 	}
+	d.traceCounters()
 	d.collector.Add(j.rec)
+	d.mt.RecordJob(j.rec.Delivered, &j.rec)
 	if j.failErr != nil {
 		if !j.conn.dead && j.conn.OnFailed != nil {
 			id := j.Req.ID

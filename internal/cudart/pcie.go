@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 )
 
@@ -41,6 +42,13 @@ type PCIeLink struct {
 	rec       *trace.Recorder
 	engTracks [3]trace.TrackID
 	backlog   trace.CounterID
+
+	// mt is the optional windowed telemetry meter (nil = disabled); the
+	// per-direction backlog gauges are sampled wherever the trace counter
+	// is, plus a transfer-bytes histogram.
+	mt        *telemetry.Meter
+	mtBacklog [3]telemetry.MetricID
+	mtBytes   telemetry.MetricID
 }
 
 // engSeries names the per-direction backlog series, indexed by MemcpyKind.
@@ -72,6 +80,13 @@ func NewPCIeLink(env *sim.Env, latency sim.Time, bytesPerNs float64) *PCIeLink {
 		l.engTracks[DeviceToHost] = rec.Thread(proc, "D2H")
 		l.engTracks[DeviceToDevice] = rec.Thread(proc, "D2D")
 		l.backlog = rec.Counter(proc, "engine backlog ns")
+	}
+	if mt := telemetry.FromEnv(env); mt != nil {
+		l.mt = mt
+		for i, s := range engSeries {
+			l.mtBacklog[i] = mt.Gauge("pcie/backlog_ns/" + s)
+		}
+		l.mtBytes = mt.Histogram("pcie/transfer_bytes")
 	}
 	return l
 }
@@ -132,6 +147,10 @@ func (l *PCIeLink) Transfer(kind MemcpyKind, bytes int, done func()) {
 			trace.Str("dir", kind.String()), trace.Int("bytes", int64(bytes)),
 			trace.Dur("queued_ns", start-now))
 		l.rec.Sample(l.backlog, engSeries[engine], now, float64(l.busyUntil[engine]-now))
+	}
+	if l.mt != nil {
+		l.mt.Set(l.mtBacklog[engine], now, float64(l.busyUntil[engine]-now))
+		l.mt.Observe(l.mtBytes, now, float64(bytes))
 	}
 	l.env.At(start+dur, done)
 }

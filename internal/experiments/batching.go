@@ -7,6 +7,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/workload"
 )
 
@@ -43,7 +44,9 @@ func runAblationBatching(w io.Writer, d Detail) error {
 	}
 
 	fmt.Fprintln(w, "Extension — dynamic batching trade-off (MobileNetV2):")
-	for _, rate := range []float64{100, 400, 1200} {
+	rates := []float64{100, 400, 1200}
+	var anatomyRows []telemetry.SystemAnatomy
+	for ri, rate := range rates {
 		fmt.Fprintf(w, "\noffered %.0f req/s:\n", rate)
 		fmt.Fprintf(w, "  %-24s %14s %12s %12s\n", "system", "tput (req/s)", "p50", "p99")
 		trace := workload.MustGenerate(workload.Spec{
@@ -56,7 +59,18 @@ func runAblationBatching(w io.Writer, d Detail) error {
 			col := serving.MustRunTrace(c.mk(), trace, runOpts)
 			fmt.Fprintf(w, "  %-24s %14.1f %12v %12v\n",
 				c.label, col.Throughput(), col.P50(), col.P99())
+			if ri == len(rates)-1 {
+				anatomyRows = append(anatomyRows, telemetry.SystemAnatomy{System: c.label, Collector: col})
+			}
 		}
+	}
+
+	// Where the latency goes at saturation: the anatomy attributes the
+	// batching configurations' extra p99 to batch-hold (window wait) and
+	// sched-wait, against Paella's exec-dominated profile.
+	fmt.Fprintf(w, "\nLatency anatomy at %.0f req/s (phase means / p99s):\n", rates[len(rates)-1])
+	if err := telemetry.WriteAnatomyTable(w, anatomyRows); err != nil {
+		return err
 	}
 	fmt.Fprintln(w, "\nExpected: batching rescues Triton's throughput at saturation but")
 	fmt.Fprintln(w, "adds window-wait latency at low load; Paella reaches higher")

@@ -13,6 +13,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/workload"
 )
 
@@ -92,10 +93,11 @@ func runLLM(out io.Writer, d Detail) error {
 	// Part A: continuous vs launch-time batching.
 	goodputs := map[string][]float64{}
 	ttftP99s := map[string][]sim.Time{}
+	var anatomyRows []telemetry.SystemAnatomy
 	for _, system := range []string{"Paella-LLM-static", "Paella-LLM"} {
 		fmt.Fprintf(out, "\n  %s:\n", system)
 		fmt.Fprintf(out, "    %10s %12s %12s %12s %16s\n", "offered", "ttft-p50", "ttft-p99", "tpot-p99", "goodput(req/s)")
-		for _, rate := range rates {
+		for ri, rate := range rates {
 			trace := workload.MustGenerate(workload.Spec{
 				Mix: workload.Uniform("llm"), Sigma: 2, RatePerSec: rate,
 				Jobs: jobs, Clients: clients, Seed: 7,
@@ -110,6 +112,9 @@ func runLLM(out io.Writer, d Detail) error {
 				metrics.Percentile(tpots, 99), goodput)
 			goodputs[system] = append(goodputs[system], goodput)
 			ttftP99s[system] = append(ttftP99s[system], metrics.Percentile(ttfts, 99))
+			if ri == len(rates)-1 {
+				anatomyRows = append(anatomyRows, telemetry.SystemAnatomy{System: system, Collector: col})
+			}
 		}
 	}
 
@@ -129,6 +134,17 @@ func runLLM(out io.Writer, d Detail) error {
 		cell.Rate, cell.GoodputSpeedup, llmSLO)
 	fmt.Fprintf(out, "static TTFT p99 %v vs continuous %v — latecomers wait for formed batches to drain.\n",
 		ttftP99s["Paella-LLM-static"][last], ttftP99s["Paella-LLM"][last])
+
+	// Latency anatomy at the saturating load: the phase table names where
+	// the TTFT win comes from — static batching's gap concentrates in
+	// batch-hold (the group-drain wait), not in prefill or decode.
+	fmt.Fprintf(out, "\nLatency anatomy at %.0f req/s (phase means / p99s):\n", rates[last])
+	if err := telemetry.WriteAnatomyTable(out, anatomyRows); err != nil {
+		return err
+	}
+	sHold := telemetry.MeanAnatomy(anatomyRows[0].Collector)[telemetry.PhaseBatchHold]
+	cHold := telemetry.MeanAnatomy(anatomyRows[1].Collector)[telemetry.PhaseBatchHold]
+	fmt.Fprintf(out, "  batch-hold carries the gap: %v static vs %v continuous.\n", sHold, cHold)
 
 	// Part B: colocated vs disaggregated prefill/decode at moderate load.
 	fmt.Fprintf(out, "\n  Prefill/decode placement (2 engines, %d reqs):\n", pdJobs)

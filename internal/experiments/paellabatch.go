@@ -10,6 +10,7 @@ import (
 	"paella/internal/model"
 	"paella/internal/serving"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/workload"
 )
 
@@ -81,6 +82,7 @@ func runPaellaBatching(out io.Writer, d Detail) error {
 	goodputs := map[string][]float64{}
 	tputs := map[string][]float64{}
 	var meanBatch float64
+	var anatomyRows []telemetry.SystemAnatomy
 	for _, system := range systems {
 		fmt.Fprintf(out, "\n  %s:\n", system)
 		fmt.Fprintf(out, "    %10s %12s %14s %12s %12s\n", "offered", "tput(req/s)", "goodput(req/s)", "p50", "p99")
@@ -97,6 +99,9 @@ func runPaellaBatching(out io.Writer, d Detail) error {
 				rate, col.Throughput(), col.Goodput(batchSLO), col.P50(), col.P99())
 			tputs[system] = append(tputs[system], col.Throughput())
 			goodputs[system] = append(goodputs[system], col.Goodput(batchSLO))
+			if rate == rates[len(rates)-1] {
+				anatomyRows = append(anatomyRows, telemetry.SystemAnatomy{System: system, Collector: col})
+			}
 			if system == "Paella-batch" && rate == rates[len(rates)-1] {
 				meanBatch = col.MeanBatchSize()
 				if ds, ok := sys.(interface{ Dispatcher() *core.Dispatcher }); ok {
@@ -126,6 +131,14 @@ func runPaellaBatching(out io.Writer, d Detail) error {
 		cell.Rate, cell.TputSpeedup, cell.GoodputSpeedup, batchSLO)
 	fmt.Fprintln(out, "At low load the adaptive window disengages (no holds), so unbatched")
 	fmt.Fprintln(out, "and batched latency match; Triton-batch pays its window on every request.")
+
+	// Latency anatomy at the saturating load: batching converts sched-wait
+	// (the saturated ready queue) into a bounded batch-hold plus wider —
+	// slightly longer — exec, which is where the goodput comes from.
+	fmt.Fprintf(out, "\nLatency anatomy at %.0f req/s (phase means / p99s):\n", rates[last])
+	if err := telemetry.WriteAnatomyTable(out, anatomyRows); err != nil {
+		return err
+	}
 
 	if path := os.Getenv(BatchTrajEnv); path != "" {
 		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)

@@ -6,6 +6,7 @@ import (
 
 	"paella/internal/channel"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 )
 
@@ -123,6 +124,13 @@ type Device struct {
 	smCounters []trace.CounterID
 	qDepth     trace.CounterID
 	qSeries    []string
+	// mt is the optional windowed telemetry meter (nil = disabled):
+	// device-wide occupancy and hardware-queue backlog gauges sampled at
+	// the same sites as the trace counters.
+	mt        *telemetry.Meter
+	mtThreads telemetry.MetricID
+	mtBlocks  telemetry.MetricID
+	mtQDepth  telemetry.MetricID
 	// onNotifPosted, if set, runs (once per batch) after notifications are
 	// posted to notifQ — the dispatcher uses it as its wakeup hook instead
 	// of continuous polling, with the poll interval modelled separately.
@@ -237,25 +245,52 @@ func NewDevice(env *sim.Env, cfg Config, notifQ *channel.NotifQueue) *Device {
 		}
 		d.qDepth = rec.Counter(proc, "hwq depth")
 	}
+	if mt := telemetry.FromEnv(env); mt != nil {
+		d.mt = mt
+		d.mtThreads = mt.Gauge("gpu/active_threads")
+		d.mtBlocks = mt.Gauge("gpu/active_blocks")
+		d.mtQDepth = mt.Gauge("gpu/hwq_depth")
+	}
 	return d
 }
 
-// traceSM samples SM i's occupancy counters (blocks/threads/regs/smem).
-// Callers guard on d.rec != nil.
+// traceSM samples SM i's occupancy counters (blocks/threads/regs/smem)
+// into the recorder and the device-wide occupancy gauges into the meter;
+// nil-safe on both.
 func (d *Device) traceSM(i int) {
-	sm := &d.sms[i]
 	now := d.env.Now()
-	c := d.smCounters[i]
-	d.rec.Sample(c, "blocks", now, float64(sm.blocks))
-	d.rec.Sample(c, "threads", now, float64(sm.threads))
-	d.rec.Sample(c, "regs", now, float64(sm.regs))
-	d.rec.Sample(c, "smem", now, float64(sm.shmem))
+	if d.rec != nil {
+		sm := &d.sms[i]
+		c := d.smCounters[i]
+		d.rec.Sample(c, "blocks", now, float64(sm.blocks))
+		d.rec.Sample(c, "threads", now, float64(sm.threads))
+		d.rec.Sample(c, "regs", now, float64(sm.regs))
+		d.rec.Sample(c, "smem", now, float64(sm.shmem))
+	}
+	if d.mt != nil {
+		blocks := 0
+		for j := range d.sms {
+			blocks += d.sms[j].blocks
+		}
+		d.mt.Set(d.mtThreads, now, float64(d.threadsInUse))
+		d.mt.Set(d.mtBlocks, now, float64(blocks))
+	}
 }
 
-// traceQueueDepth samples hardware queue q's depth. Callers guard on
-// d.rec != nil.
+// traceQueueDepth samples hardware queue q's depth into the recorder and
+// the aggregate backlog gauge into the meter; nil-safe on both.
 func (d *Device) traceQueueDepth(q int) {
-	d.rec.Sample(d.qDepth, d.qSeries[q], d.env.Now(), float64(d.queues[q].depth()))
+	now := d.env.Now()
+	if d.rec != nil {
+		d.rec.Sample(d.qDepth, d.qSeries[q], now, float64(d.queues[q].depth()))
+	}
+	if d.mt != nil {
+		depth := 0
+		for i := range d.queues {
+			depth += d.queues[i].depth()
+		}
+		d.mt.Set(d.mtQDepth, now, float64(depth))
+	}
 }
 
 // Config returns the device configuration.
@@ -399,9 +434,7 @@ func (d *Device) Submit(q int, l *Launch) {
 	enqueue := func() {
 		l.queuedAt = d.env.Now()
 		d.queues[q].push(l)
-		if d.rec != nil {
-			d.traceQueueDepth(q)
-		}
+		d.traceQueueDepth(q)
 		d.kick()
 	}
 	if d.cfg.LaunchOverhead > 0 {
@@ -465,8 +498,8 @@ func (d *Device) schedulePass() {
 					d.rec.SpanArgs(d.qTracks[qi], head.Spec.Name, "hwqueue",
 						head.queuedAt, d.env.Now(),
 						trace.Str("job", head.JobTag), trace.Int("kernel_id", int64(head.KernelID)))
-					d.traceQueueDepth(qi)
 				}
+				d.traceQueueDepth(qi)
 				if head.OnAllPlaced != nil {
 					d.env.DoAfter(0, head.OnAllPlaced)
 				}
@@ -559,8 +592,8 @@ func (d *Device) placeBlocks(l *Launch) int {
 				now, now+l.Spec.BlockDuration,
 				trace.Str("job", l.JobTag), trace.Int("kernel_id", int64(l.KernelID)),
 				trace.Int("blocks", int64(n)))
-			d.traceSM(smi)
 		}
+		d.traceSM(smi)
 		d.emitNotifs(l, channel.Placement, uint8(smi), n)
 		bd := d.newBlockDone()
 		bd.l, bd.smi, bd.n = l, smi, n
@@ -583,9 +616,7 @@ func (d *Device) completeBlocks(l *Launch, smi, n int) {
 	if sm.blocks < 0 || sm.threads < 0 || sm.regs < 0 || sm.shmem < 0 {
 		panic("gpu: SM resource accounting went negative")
 	}
-	if d.rec != nil {
-		d.traceSM(smi)
-	}
+	d.traceSM(smi)
 	l.toFinish -= n
 	d.stats.BlocksCompleted += uint64(n)
 	d.emitNotifs(l, channel.Completion, uint8(smi), n)

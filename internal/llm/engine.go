@@ -8,6 +8,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/vram"
 )
 
@@ -70,6 +71,16 @@ type seqState struct {
 	// handed-off sequences whose KV arrives over the interconnect.
 	needCompute bool
 	inPolicy    bool
+
+	// Latency-anatomy stamps. prefillStart marks an in-flight prefill
+	// pass (consumed into rec.PrefillNs at completion); stallStart marks a
+	// paging preemption (consumed into rec.StallNs when the recompute
+	// prefill launches, or at failure); readyAt marks the decode-loop join
+	// (consumed into rec.BatchWaitNs at the sequence's first iteration —
+	// the launch-time batching wait the continuous mode removes).
+	prefillStart sim.Time
+	stallStart   sim.Time
+	readyAt      sim.Time
 }
 
 // Engine serves one generative model on one device: a FIFO prefill lane on
@@ -100,6 +111,14 @@ type Engine struct {
 	inflight    int
 	preemptions int
 	iterations  uint64
+
+	// mt is the optional windowed telemetry meter (internal/telemetry):
+	// decode-batch width histogram, preemption counter, and per-request
+	// records at retirement. KV-page and used-byte gauges ride the VRAM
+	// manager's own meter attachment.
+	mt        *telemetry.Meter
+	mtDecodeW telemetry.MetricID
+	mtPreempt telemetry.MetricID
 
 	// HandoffPrefill, when set, makes this a prefill-only engine: a
 	// completed prefill releases its local KV pages and hands the sequence
@@ -140,6 +159,12 @@ func NewEngine(env *sim.Env, comp *Compiled, col *metrics.Collector) (*Engine, e
 	}
 	if e.maxKVPages <= 0 {
 		return nil, fmt.Errorf("llm %q: weights leave no KV pages", cfg.Spec.Name)
+	}
+	if mt := telemetry.FromEnv(env); mt != nil {
+		e.mt = mt
+		e.mtDecodeW = mt.Histogram("llm/decode_width")
+		e.mtPreempt = mt.Counter("llm/preemptions")
+		mem.AttachMeter(mt)
 	}
 	return e, nil
 }
@@ -219,6 +244,12 @@ func (e *Engine) kickPrefill() {
 		}
 		e.prefillBusy = true
 		now := e.env.Now()
+		if s.stallStart > 0 {
+			// Preemption stall ends where the recompute pass launches.
+			s.rec.StallNs += now - s.stallStart
+			s.stallStart = 0
+		}
+		s.prefillStart = now
 		if s.rec.FirstDispatch == 0 {
 			s.rec.FirstDispatch = now
 		}
@@ -240,6 +271,10 @@ func (e *Engine) noProgressPossible() bool {
 func (e *Engine) prefillDone(s *seqState) {
 	e.prefillBusy = false
 	now := e.env.Now()
+	if s.prefillStart > 0 {
+		s.rec.PrefillNs += now - s.prefillStart
+		s.prefillStart = 0
+	}
 	if e.HandoffPrefill != nil {
 		if s.pages > 0 {
 			e.mem.ReleaseKV(s.pages, now)
@@ -258,6 +293,7 @@ func (e *Engine) prefillDone(s *seqState) {
 
 func (e *Engine) decodeReady(s *seqState) {
 	s.needCompute = false
+	s.readyAt = e.env.Now()
 	s.entry.Remaining = sim.Time(s.req.Output-s.generated) * e.comp.DecodeMean()
 	e.addToPolicy(s)
 	e.maybeIterate()
@@ -363,10 +399,18 @@ func (e *Engine) maybeIterate() {
 		if s.rec.FirstDispatch == 0 {
 			s.rec.FirstDispatch = now
 		}
+		if s.rec.FirstToken == 0 && s.readyAt > 0 {
+			// Decode-loop join wait before the first token: under static
+			// batching a latecomer sits here while the formed group drains
+			// — the phase the TTFT win comes from.
+			s.rec.BatchWaitNs += now - s.readyAt
+		}
+		s.readyAt = 0
 		if width > s.rec.BatchSize {
 			s.rec.BatchSize = width
 		}
 	}
+	e.mt.Observe(e.mtDecodeW, now, float64(width))
 	sched.BatchDispatched(e.policy, entries)
 	e.batch = alive
 	e.decodeBusy = true
@@ -410,6 +454,7 @@ func (e *Engine) retire(s *seqState, now sim.Time) {
 	e.policy.JobFinished(s.req.Client)
 	e.inflight--
 	e.col.Add(s.rec)
+	e.mt.RecordJob(s.rec.Delivered, &s.rec)
 	if e.OnFinish != nil {
 		e.OnFinish(s.rec)
 	}
@@ -417,7 +462,18 @@ func (e *Engine) retire(s *seqState, now sim.Time) {
 
 func (e *Engine) fail(s *seqState) {
 	now := e.env.Now()
+	if s.stallStart > 0 {
+		s.rec.StallNs += now - s.stallStart
+		s.stallStart = 0
+	}
 	s.rec.Failed = true
+	if s.rec.FailureReason == "" {
+		s.rec.FailureReason = ErrKVExhausted.Error()
+	}
+	// Stamp ExecDone at the failure too: without it TPOT went negative for
+	// failed sequences past their first token, and CommNs swallowed the
+	// whole queue wait as "communication".
+	s.rec.ExecDone = now
 	s.rec.Delivered = now
 	s.rec.OutputTokens = s.generated
 	if s.pages > 0 {
@@ -431,6 +487,7 @@ func (e *Engine) fail(s *seqState) {
 	e.policy.JobFinished(s.req.Client)
 	e.inflight--
 	e.col.Add(s.rec)
+	e.mt.RecordJob(s.rec.Delivered, &s.rec)
 	if e.OnFinish != nil {
 		e.OnFinish(s.rec)
 	}
@@ -478,7 +535,9 @@ func (e *Engine) preempt(v *seqState) {
 	}
 	v.needCompute = true
 	v.rec.Preemptions++
+	v.stallStart = e.env.Now()
 	e.preemptions++
+	e.mt.Add(e.mtPreempt, e.env.Now(), 1)
 	e.prefillQ = append(e.prefillQ, v)
 }
 

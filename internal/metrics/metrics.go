@@ -52,6 +52,19 @@ type JobRecord struct {
 	// dispatcher's batch-formation window (the latency cost of batching,
 	// attributed per member).
 	BatchWaitNs sim.Time
+	// HoLNs accumulates head-of-line dispatch gap: time a kernel was ready
+	// (admitted to the scheduling policy) but not yet released to the GPU,
+	// after the request's first dispatch. This is exactly the delay Paella's
+	// software-defined scheduling exists to eliminate — hardware-queue
+	// systems hide it inside ExecDone-FirstDispatch.
+	HoLNs sim.Time
+	// StallNs accumulates KV-pressure stall time in generative serving: the
+	// wait from a paging preemption until the recompute prefill was
+	// launched. The recompute pass itself is charged to PrefillNs.
+	StallNs sim.Time
+	// PrefillNs accumulates generative prefill execution time (initial pass
+	// plus any preemption recomputes). Zero for non-generative jobs.
+	PrefillNs sim.Time
 	// FirstToken is when the request's first output token completed — the
 	// end of the TTFT window (internal/llm's generative serving; zero for
 	// non-generative jobs and for requests that never produced a token).
@@ -94,19 +107,28 @@ func (r *JobRecord) TTFT() sim.Time {
 
 // TPOT returns the mean time-per-output-token over the decode phase: the
 // span from the first to the last token divided by the intervals between
-// them. Zero for requests with fewer than two output tokens.
+// them. Zero for requests with fewer than two output tokens (which
+// includes every non-generative record). Clamped at zero: a record that
+// failed between its first token and its last has no meaningful decode
+// span, not a negative one.
 func (r *JobRecord) TPOT() sim.Time {
 	if r.OutputTokens < 2 || r.FirstToken == 0 {
 		return 0
 	}
-	return (r.ExecDone - r.FirstToken) / sim.Time(r.OutputTokens-1)
+	t := (r.ExecDone - r.FirstToken) / sim.Time(r.OutputTokens-1)
+	if t < 0 {
+		return 0
+	}
+	return t
 }
 
 // CommNs returns the pure communication latency: submit→admit plus
 // completion→delivery, net of framework processing. Clamped at zero — a
 // system whose framework time covers the whole channel crossing (e.g. RPC
 // serialization measured end to end) has no residual communication cost,
-// not a negative one.
+// not a negative one. Failed records that never reached execution carry
+// ExecDone stamped at failure time, so the completion→delivery term stays
+// the delivery crossing rather than swallowing the whole queue wait.
 func (r *JobRecord) CommNs() sim.Time {
 	c := (r.Admit - r.Submit) + (r.Delivered - r.ExecDone) - r.FrameworkNs
 	if c < 0 {
@@ -424,31 +446,40 @@ func (c *Collector) P50() sim.Time { return Percentile(c.JCTs(), 50) }
 // MeanJCT returns the mean JCT.
 func (c *Collector) MeanJCT() sim.Time { return Mean(c.JCTs()) }
 
+// jsonRec is the on-disk form of one JobRecord: the stable interchange
+// schema shared by WriteJSON and ReadJSON (paella-sim -json output,
+// re-ingested by paella-trace report).
+type jsonRec struct {
+	ID            uint64 `json:"id"`
+	Model         string `json:"model"`
+	Client        int    `json:"client"`
+	SubmitNs      int64  `json:"submit_ns"`
+	AdmitNs       int64  `json:"admit_ns"`
+	FirstDispatch int64  `json:"first_dispatch_ns"`
+	ExecDoneNs    int64  `json:"exec_done_ns"`
+	DeliveredNs   int64  `json:"delivered_ns"`
+	JCTNs         int64  `json:"jct_ns"`
+	ColdStart     bool   `json:"cold_start,omitempty"`
+	LoadNs        int64  `json:"load_ns,omitempty"`
+	BatchSize     int    `json:"batch,omitempty"`
+	BatchWaitNs   int64  `json:"batch_wait_ns,omitempty"`
+	HoLNs         int64  `json:"hol_ns,omitempty"`
+	StallNs       int64  `json:"stall_ns,omitempty"`
+	PrefillNs     int64  `json:"prefill_ns,omitempty"`
+	FrameworkNs   int64  `json:"framework_ns,omitempty"`
+	SchedNs       int64  `json:"sched_ns,omitempty"`
+	FirstTokenNs  int64  `json:"first_token_ns,omitempty"`
+	PromptTokens  int    `json:"prompt_tokens,omitempty"`
+	OutputTokens  int    `json:"output_tokens,omitempty"`
+	Preemptions   int    `json:"preemptions,omitempty"`
+	KVTransferNs  int64  `json:"kv_transfer_ns,omitempty"`
+	Failed        bool   `json:"failed,omitempty"`
+	FailureReason string `json:"failure_reason,omitempty"`
+}
+
 // WriteJSON emits all records as a JSON array (ns timestamps), for
 // external analysis tooling.
 func (c *Collector) WriteJSON(w io.Writer) error {
-	type jsonRec struct {
-		ID            uint64 `json:"id"`
-		Model         string `json:"model"`
-		Client        int    `json:"client"`
-		SubmitNs      int64  `json:"submit_ns"`
-		AdmitNs       int64  `json:"admit_ns"`
-		FirstDispatch int64  `json:"first_dispatch_ns"`
-		ExecDoneNs    int64  `json:"exec_done_ns"`
-		DeliveredNs   int64  `json:"delivered_ns"`
-		JCTNs         int64  `json:"jct_ns"`
-		ColdStart     bool   `json:"cold_start,omitempty"`
-		LoadNs        int64  `json:"load_ns,omitempty"`
-		BatchSize     int    `json:"batch,omitempty"`
-		BatchWaitNs   int64  `json:"batch_wait_ns,omitempty"`
-		FirstTokenNs  int64  `json:"first_token_ns,omitempty"`
-		PromptTokens  int    `json:"prompt_tokens,omitempty"`
-		OutputTokens  int    `json:"output_tokens,omitempty"`
-		Preemptions   int    `json:"preemptions,omitempty"`
-		KVTransferNs  int64  `json:"kv_transfer_ns,omitempty"`
-		Failed        bool   `json:"failed,omitempty"`
-		FailureReason string `json:"failure_reason,omitempty"`
-	}
 	out := make([]jsonRec, len(c.records))
 	for i, r := range c.records {
 		out[i] = jsonRec{
@@ -458,6 +489,9 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
 			ColdStart: r.ColdStart, LoadNs: int64(r.LoadNs),
 			BatchSize: r.BatchSize, BatchWaitNs: int64(r.BatchWaitNs),
+			HoLNs: int64(r.HoLNs), StallNs: int64(r.StallNs),
+			PrefillNs:   int64(r.PrefillNs),
+			FrameworkNs: int64(r.FrameworkNs), SchedNs: int64(r.SchedNs),
 			FirstTokenNs: int64(r.FirstToken), PromptTokens: r.PromptTokens,
 			OutputTokens: r.OutputTokens, Preemptions: r.Preemptions,
 			KVTransferNs: int64(r.KVTransferNs),
@@ -467,6 +501,35 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// ReadJSON parses a record array previously written by WriteJSON back
+// into a Collector, preserving record order. The derived jct_ns field is
+// ignored on input (JCT is always recomputed from the stamps).
+func ReadJSON(r io.Reader) (*Collector, error) {
+	var in []jsonRec
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	c := NewCollector()
+	for _, jr := range in {
+		c.Add(JobRecord{
+			ID: jr.ID, Model: jr.Model, Client: jr.Client,
+			Submit: sim.Time(jr.SubmitNs), Admit: sim.Time(jr.AdmitNs),
+			FirstDispatch: sim.Time(jr.FirstDispatch), ExecDone: sim.Time(jr.ExecDoneNs),
+			Delivered: sim.Time(jr.DeliveredNs),
+			ColdStart: jr.ColdStart, LoadNs: sim.Time(jr.LoadNs),
+			BatchSize: jr.BatchSize, BatchWaitNs: sim.Time(jr.BatchWaitNs),
+			HoLNs: sim.Time(jr.HoLNs), StallNs: sim.Time(jr.StallNs),
+			PrefillNs:   sim.Time(jr.PrefillNs),
+			FrameworkNs: sim.Time(jr.FrameworkNs), SchedNs: sim.Time(jr.SchedNs),
+			FirstToken: sim.Time(jr.FirstTokenNs), PromptTokens: jr.PromptTokens,
+			OutputTokens: jr.OutputTokens, Preemptions: jr.Preemptions,
+			KVTransferNs: sim.Time(jr.KVTransferNs),
+			Failed:       jr.Failed, FailureReason: jr.FailureReason,
+		})
+	}
+	return c, nil
 }
 
 // Breakdown is the Figure 10 per-request overhead decomposition (GPU
@@ -481,6 +544,65 @@ type Breakdown struct {
 // Total returns the summed overhead.
 func (b Breakdown) Total() sim.Time {
 	return b.Framework + b.Scheduling + b.Comm + b.ClientSide
+}
+
+// Breakdown returns the record's Figure 10 overhead decomposition.
+// ClientSide is left zero — it is a property of the client library, not
+// the record, and callers (e.g. the fig10 experiment) add their own
+// constant.
+func (r *JobRecord) Breakdown() Breakdown {
+	return Breakdown{
+		Framework:  r.FrameworkNs,
+		Scheduling: r.SchedNs,
+		Comm:       r.CommNs(),
+	}
+}
+
+// BreakdownMeans returns the per-component mean Breakdown across all
+// records (zero value for an empty collector).
+func (c *Collector) BreakdownMeans() Breakdown {
+	if len(c.records) == 0 {
+		return Breakdown{}
+	}
+	var sum Breakdown
+	for i := range c.records {
+		b := c.records[i].Breakdown()
+		sum.Framework += b.Framework
+		sum.Scheduling += b.Scheduling
+		sum.Comm += b.Comm
+	}
+	n := sim.Time(len(c.records))
+	return Breakdown{
+		Framework:  sum.Framework / n,
+		Scheduling: sum.Scheduling / n,
+		Comm:       sum.Comm / n,
+	}
+}
+
+// BreakdownP99 returns the per-component nearest-rank 99th percentile —
+// each component's own tail, not the components of any single record.
+func (c *Collector) BreakdownP99() Breakdown {
+	return c.BreakdownPercentile(99)
+}
+
+// BreakdownPercentile generalizes BreakdownP99 to any percentile, reusing
+// the integer nearest-rank Percentile for exact boundary behaviour.
+func (c *Collector) BreakdownPercentile(p float64) Breakdown {
+	if len(c.records) == 0 {
+		return Breakdown{}
+	}
+	fw := make([]sim.Time, len(c.records))
+	sc := make([]sim.Time, len(c.records))
+	cm := make([]sim.Time, len(c.records))
+	for i := range c.records {
+		b := c.records[i].Breakdown()
+		fw[i], sc[i], cm[i] = b.Framework, b.Scheduling, b.Comm
+	}
+	return Breakdown{
+		Framework:  Percentile(fw, p),
+		Scheduling: Percentile(sc, p),
+		Comm:       Percentile(cm, p),
+	}
 }
 
 // CDFPoint is one point of an empirical CDF.

@@ -8,6 +8,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/workload"
 )
 
@@ -39,7 +40,9 @@ type directSystem struct {
 	shared    *cudart.Stream    // single-stream mode
 	queue     []pendingDirect   // single-stream submission queue
 	submitter *sim.Cond
+	nextID    uint64
 	collector *metrics.Collector
+	mt        *telemetry.Meter
 }
 
 type pendingDirect struct {
@@ -71,6 +74,8 @@ func (s *directSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	s.opts = opts
 	s.dev = gpu.NewDevice(env, opts.DevCfg, nil)
 	s.collector = metrics.NewCollector()
+	s.mt = telemetry.FromEnv(env)
+	s.nextID = 0
 	rtCfg := cudart.DefaultConfig()
 	switch s.mode {
 	case directMPS:
@@ -133,7 +138,9 @@ func (s *directSystem) runJob(ctx *cudart.Context, req workload.Request, m *mode
 // host-side launch costs, then waits for completion asynchronously (so the
 // submitter can move on in single-stream mode the record is still per-job).
 func (s *directSystem) issueAndRecord(p *sim.Proc, ctx *cudart.Context, stream *cudart.Stream, req workload.Request, m *model.Model) {
+	s.nextID++
 	rec := metrics.JobRecord{
+		ID:     s.nextID,
 		Model:  req.Model,
 		Client: req.Client,
 		Submit: req.At,
@@ -154,5 +161,6 @@ func (s *directSystem) issueAndRecord(p *sim.Proc, ctx *cudart.Context, stream *
 		rec.ExecDone = s.env.Now()
 		rec.Delivered = s.env.Now()
 		s.collector.Add(rec)
+		s.mt.RecordJob(rec.Delivered, &rec)
 	})
 }

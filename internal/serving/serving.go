@@ -24,6 +24,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 	"paella/internal/vram"
 	"paella/internal/workload"
@@ -55,6 +56,12 @@ type Options struct {
 	// disables tracing with zero overhead and bit-identical simulation
 	// behaviour.
 	Trace *trace.Recorder
+	// Telemetry, when non-nil, attaches a windowed telemetry meter to the
+	// run: every layer samples its gauges, counters, and histograms into
+	// fixed virtual-time windows, and completed records feed the meter's
+	// job instruments and SLO monitors. Nil (the default) disables
+	// metering with zero overhead and bit-identical simulation behaviour.
+	Telemetry *telemetry.Meter
 	// Faults, when non-nil, installs the plan's fault schedule into the run
 	// (internal/fault) and arms the gated Paella dispatcher's recovery
 	// machinery (watchdog, tolerant notification handling). Only the gated
@@ -115,6 +122,9 @@ func RunTrace(sys System, trace []workload.Request, opts Options) (*metrics.Coll
 	env := sim.NewEnv()
 	if opts.Trace != nil {
 		env.SetRecorder(opts.Trace)
+	}
+	if opts.Telemetry != nil {
+		env.SetMeter(opts.Telemetry)
 	}
 	if err := sys.Setup(env, opts, numClients); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/workload"
 )
 
@@ -61,10 +62,12 @@ type tritonSystem struct {
 	maxBatch    int
 
 	env       *sim.Env
+	nextID    uint64
 	dev       *gpu.Device
 	ctx       *cudart.Context
 	opts      Options
 	collector *metrics.Collector
+	mt        *telemetry.Meter
 
 	// per-model executor queues (Triton), or one global queue (Clockwork).
 	queues map[string]*execQueue
@@ -124,6 +127,8 @@ func (s *tritonSystem) Setup(env *sim.Env, opts Options, numClients int) error {
 	s.dev = gpu.NewDevice(env, opts.DevCfg, nil)
 	s.ctx = cudart.NewContext(env, s.dev, cudart.DefaultConfig())
 	s.collector = metrics.NewCollector()
+	s.mt = telemetry.FromEnv(env)
+	s.nextID = 0
 	s.queues = make(map[string]*execQueue)
 	s.global = &execQueue{}
 	return nil
@@ -152,7 +157,9 @@ func (s *tritonSystem) Submit(req workload.Request) {
 		panic(err)
 	}
 	j := &tritonJob{req: req, m: m}
+	s.nextID++
 	j.rec = metrics.JobRecord{
+		ID:     s.nextID,
 		Model:  req.Model,
 		Client: req.Client,
 		Submit: s.env.Now(),
@@ -255,6 +262,7 @@ func (s *tritonSystem) runBatch(q *execQueue) {
 			s.env.After(outCost, func() {
 				j.rec.Delivered = s.env.Now()
 				s.collector.Add(j.rec)
+				s.mt.RecordJob(j.rec.Delivered, &j.rec)
 			})
 		}
 		q.busy = false

@@ -118,6 +118,10 @@ type Env struct {
 	// internal/trace.FromEnv performs the typed retrieval. A nil recorder
 	// means tracing is disabled and must cost nothing.
 	recorder any
+	// meter is the recorder's windowed-telemetry sibling: an optional
+	// telemetry.Meter (internal/telemetry.FromEnv retrieves it typed).
+	// Nil means telemetry is disabled and must cost nothing.
+	meter any
 }
 
 // SetRecorder attaches an optional tracing recorder (see internal/trace) to
@@ -127,6 +131,14 @@ func (e *Env) SetRecorder(r any) { e.recorder = r }
 
 // Recorder returns the attached tracing recorder, or nil.
 func (e *Env) Recorder() any { return e.recorder }
+
+// SetMeter attaches an optional windowed-telemetry meter (see
+// internal/telemetry). Like the recorder, components read it once at
+// construction.
+func (e *Env) SetMeter(m any) { e.meter = m }
+
+// Meter returns the attached telemetry meter, or nil.
+func (e *Env) Meter() any { return e.meter }
 
 // NewEnv returns an environment with the clock at zero and no pending events.
 func NewEnv() *Env {

@@ -1,0 +1,288 @@
+// Package telemetry adds the observability layer the experiments argue
+// from: per-request latency anatomy (an exhaustive phase decomposition of
+// every JobRecord that sums exactly to its JCT), an allocation-conscious
+// windowed metric registry on virtual time (counters, gauges, log-bucketed
+// histograms), and multi-window SLO burn-rate monitors emitting
+// deterministic alert events. The anatomy makes the paper's latency
+// claims auditable: Figure 9's JCT gap between Paella and the baselines
+// decomposes into named phases (queueing vs dispatch gap vs execution)
+// instead of one opaque end-to-end number, and §6.1's low-latency argument
+// becomes a per-phase table. Like internal/trace, the whole layer is
+// opt-in: a nil *Meter is a no-op, and the anatomy functions are pure
+// post-processing over collected records.
+package telemetry
+
+import (
+	"paella/internal/metrics"
+	"paella/internal/sim"
+)
+
+// Phase is one slice of a request's latency anatomy.
+type Phase int
+
+// The phase taxonomy. Every nanosecond of a request's JCT lands in exactly
+// one phase; Of() guarantees the slices sum to JCT by construction (the
+// phases partition the Submit→Admit→FirstDispatch→ExecDone→Delivered
+// windows, with accumulator-based attribution clamped to its window).
+const (
+	// PhaseClient is the client→server crossing: Submit until the serving
+	// system admitted the request (shm/RPC latency, ring wait, admission
+	// processing).
+	PhaseClient Phase = iota
+	// PhaseColdStart is time blocked on paging model weights into device
+	// memory (JobRecord.LoadNs).
+	PhaseColdStart
+	// PhaseBatchHold is time held by batch formation: the dispatcher's
+	// batch-formation window for non-generative jobs, or — under
+	// launch-time ("static") LLM batching — waiting for a decode group to
+	// form or drain (JobRecord.BatchWaitNs).
+	PhaseBatchHold
+	// PhaseSchedWait is the admission-queue remainder: admitted, warm, and
+	// unheld, but not yet first-dispatched.
+	PhaseSchedWait
+	// PhaseHoLGap is head-of-line dispatch gap after first dispatch:
+	// kernels ready but not released to the GPU (JobRecord.HoLNs) — the
+	// delay software-defined scheduling exists to remove.
+	PhaseHoLGap
+	// PhasePrefill is generative prefill execution, including preemption
+	// recomputes (JobRecord.PrefillNs).
+	PhasePrefill
+	// PhaseKVStall is KV-pressure stall: from paging preemption until the
+	// recompute prefill launched (JobRecord.StallNs).
+	PhaseKVStall
+	// PhaseKVHandoff is KV-cache movement between prefill and decode
+	// replicas (JobRecord.KVTransferNs).
+	PhaseKVHandoff
+	// PhaseDecode is the generative execution remainder: decode iterations
+	// plus their scheduling interleave.
+	PhaseDecode
+	// PhaseExec is the non-generative execution remainder: kernel
+	// execution plus intra-model dependency gaps.
+	PhaseExec
+	// PhaseDelivery is the server→client crossing: last execution until
+	// the client observed the result.
+	PhaseDelivery
+
+	// NumPhases is the taxonomy size.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"client", "cold-start", "batch-hold", "sched-wait", "hol-gap",
+	"prefill", "kv-stall", "kv-handoff", "decode", "exec", "delivery",
+}
+
+// String returns the phase's stable report name.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Anatomy is one request's complete latency decomposition, indexed by
+// Phase. The zero value is an empty anatomy.
+type Anatomy [NumPhases]sim.Time
+
+// Sum returns the total across all phases — exactly the record's JCT for
+// any record produced by the serving layers (Delivered ≥ Submit).
+func (a *Anatomy) Sum() sim.Time {
+	var s sim.Time
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// take moves up to want out of *avail and returns the amount taken.
+// Negative want is treated as zero, so a corrupt accumulator can never
+// break the partition invariant.
+func take(avail *sim.Time, want sim.Time) sim.Time {
+	if want < 0 {
+		want = 0
+	}
+	if want > *avail {
+		want = *avail
+	}
+	*avail -= want
+	return want
+}
+
+// clamp returns t limited to [lo, hi].
+func clamp(t, lo, hi sim.Time) sim.Time {
+	if t < lo {
+		return lo
+	}
+	if t > hi {
+		return hi
+	}
+	return t
+}
+
+// Of decomposes one record into its latency anatomy. The decomposition is
+// exact: the phases sum to Delivered−Submit for every record with
+// Delivered ≥ Submit, including failed records (the serving layers stamp
+// ExecDone and Delivered on every failure path).
+//
+// Construction: the timeline is cut at four boundaries — Submit (t0),
+// Admit (t1), FirstDispatch (t2), ExecDone (t3), Delivered (t4) — each
+// clamped into its predecessor/successor range so degenerate records
+// (never dispatched, failed in queue) collapse windows to zero instead of
+// going negative. The client and delivery crossings are the outer windows;
+// the accumulator-stamped phases (cold-start, batch-hold, kv-stall, …)
+// are attributed inside the window where the serving layer stamped them,
+// clamped to what that window actually holds; whatever remains is
+// sched-wait (queue window) and decode/exec (execution window).
+func Of(r *metrics.JobRecord) Anatomy {
+	var a Anatomy
+	t0 := r.Submit
+	t4 := r.Delivered
+	if t4 < t0 {
+		t4 = t0
+	}
+	t1 := clamp(r.Admit, t0, t4)
+	t3 := r.ExecDone
+	if t3 == 0 {
+		t3 = t4 // failed before execution: no delivery window beyond the stamp
+	}
+	t3 = clamp(t3, t1, t4)
+	t2 := r.FirstDispatch
+	if t2 == 0 {
+		t2 = t3 // never dispatched: the whole wait is queue time
+	}
+	t2 = clamp(t2, t1, t3)
+
+	generative := r.PromptTokens > 0 || r.OutputTokens > 0 || r.PrefillNs > 0
+
+	a[PhaseClient] = t1 - t0
+	a[PhaseDelivery] = t4 - t3
+
+	// Queue window [t1, t2): admitted but not yet dispatched.
+	queue := t2 - t1
+	a[PhaseColdStart] = take(&queue, r.LoadNs)
+	batchWait := r.BatchWaitNs
+	if !generative {
+		// The dispatcher's formation hold on the first kernel precedes
+		// first dispatch; later holds land in the execution window below.
+		a[PhaseBatchHold] = take(&queue, batchWait)
+		batchWait -= a[PhaseBatchHold]
+	}
+	a[PhaseSchedWait] = queue
+
+	// Execution window [t2, t3): first dispatch to last completion.
+	exec := t3 - t2
+	a[PhasePrefill] = take(&exec, r.PrefillNs)
+	a[PhaseKVHandoff] = take(&exec, r.KVTransferNs)
+	a[PhaseKVStall] = take(&exec, r.StallNs)
+	// Generative batch waits (decode-group joins) happen after prefill;
+	// non-generative leftovers are later kernels' formation holds.
+	a[PhaseBatchHold] += take(&exec, batchWait)
+	a[PhaseHoLGap] = take(&exec, r.HoLNs)
+	if generative {
+		a[PhaseDecode] = exec
+	} else {
+		a[PhaseExec] = exec
+	}
+	return a
+}
+
+// MeanAnatomy returns the per-phase mean across all records in the
+// collector (zero anatomy when empty).
+func MeanAnatomy(c *metrics.Collector) Anatomy {
+	var sum Anatomy
+	recs := c.Records()
+	if len(recs) == 0 {
+		return sum
+	}
+	for i := range recs {
+		a := Of(&recs[i])
+		for p := range a {
+			sum[p] += a[p]
+		}
+	}
+	n := sim.Time(len(recs))
+	for p := range sum {
+		sum[p] /= n
+	}
+	return sum
+}
+
+// AnatomyPercentile returns each phase's own nearest-rank percentile
+// across the collector — per-phase tails, not the anatomy of any single
+// request.
+func AnatomyPercentile(c *metrics.Collector, p float64) Anatomy {
+	var out Anatomy
+	recs := c.Records()
+	if len(recs) == 0 {
+		return out
+	}
+	vals := make([]sim.Time, len(recs))
+	anats := make([]Anatomy, len(recs))
+	for i := range recs {
+		anats[i] = Of(&recs[i])
+	}
+	for ph := 0; ph < int(NumPhases); ph++ {
+		for i := range anats {
+			vals[i] = anats[i][ph]
+		}
+		out[ph] = metrics.Percentile(vals, p)
+	}
+	return out
+}
+
+// Blame is one row of a slowest-request report: the record, its anatomy,
+// and the phase that dominated it.
+type Blame struct {
+	Record   *metrics.JobRecord
+	Anatomy  Anatomy
+	Dominant Phase
+}
+
+// TopBlame returns the k slowest requests by JCT (descending; ties broken
+// by ascending ID for determinism), each annotated with its dominant
+// phase.
+func TopBlame(c *metrics.Collector, k int) []Blame {
+	recs := c.Records()
+	if k <= 0 || len(recs) == 0 {
+		return nil
+	}
+	idx := make([]int, len(recs))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection of the top k by (JCT desc, ID asc): k is small, n can be
+	// large, so a partial selection sort beats a full sort's allocation
+	// profile and stays deterministic.
+	if k > len(idx) {
+		k = len(idx)
+	}
+	less := func(a, b int) bool {
+		ja, jb := recs[a].JCT(), recs[b].JCT()
+		if ja != jb {
+			return ja > jb
+		}
+		return recs[a].ID < recs[b].ID
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if less(idx[j], idx[best]) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	out := make([]Blame, k)
+	for i := 0; i < k; i++ {
+		r := &recs[idx[i]]
+		a := Of(r)
+		dom := PhaseClient
+		for p := Phase(1); p < NumPhases; p++ {
+			if a[p] > a[dom] {
+				dom = p
+			}
+		}
+		out[i] = Blame{Record: r, Anatomy: a, Dominant: dom}
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"paella/internal/metrics"
+	"paella/internal/sim"
+)
+
+// mustSum asserts the partition invariant for one record: the anatomy sums
+// exactly (integer nanoseconds) to the record's JCT.
+func mustSum(t *testing.T, r *metrics.JobRecord) Anatomy {
+	t.Helper()
+	a := Of(r)
+	jct := r.JCT()
+	if jct < 0 {
+		jct = 0
+	}
+	if got := a.Sum(); got != jct {
+		t.Fatalf("anatomy sum %v != JCT %v for record %+v (anatomy %v)", got, jct, r, a)
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if a[p] < 0 {
+			t.Fatalf("phase %s negative: %v (record %+v)", p, a[p], r)
+		}
+	}
+	return a
+}
+
+func TestAnatomySimpleInference(t *testing.T) {
+	r := &metrics.JobRecord{
+		Submit: 1000, Admit: 1200, FirstDispatch: 1500, ExecDone: 2500, Delivered: 2600,
+	}
+	a := mustSum(t, r)
+	if a[PhaseClient] != 200 {
+		t.Errorf("client = %v, want 200", a[PhaseClient])
+	}
+	if a[PhaseSchedWait] != 300 {
+		t.Errorf("sched-wait = %v, want 300", a[PhaseSchedWait])
+	}
+	if a[PhaseExec] != 1000 {
+		t.Errorf("exec = %v, want 1000", a[PhaseExec])
+	}
+	if a[PhaseDelivery] != 100 {
+		t.Errorf("delivery = %v, want 100", a[PhaseDelivery])
+	}
+	if a[PhaseDecode] != 0 || a[PhasePrefill] != 0 {
+		t.Errorf("non-generative record leaked generative phases: %v", a)
+	}
+}
+
+func TestAnatomyColdStartAndHold(t *testing.T) {
+	r := &metrics.JobRecord{
+		Submit: 0, Admit: 100, FirstDispatch: 5100, ExecDone: 6100, Delivered: 6200,
+		LoadNs: 4000, BatchWaitNs: 600,
+	}
+	a := mustSum(t, r)
+	if a[PhaseColdStart] != 4000 {
+		t.Errorf("cold-start = %v, want 4000", a[PhaseColdStart])
+	}
+	if a[PhaseBatchHold] != 600 {
+		t.Errorf("batch-hold = %v, want 600", a[PhaseBatchHold])
+	}
+	if a[PhaseSchedWait] != 400 {
+		t.Errorf("sched-wait = %v, want 400 (5000 queue − 4000 load − 600 hold)", a[PhaseSchedWait])
+	}
+}
+
+func TestAnatomyGenerative(t *testing.T) {
+	r := &metrics.JobRecord{
+		Submit: 0, Admit: 10, FirstDispatch: 50, ExecDone: 10050, Delivered: 10060,
+		PromptTokens: 128, OutputTokens: 32, FirstToken: 2050,
+		PrefillNs: 2000, KVTransferNs: 500, StallNs: 300, BatchWaitNs: 200, HoLNs: 100,
+	}
+	a := mustSum(t, r)
+	if a[PhasePrefill] != 2000 {
+		t.Errorf("prefill = %v, want 2000", a[PhasePrefill])
+	}
+	if a[PhaseKVHandoff] != 500 {
+		t.Errorf("kv-handoff = %v, want 500", a[PhaseKVHandoff])
+	}
+	if a[PhaseKVStall] != 300 {
+		t.Errorf("kv-stall = %v, want 300", a[PhaseKVStall])
+	}
+	// Generative batch waits land in the execution window, not the queue.
+	if a[PhaseBatchHold] != 200 {
+		t.Errorf("batch-hold = %v, want 200", a[PhaseBatchHold])
+	}
+	if a[PhaseHoLGap] != 100 {
+		t.Errorf("hol-gap = %v, want 100", a[PhaseHoLGap])
+	}
+	if a[PhaseDecode] != 10000-2000-500-300-200-100 {
+		t.Errorf("decode = %v, want remainder %v", a[PhaseDecode], sim.Time(10000-3100))
+	}
+	if a[PhaseExec] != 0 {
+		t.Errorf("generative record leaked exec phase: %v", a[PhaseExec])
+	}
+}
+
+func TestAnatomyDegenerateRecords(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  metrics.JobRecord
+	}{
+		{"shed at admission", metrics.JobRecord{
+			Submit: 100, Admit: 100, Delivered: 100, Failed: true, FailureReason: "shed"}},
+		{"failed in queue", metrics.JobRecord{
+			Submit: 0, Admit: 10, Delivered: 500, Failed: true}},
+		{"failed before delivery stamp", metrics.JobRecord{
+			Submit: 0, Admit: 10, FirstDispatch: 20, ExecDone: 400, Delivered: 400, Failed: true}},
+		{"never admitted", metrics.JobRecord{Submit: 50, Delivered: 70, Failed: true}},
+		{"zero everything", metrics.JobRecord{}},
+		{"accumulators exceed windows", metrics.JobRecord{
+			// Deliberately corrupt: LoadNs bigger than the whole queue
+			// window. The partition must clamp, not go negative.
+			Submit: 0, Admit: 10, FirstDispatch: 100, ExecDone: 200, Delivered: 210,
+			LoadNs: 10_000, BatchWaitNs: 10_000, HoLNs: 10_000}},
+		{"exec-done before admit", metrics.JobRecord{
+			Submit: 0, Admit: 300, FirstDispatch: 0, ExecDone: 100, Delivered: 400, Failed: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mustSum(t, &tc.rec)
+		})
+	}
+}
+
+func TestAnatomyAggregates(t *testing.T) {
+	c := metrics.NewCollector()
+	for i := 0; i < 100; i++ {
+		c.Add(metrics.JobRecord{
+			ID: uint64(i), Submit: 0, Admit: 10,
+			FirstDispatch: sim.Time(10 + i), ExecDone: sim.Time(1010 + i), Delivered: sim.Time(1020 + i),
+		})
+	}
+	mean := MeanAnatomy(c)
+	if mean[PhaseClient] != 10 {
+		t.Errorf("mean client = %v, want 10", mean[PhaseClient])
+	}
+	// sched-wait is uniform 0..99, mean 49 (integer division of sum 4950/100).
+	if mean[PhaseSchedWait] != 49 {
+		t.Errorf("mean sched-wait = %v, want 49", mean[PhaseSchedWait])
+	}
+	p99 := AnatomyPercentile(c, 99)
+	// Nearest-rank p99 of 0..99 is the 99th value = 98.
+	if p99[PhaseSchedWait] != 98 {
+		t.Errorf("p99 sched-wait = %v, want 98", p99[PhaseSchedWait])
+	}
+
+	var empty metrics.Collector
+	if a := MeanAnatomy(&empty); a.Sum() != 0 {
+		t.Errorf("empty mean anatomy non-zero: %v", a)
+	}
+}
+
+func TestTopBlame(t *testing.T) {
+	c := metrics.NewCollector()
+	// Three records; the slowest is dominated by cold-start, the next by
+	// exec. Equal JCTs break ties by ascending ID.
+	c.Add(metrics.JobRecord{ID: 7, Submit: 0, Admit: 0, FirstDispatch: 9000, ExecDone: 9500, Delivered: 10000, LoadNs: 9000})
+	c.Add(metrics.JobRecord{ID: 3, Submit: 0, Admit: 0, FirstDispatch: 10, ExecDone: 4800, Delivered: 5000})
+	c.Add(metrics.JobRecord{ID: 5, Submit: 0, Admit: 0, FirstDispatch: 10, ExecDone: 4800, Delivered: 5000})
+	got := TopBlame(c, 2)
+	if len(got) != 2 {
+		t.Fatalf("TopBlame returned %d rows, want 2", len(got))
+	}
+	if got[0].Record.ID != 7 || got[0].Dominant != PhaseColdStart {
+		t.Errorf("row 0 = id %d dominant %s, want id 7 cold-start", got[0].Record.ID, got[0].Dominant)
+	}
+	if got[1].Record.ID != 3 || got[1].Dominant != PhaseExec {
+		t.Errorf("row 1 = id %d dominant %s, want id 3 exec", got[1].Record.ID, got[1].Dominant)
+	}
+	if TopBlame(c, 0) != nil {
+		t.Error("TopBlame(0) should be nil")
+	}
+	if rows := TopBlame(c, 100); len(rows) != 3 {
+		t.Errorf("TopBlame over-k returned %d rows, want 3", len(rows))
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for p := Phase(0); p < NumPhases; p++ {
+		s := p.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("phase %d has no name", p)
+		}
+		if seen[s] {
+			t.Errorf("duplicate phase name %q", s)
+		}
+		seen[s] = true
+	}
+	if Phase(-1).String() != "unknown" || NumPhases.String() != "unknown" {
+		t.Error("out-of-range phases should stringify as unknown")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	c := metrics.NewCollector()
+	c.Add(metrics.JobRecord{ID: 1, Model: "resnet18", Submit: 0, Admit: 5, FirstDispatch: 10, ExecDone: 1000, Delivered: 1010})
+	line := AnatomyStatsLine(c)
+	if !strings.Contains(line, "exec=") || !strings.Contains(line, "client=") {
+		t.Errorf("stats line missing phases: %q", line)
+	}
+	if got := AnatomyStatsLine(metrics.NewCollector()); got != "(no records)" {
+		t.Errorf("empty stats line = %q", got)
+	}
+
+	var tbl strings.Builder
+	if err := WriteAnatomyTable(&tbl, []SystemAnatomy{{System: "Paella", Collector: c}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "Paella") || !strings.Contains(tbl.String(), "exec") {
+		t.Errorf("anatomy table missing content:\n%s", tbl.String())
+	}
+
+	var blame strings.Builder
+	if err := WriteBlameTable(&blame, c, 5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(blame.String(), "resnet18") {
+		t.Errorf("blame table missing model:\n%s", blame.String())
+	}
+}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"testing"
+
+	"paella/internal/metrics"
+	"paella/internal/sim"
+)
+
+// The hot path must not allocate: components sample gauges and counters on
+// every dispatch decision, so a single allocation per update would dominate
+// the simulator's profile. Updates within one window aggregate in place;
+// only window flushes may grow the rows slice.
+
+func TestHotPathZeroAllocs(t *testing.T) {
+	m := NewMeter("m", sim.Second)
+	c := m.Counter("c")
+	g := m.Gauge("g")
+	h := m.Histogram("h")
+	// Prime: open the live windows (first touch appends a row buffer).
+	m.Add(c, 0, 1)
+	m.Set(g, 0, 1)
+	m.Observe(h, 0, 1)
+
+	if avg := testing.AllocsPerRun(1000, func() { m.Add(c, 10, 1) }); avg != 0 {
+		t.Errorf("Counter.Add allocates %.1f/op", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { m.Set(g, 10, 42) }); avg != 0 {
+		t.Errorf("Gauge.Set allocates %.1f/op", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() { m.Observe(h, 10, 42) }); avg != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f/op", avg)
+	}
+
+	rec := metrics.JobRecord{Submit: 0, Delivered: 100}
+	if avg := testing.AllocsPerRun(1000, func() { m.RecordJob(100, &rec) }); avg != 0 {
+		t.Errorf("RecordJob allocates %.1f/op", avg)
+	}
+
+	// SLO evaluation rides RecordJob and must stay allocation-free too.
+	m.SLO(SLOConfig{Name: "s", Deadline: 50, Target: 0.9, Short: 100, Long: 1000})
+	m.RecordJob(100, &rec)
+	if avg := testing.AllocsPerRun(1000, func() { m.RecordJob(100, &rec) }); avg != 0 {
+		t.Errorf("RecordJob with SLO allocates %.1f/op", avg)
+	}
+}
+
+func TestDisabledPathZeroAllocs(t *testing.T) {
+	var m *Meter
+	id := m.Counter("x")
+	rec := metrics.JobRecord{}
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.Add(id, 0, 1)
+		m.Set(id, 0, 1)
+		m.Observe(id, 0, 1)
+		m.RecordJob(0, &rec)
+	}); avg != 0 {
+		t.Errorf("nil meter allocates %.1f/op", avg)
+	}
+}
+
+func BenchmarkMeterAdd(b *testing.B) {
+	m := NewMeter("m", sim.Second)
+	id := m.Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Add(id, 10, 1)
+	}
+}
+
+func BenchmarkMeterSet(b *testing.B) {
+	m := NewMeter("m", sim.Second)
+	id := m.Gauge("g")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Set(id, 10, float64(i&7))
+	}
+}
+
+func BenchmarkMeterObserve(b *testing.B) {
+	m := NewMeter("m", sim.Second)
+	id := m.Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe(id, 10, float64(i))
+	}
+}
+
+func BenchmarkRecordJobWithSLO(b *testing.B) {
+	m := NewMeter("m", sim.Second)
+	m.SLO(SLOConfig{Name: "s", Deadline: 50, Target: 0.9})
+	rec := metrics.JobRecord{Submit: 0, Delivered: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RecordJob(100, &rec)
+	}
+}
+
+func BenchmarkAnatomyOf(b *testing.B) {
+	rec := metrics.JobRecord{
+		Submit: 0, Admit: 10, FirstDispatch: 50, ExecDone: 10050, Delivered: 10060,
+		PromptTokens: 128, OutputTokens: 32, PrefillNs: 2000, KVTransferNs: 500,
+		StallNs: 300, BatchWaitNs: 200, HoLNs: 100,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Of(&rec)
+	}
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paella/internal/metrics"
+	"paella/internal/sim"
+)
+
+// Schema is the telemetry export's format tag.
+const Schema = "paella-telemetry/v1"
+
+// Export bundles one run's observability output: the per-request anatomy
+// aggregates (from the collector, when present) plus every meter's
+// windowed series, histograms, and alerts. Meters are emitted in argument
+// order and instruments in registration order, so the bytes are
+// deterministic for a deterministic run — the property the cluster
+// identity matrix asserts.
+type Export struct {
+	Collector *metrics.Collector
+	Meters    []*Meter
+}
+
+type jsonAnatomy struct {
+	Records int              `json:"records"`
+	MeanNs  map[string]int64 `json:"mean_ns"`
+	P99Ns   map[string]int64 `json:"p99_ns"`
+}
+
+type jsonRow struct {
+	Window int64   `json:"w"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+type jsonMetric struct {
+	Name    string    `json:"name"`
+	Kind    string    `json:"kind"`
+	Total   int64     `json:"total,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Buckets []int64   `json:"log2_buckets,omitempty"` // [index, count, index, count, ...]
+	Windows []jsonRow `json:"windows,omitempty"`
+}
+
+type jsonAlert struct {
+	AtNs      int64   `json:"at_ns"`
+	SLO       string  `json:"slo"`
+	Firing    bool    `json:"firing"`
+	BurnShort float64 `json:"burn_short"`
+	BurnLong  float64 `json:"burn_long"`
+}
+
+type jsonMeter struct {
+	Name     string       `json:"name"`
+	WindowNs int64        `json:"window_ns"`
+	Metrics  []jsonMetric `json:"metrics"`
+	Alerts   []jsonAlert  `json:"alerts,omitempty"`
+}
+
+type jsonExport struct {
+	Schema  string       `json:"schema"`
+	Anatomy *jsonAnatomy `json:"anatomy,omitempty"`
+	Meters  []jsonMeter  `json:"meters,omitempty"`
+}
+
+func anatomyJSON(c *metrics.Collector) *jsonAnatomy {
+	if c == nil || c.Len() == 0 {
+		return nil
+	}
+	mean := MeanAnatomy(c)
+	p99 := AnatomyPercentile(c, 99)
+	out := &jsonAnatomy{
+		Records: c.Len(),
+		MeanNs:  make(map[string]int64, NumPhases),
+		P99Ns:   make(map[string]int64, NumPhases),
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		// Skip all-zero phases so non-generative runs don't emit a page
+		// of zeros; present phases always show both aggregates.
+		if mean[p] == 0 && p99[p] == 0 {
+			continue
+		}
+		out.MeanNs[p.String()] = int64(mean[p])
+		out.P99Ns[p.String()] = int64(p99[p])
+	}
+	return out
+}
+
+// WriteJSON flushes every meter at endTime and writes the deterministic
+// JSON export. Nil meters are skipped; a nil collector omits the anatomy
+// section.
+func WriteJSON(w io.Writer, endTime sim.Time, ex Export) error {
+	out := jsonExport{Schema: Schema, Anatomy: anatomyJSON(ex.Collector)}
+	for _, m := range ex.Meters {
+		if m == nil {
+			continue
+		}
+		m.Flush(endTime)
+		jm := jsonMeter{Name: m.name, WindowNs: int64(m.window)}
+		for i := range m.instruments {
+			in := &m.instruments[i]
+			jmet := jsonMetric{Name: in.name, Kind: in.kind.String()}
+			if in.kind == KindHist {
+				jmet.Total, jmet.Sum = in.total, in.sum
+				for b, n := range in.buckets {
+					if n > 0 {
+						jmet.Buckets = append(jmet.Buckets, int64(b), n)
+					}
+				}
+			}
+			for _, r := range in.rows {
+				jmet.Windows = append(jmet.Windows, jsonRow(r))
+			}
+			jm.Metrics = append(jm.Metrics, jmet)
+		}
+		for _, a := range m.alerts {
+			jm.Alerts = append(jm.Alerts, jsonAlert{
+				AtNs: int64(a.At), SLO: a.SLO, Firing: a.Firing,
+				BurnShort: a.BurnShort, BurnLong: a.BurnLong,
+			})
+		}
+		out.Meters = append(out.Meters, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+	// Note: encoding/json sorts the anatomy maps by key, so the bytes
+	// stay deterministic there too.
+}
+
+// WriteCSV flushes every meter at endTime and writes the windowed series
+// as flat CSV (meter,metric,kind,window_start_ns,count,sum,min,max) in
+// the same deterministic order as WriteJSON.
+func WriteCSV(w io.Writer, endTime sim.Time, meters ...*Meter) error {
+	if _, err := fmt.Fprintln(w, "meter,metric,kind,window_start_ns,count,sum,min,max"); err != nil {
+		return err
+	}
+	for _, m := range meters {
+		if m == nil {
+			continue
+		}
+		m.Flush(endTime)
+		for i := range m.instruments {
+			in := &m.instruments[i]
+			for _, r := range in.rows {
+				if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%g,%g,%g\n",
+					m.name, in.name, in.kind, r.Window*int64(m.window),
+					r.Count, r.Sum, r.Min, r.Max); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"paella/internal/metrics"
+)
+
+// presentPhases returns the phases any of the anatomies actually use, in
+// taxonomy order — tables stay narrow for runs that never touch a phase.
+func presentPhases(anats ...Anatomy) []Phase {
+	var out []Phase
+	for p := Phase(0); p < NumPhases; p++ {
+		for i := range anats {
+			if anats[i][p] != 0 {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AnatomyStatsLine renders the one-line mean-anatomy summary paella-sim
+// prints: each present phase with its mean contribution.
+func AnatomyStatsLine(c *metrics.Collector) string {
+	mean := MeanAnatomy(c)
+	var b strings.Builder
+	for _, p := range presentPhases(mean) {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%v", p, mean[p])
+	}
+	if b.Len() == 0 {
+		return "(no records)"
+	}
+	return b.String()
+}
+
+// SystemAnatomy is one row-group of a cross-system anatomy table.
+type SystemAnatomy struct {
+	System    string
+	Collector *metrics.Collector
+}
+
+// WriteAnatomyTable renders the paper-style "where does the latency go"
+// table: one row per system, one column per present phase, mean and p99
+// stacked per cell-group.
+func WriteAnatomyTable(w io.Writer, rows []SystemAnatomy) error {
+	type agg struct {
+		mean, p99 Anatomy
+	}
+	aggs := make([]agg, len(rows))
+	var all []Anatomy
+	for i, r := range rows {
+		aggs[i] = agg{MeanAnatomy(r.Collector), AnatomyPercentile(r.Collector, 99)}
+		all = append(all, aggs[i].mean, aggs[i].p99)
+	}
+	phases := presentPhases(all...)
+	if len(phases) == 0 {
+		_, err := fmt.Fprintln(w, "  (no records)")
+		return err
+	}
+	for _, stat := range []string{"mean", "p99"} {
+		if _, err := fmt.Fprintf(w, "  %-24s", stat); err != nil {
+			return err
+		}
+		for _, p := range phases {
+			if _, err := fmt.Fprintf(w, " %12s", p); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		for i, r := range rows {
+			a := aggs[i].mean
+			if stat == "p99" {
+				a = aggs[i].p99
+			}
+			if _, err := fmt.Fprintf(w, "  %-24s", r.System); err != nil {
+				return err
+			}
+			for _, p := range phases {
+				if _, err := fmt.Fprintf(w, " %12v", a[p]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteBlameTable renders the top-k slowest-request report: ID, model,
+// JCT, the dominant phase, and that phase's share of the request.
+func WriteBlameTable(w io.Writer, c *metrics.Collector, k int) error {
+	blames := TopBlame(c, k)
+	if len(blames) == 0 {
+		_, err := fmt.Fprintln(w, "  (no records)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %8s %-14s %12s %12s %6s %s\n",
+		"id", "model", "jct", "dominant", "share", "status"); err != nil {
+		return err
+	}
+	for _, b := range blames {
+		jct := b.Record.JCT()
+		share := 0.0
+		if jct > 0 {
+			share = float64(b.Anatomy[b.Dominant]) / float64(jct)
+		}
+		model := b.Record.Model
+		if model == "" {
+			model = "llm"
+		}
+		status := "ok"
+		if b.Record.Failed {
+			status = "failed:" + b.Record.FailureReason
+		}
+		if _, err := fmt.Fprintf(w, "  %8d %-14s %12v %12s %5.0f%% %s\n",
+			b.Record.ID, model, jct, b.Dominant, 100*share, status); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 )
 
@@ -161,6 +162,13 @@ type Manager struct {
 	evTrack trace.TrackID
 	usedC   trace.CounterID
 	lastNow sim.Time
+
+	// mt is the optional windowed telemetry meter attached via AttachMeter
+	// (nil = disabled): used-bytes and KV-page gauges sampled wherever the
+	// trace counter is.
+	mt     *telemetry.Meter
+	mtUsed telemetry.MetricID
+	mtKV   telemetry.MetricID
 }
 
 // AttachTrace wires the manager's residency events (load begin/done,
@@ -176,10 +184,27 @@ func (m *Manager) AttachTrace(rec *trace.Recorder, proc trace.ProcID) {
 	m.usedC = rec.Counter(proc, "vram used bytes")
 }
 
-// traceUsed samples the bytes held by loading/resident models. Callers
-// guard on m.rec != nil.
+// AttachMeter wires the used-bytes and KV-page gauges into the windowed
+// telemetry meter. A nil meter is a no-op.
+func (m *Manager) AttachMeter(mt *telemetry.Meter) {
+	if mt == nil {
+		return
+	}
+	m.mt = mt
+	m.mtUsed = mt.Gauge("vram/used_bytes")
+	m.mtKV = mt.Gauge("vram/kv_pages")
+}
+
+// traceUsed samples the bytes held by loading/resident models (and the KV
+// pool level) into the recorder and the meter; nil-safe on both.
 func (m *Manager) traceUsed() {
-	m.rec.Sample(m.usedC, "value", m.lastNow, float64(int64(m.usedBlocks)*m.cfg.BlockBytes))
+	if m.rec != nil {
+		m.rec.Sample(m.usedC, "value", m.lastNow, float64(int64(m.usedBlocks)*m.cfg.BlockBytes))
+	}
+	if m.mt != nil {
+		m.mt.Set(m.mtUsed, m.lastNow, float64(int64(m.usedBlocks)*m.cfg.BlockBytes))
+		m.mt.Set(m.mtKV, m.lastNow, float64(m.kvBlocks))
+	}
 }
 
 // NewManager builds a manager with the given capacity budget.
@@ -307,8 +332,8 @@ func (m *Manager) BeginLoad(name string, now sim.Time) error {
 	m.stats.BytesLoaded += e.bytes
 	if m.rec != nil {
 		m.rec.InstantArgs(m.evTrack, name, "vram-load-begin", now, trace.Int("bytes", e.bytes))
-		m.traceUsed()
 	}
+	m.traceUsed()
 	return nil
 }
 
@@ -329,8 +354,8 @@ func (m *Manager) AbortLoad(name string, now sim.Time) {
 	// genuinely spent) but record the abort.
 	if m.rec != nil {
 		m.rec.InstantArgs(m.evTrack, name, "vram-load-abort", now, trace.Int("bytes", e.bytes))
-		m.traceUsed()
 	}
+	m.traceUsed()
 }
 
 // ReservePressure carves up to `blocks` blocks out of the budget without
@@ -355,8 +380,8 @@ func (m *Manager) ReservePressure(blocks int, now sim.Time) int {
 	if m.rec != nil {
 		m.rec.InstantArgs(m.evTrack, "pressure", "vram-pressure", now,
 			trace.Int("bytes", int64(blocks)*m.cfg.BlockBytes))
-		m.traceUsed()
 	}
+	m.traceUsed()
 	return blocks
 }
 
@@ -374,8 +399,8 @@ func (m *Manager) ReleasePressure(blocks int, now sim.Time) {
 	m.usedBlocks -= blocks
 	if m.rec != nil {
 		m.rec.Instant(m.evTrack, "pressure-released", "vram-pressure", now)
-		m.traceUsed()
 	}
+	m.traceUsed()
 }
 
 // PressureBlocks returns the blocks currently held by injected pressure.
@@ -407,8 +432,8 @@ func (m *Manager) ReserveKV(blocks int, now sim.Time) error {
 	if m.rec != nil {
 		m.rec.InstantArgs(m.evTrack, "kv", "vram-kv-reserve", now,
 			trace.Int("bytes", int64(blocks)*m.cfg.BlockBytes))
-		m.traceUsed()
 	}
+	m.traceUsed()
 	return nil
 }
 
@@ -430,8 +455,8 @@ func (m *Manager) ReleaseKV(blocks int, now sim.Time) {
 	if m.rec != nil {
 		m.rec.InstantArgs(m.evTrack, "kv", "vram-kv-release", now,
 			trace.Int("bytes", int64(blocks)*m.cfg.BlockBytes))
-		m.traceUsed()
 	}
+	m.traceUsed()
 }
 
 // KVBlocks returns the blocks currently held by the paged KV-cache.
@@ -523,8 +548,8 @@ func (m *Manager) evict(e *entry) {
 	}
 	if m.rec != nil {
 		m.rec.InstantArgs(m.evTrack, e.name, "vram-evict", m.lastNow, trace.Int("bytes", e.bytes))
-		m.traceUsed()
 	}
+	m.traceUsed()
 }
 
 // CapacityBytes returns the configured budget.
