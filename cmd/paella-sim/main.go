@@ -32,6 +32,7 @@ import (
 	"paella/internal/cluster"
 	"paella/internal/core"
 	"paella/internal/fault"
+	"paella/internal/gateway"
 	"paella/internal/gpu"
 	"paella/internal/llm"
 	"paella/internal/metrics"
@@ -68,6 +69,9 @@ func main() {
 		par     = flag.Bool("parallel", false, "execute replica shards on goroutines (bit-identical to serial); requires -replicas > 1")
 		window  = flag.Duration("window", 50*time.Microsecond, "conservative synchronization window (with -replicas > 1)")
 		balName = flag.String("balancer", "least-loaded", "cluster balancer: round-robin | least-loaded | model-affinity | residency-aware")
+		gwName  = flag.String("gateway", "", "gateway routing policy from the internal/gateway registry (overrides -balancer; 'list' to enumerate)")
+		tenants = flag.Int("tenants", 0, "tag requests with N tenants drawn uniformly (0 = untenanted)")
+		admitPS = flag.Float64("admit-rate", 0, "per-tenant admission rate in req/s (gateway token bucket; 0 = no admission control)")
 		maxBat  = flag.Int("max-batch", 0, "dynamic-batching width cap for the gated Paella dispatcher (≤1 = off)")
 		batWin  = flag.Duration("batch-window", 0, "max batch-formation hold for a lone ready kernel (with -max-batch > 1)")
 		llmOn   = flag.Bool("llm", false, "generative (LLM) serving: autoregressive jobs with a paged KV-cache and continuous batching")
@@ -81,6 +85,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if *gwName == "list" {
+		for _, name := range gateway.Names() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
+	}
+	if *gwName != "" {
+		if _, err := gateway.New(*gwName); err != nil {
+			fatal("%v", err)
+		}
+	}
 	if *system == "list" {
 		for _, row := range serving.Table3() {
 			fmt.Printf("  %-16s dispatch=%-7s sched=%s\n", row.Name, row.Dispatch, row.Scheduler)
@@ -102,7 +117,8 @@ func main() {
 		runLLM(opts.DevCfg, *jobs, *rate, *sigma, *clients, *seed, *vramMiB, *maxBat,
 			*maxTok, *kvBlock, *llmStat, *pdStr, *nrepl, *par,
 			sim.Time((*window).Nanoseconds()), *asJSON,
-			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()))
+			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()),
+			*gwName, *tenants, *admitPS)
 		return
 	}
 	if *llmStat || *maxTok > 0 || *kvBlock > 0 || *pdStr != "" {
@@ -158,6 +174,7 @@ func main() {
 			Jobs:       *jobs,
 			Clients:    *clients,
 			Seed:       *seed,
+			Tenants:    *tenants,
 		})
 	}
 	if err != nil {
@@ -193,8 +210,12 @@ func main() {
 		}
 		runCluster(opts, reqs, *nrepl, *par, sim.Time((*window).Nanoseconds()), *balName,
 			*jobs, *rate, *sigma, *clients, names, *asJSON, *perMod, *trcOut, *vramMiB,
-			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()))
+			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()),
+			*gwName, *admitPS)
 		return
+	}
+	if *gwName != "" || *admitPS > 0 {
+		fatal("-gateway and -admit-rate front the cluster engine: use -replicas > 1 or -llm")
 	}
 	if *par {
 		fatal("-parallel requires -replicas > 1")
@@ -302,19 +323,26 @@ func main() {
 func runCluster(opts serving.Options, reqs []workload.Request, replicas int, parallel bool,
 	window sim.Time, balName string, jobs int, rate, sigma float64, clients int,
 	names []string, asJSON, perMod bool, trcOut string, vramMiB int64,
-	telOut string, telWin, sloDeadline sim.Time) {
+	telOut string, telWin, sloDeadline sim.Time, gwName string, admitPS float64) {
 	var bal cluster.Balancer
-	switch balName {
-	case "round-robin":
-		bal = cluster.NewRoundRobin()
-	case "least-loaded":
-		bal = cluster.NewLeastLoaded()
-	case "model-affinity":
-		bal = cluster.NewModelAffinity(0)
-	case "residency-aware":
-		bal = cluster.NewResidencyAware(nil)
-	default:
-		fatal("unknown balancer %q", balName)
+	if gwName != "" {
+		var gerr error
+		if bal, gerr = gateway.New(gwName); gerr != nil {
+			fatal("%v", gerr)
+		}
+	} else {
+		switch balName {
+		case "round-robin":
+			bal = cluster.NewRoundRobin()
+		case "least-loaded":
+			bal = cluster.NewLeastLoaded()
+		case "model-affinity":
+			bal = cluster.NewModelAffinity(0)
+		case "residency-aware":
+			bal = cluster.NewResidencyAware(nil)
+		default:
+			fatal("unknown balancer %q (or use -gateway)", balName)
+		}
 	}
 
 	w := sim.NewWorld()
@@ -369,6 +397,12 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 		}
 	}
 
+	if admitPS > 0 {
+		c.SetAdmission(gateway.NewAdmission(gateway.AdmissionConfig{
+			Default: gateway.TenantLimit{RatePerSec: admitPS},
+		}))
+	}
+
 	conn := c.Connect()
 	completed, failed := 0, 0
 	conn.OnComplete = func(uint64) { completed++ }
@@ -388,17 +422,19 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 
 	var submit func(req core.Request)
 	submit = func(req core.Request) {
-		if conn.Submit(req) < 0 && c.LiveReplicas() > 0 {
-			// Ring full at extreme overload: retry shortly (the client
-			// library's backoff), keeping the original submit time so the
-			// backoff shows up in JCT.
+		// -1 is retryable (ring full at extreme overload): retry shortly
+		// (the client library's backoff), keeping the original submit time
+		// so the backoff shows up in JCT. cluster.Shed is terminal — the
+		// gateway already failed the request — and must not be retried.
+		if conn.Submit(req) == -1 && c.LiveReplicas() > 0 {
 			w.Ctrl().After(20*sim.Microsecond, func() { submit(req) })
 		}
 	}
 	for i, r := range reqs {
 		id, req := uint64(i+1), r
 		w.Ctrl().At(r.At, func() {
-			submit(core.Request{ID: id, Model: req.Model, Client: req.Client, Submit: w.Ctrl().Now()})
+			submit(core.Request{ID: id, Model: req.Model, Client: req.Client,
+				Tenant: req.Tenant, Submit: w.Ctrl().Now()})
 		})
 	}
 	w.RunUntil(opts.MaxSimTime)
@@ -426,6 +462,12 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 	}
 	fmt.Printf("system     : Paella ×%d replicas, balancer=%s\n", replicas, bal.Name())
 	fmt.Printf("engine     : conservative-window %s, Δ=%v\n", mode, time.Duration(window))
+	if a := c.Admission(); a != nil {
+		fmt.Printf("admission  : %.0f req/s per tenant; shed=%d\n", admitPS, a.TotalShed())
+		for _, st := range a.Stats() {
+			fmt.Printf("  %-12s admitted=%-6d shed=%d\n", st.Tenant, st.Admitted, st.Shed)
+		}
+	}
 	fmt.Printf("workload   : %d jobs, %.0f req/s offered, σ=%.1f, %d clients, models=%s\n",
 		jobs, rate, sigma, clients, strings.Join(names, ","))
 	fmt.Printf("completed  : %d (%.1f%%)\n", completed, 100*float64(completed)/float64(jobs))
@@ -472,7 +514,7 @@ func runCluster(opts serving.Options, reqs []workload.Request, replicas int, par
 func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed int64,
 	vramMiB int64, maxBatch, maxTokens int, kvBlockKiB int64, static bool,
 	pdSplit string, replicas int, parallel bool, window sim.Time, asJSON bool,
-	telOut string, telWin, sloDeadline sim.Time) {
+	telOut string, telWin, sloDeadline sim.Time, gwName string, tenants int, admitPS float64) {
 	toks := workload.DefaultTokenSpec(seed)
 	if maxTokens > 0 {
 		toks.MaxOutput = maxTokens
@@ -494,6 +536,15 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 		cfg.KVBlockBytes = kvBlockKiB << 10
 	}
 	pdCfg := cluster.PDConfig{LLM: cfg, Prefills: replicas}
+	if gwName != "" {
+		pdCfg.MakePolicy = func() gateway.Policy {
+			pol, perr := gateway.New(gwName)
+			if perr != nil {
+				fatal("%v", perr)
+			}
+			return pol
+		}
+	}
 	deploy := fmt.Sprintf("colocated ×%d", replicas)
 	if pdSplit != "" {
 		p, d := 0, 0
@@ -513,6 +564,7 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 		Jobs:       jobs,
 		Clients:    clients,
 		Seed:       seed,
+		Tenants:    tenants,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -579,6 +631,11 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 		run = func(t sim.Time) { env.RunUntil(t) }
 	}
 
+	if admitPS > 0 {
+		pd.SetAdmission(gateway.NewAdmission(gateway.AdmissionConfig{
+			Default: gateway.TenantLimit{RatePerSec: admitPS},
+		}))
+	}
 	completed, failed := 0, 0
 	pd.OnFinish = func(rec metrics.JobRecord) {
 		if rec.Failed {
@@ -595,6 +652,10 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 			Submit: r.At,
 			Prompt: tk.Prompt,
 			Output: tk.Output,
+			Tenant: r.Tenant,
+			// Each client is one ongoing conversation: session affinity
+			// keeps its turns on the replica holding the KV state.
+			Session: uint64(r.Client) + 1,
 		}
 		schedule(r.At, func() { pd.Submit(req) })
 	}
@@ -617,6 +678,15 @@ func runLLM(devCfg gpu.Config, jobs int, rate, sigma float64, clients int, seed 
 	ttfts, tpots := col.TTFTs(), col.TPOTs()
 	transfers, kvBytes := pd.Transfers()
 	fmt.Printf("system     : Paella-LLM (%s batching), %s\n", mode, deploy)
+	if gwName != "" {
+		fmt.Printf("gateway    : policy=%s\n", gwName)
+	}
+	if a := pd.Admission(); a != nil {
+		fmt.Printf("admission  : %.0f req/s per tenant; shed=%d\n", admitPS, a.TotalShed())
+		for _, st := range a.Stats() {
+			fmt.Printf("  %-12s admitted=%-6d shed=%d\n", st.Tenant, st.Admitted, st.Shed)
+		}
+	}
 	fmt.Printf("workload   : %d reqs, %.0f req/s offered, σ=%.1f, %d clients, prompt~LN(%.0f), output~LN(%.0f)≤%d tok\n",
 		jobs, rate, sigma, clients, toks.PromptMean, toks.OutputMean, toks.MaxOutput)
 	fmt.Printf("completed  : %d (%.1f%%) failed=%d lost=%d\n",

@@ -43,6 +43,89 @@ func TestInternalPackageDocs(t *testing.T) {
 	}
 }
 
+// TestExportedSymbolDocs enforces the second half of the documentation
+// contract: every exported symbol in every internal/* package — function,
+// type, method, constructor, var, and const — carries a doc comment. The
+// check was introduced to cover internal/gateway's policy surface (the
+// registry is the extension point contributors touch first) and holds
+// repo-wide because the rest of the tree already meets it.
+func TestExportedSymbolDocs(t *testing.T) {
+	dirs, err := os.ReadDir("internal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		name := d.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("internal", name)
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+				return !strings.HasSuffix(fi.Name(), "_test.go")
+			}, parser.ParseComments)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pkg := range pkgs {
+				p := doc.New(pkg, dir, 0)
+				var missing []string
+				undocumented := func(label, docstr string) {
+					if strings.TrimSpace(docstr) == "" {
+						missing = append(missing, label)
+					}
+				}
+				for _, f := range p.Funcs {
+					undocumented(f.Name, f.Doc)
+				}
+				for _, ty := range p.Types {
+					undocumented(ty.Name, ty.Doc)
+					for _, m := range ty.Methods {
+						undocumented(ty.Name+"."+m.Name, m.Doc)
+					}
+					for _, fn := range ty.Funcs {
+						undocumented(fn.Name, fn.Doc)
+					}
+				}
+				// Vars and consts document per declaration group: a group
+				// comment (or per-spec comments inside it) covers its names.
+				for _, v := range p.Vars {
+					if strings.TrimSpace(v.Doc) == "" && exportedUncommented(v.Decl) {
+						missing = append(missing, v.Names...)
+					}
+				}
+				for _, c := range p.Consts {
+					if strings.TrimSpace(c.Doc) == "" && exportedUncommented(c.Decl) {
+						missing = append(missing, c.Names...)
+					}
+				}
+				if len(missing) > 0 {
+					t.Fatalf("package %s: exported symbols without doc comments: %s",
+						name, strings.Join(missing, ", "))
+				}
+			}
+		})
+	}
+}
+
+// exportedUncommented reports whether a var/const declaration group exports
+// a name whose value spec carries no comment of its own.
+func exportedUncommented(decl *ast.GenDecl) bool {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || vs.Doc != nil || vs.Comment != nil {
+			continue
+		}
+		for _, n := range vs.Names {
+			if ast.IsExported(n.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // packageDoc parses the directory (comments only) and returns its
 // non-test package's documentation comment.
 func packageDoc(t *testing.T, dir string) string {

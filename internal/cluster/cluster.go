@@ -1,23 +1,28 @@
 // Package cluster fronts multiple independent Paella instances — one
-// dispatcher per GPU — with a cluster-level balancer. The paper's §8 notes
-// that cluster-level scheduling composes with Paella through the standard
-// hierarchical-scheduling literature; this package provides that hook: a
-// request is routed to a GPU by a pluggable Balancer, then scheduled on
-// that GPU by the full Paella machinery.
+// dispatcher per GPU — with a cluster-level routing layer. The paper's §8
+// notes that cluster-level scheduling composes with Paella through the
+// standard hierarchical-scheduling literature; this package provides that
+// hook: a request is admitted and routed to a GPU by an internal/gateway
+// policy (predicted-latency, affinity, or the classic load heuristics),
+// then scheduled on that GPU by the full Paella machinery. Per-tenant
+// token-bucket admission control (gateway.Admission) sheds excess traffic
+// at the front door with a typed error before it can queue behind anyone
+// else's requests.
 package cluster
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 
 	"paella/internal/compiler"
 	"paella/internal/core"
+	"paella/internal/gateway"
 	"paella/internal/gpu"
 	"paella/internal/metrics"
 	"paella/internal/model"
 	"paella/internal/sched"
 	"paella/internal/sim"
+	"paella/internal/telemetry"
 	"paella/internal/trace"
 	"paella/internal/vram"
 )
@@ -27,162 +32,41 @@ import (
 // over to (or the failover submit could not be placed).
 var ErrReplicaCrashed = errors.New("cluster: replica crashed, failover impossible")
 
-// GPUView is the balancer's read-only view of one GPU's load.
-type GPUView struct {
-	// Index identifies the GPU within the cluster.
-	Index int
-	// InFlight is the number of admitted-but-unfinished jobs.
-	InFlight int
-	// Capacity is the GPU's thread-slot count (for heterogeneous
-	// clusters).
-	Capacity int
-	// Warm reports whether the GPU holds the current request's model
-	// weights resident in device memory; Loading, whether they are being
-	// paged in. Both false when the GPU runs without a VRAM budget
-	// (everything is implicitly warm — Submit then sets Warm).
-	Warm    bool
-	Loading bool
-}
+// Shed is the sentinel Conn.Submit returns for a request refused by the
+// gateway's admission control: the request is terminal (OnFailed has
+// already delivered gateway.ErrTenantShed) and must not be retried, unlike
+// the -1 ring-full result.
+const Shed = -2
 
-// loadOf returns the view's capacity-normalized load.
-func (g GPUView) loadOf() float64 {
-	cap := float64(g.Capacity)
-	if cap <= 0 {
-		cap = 1
-	}
-	return float64(g.InFlight) / cap
-}
+// GPUView is the routing policy's read-only view of one replica. It is the
+// gateway's Replica type: routing was extracted from this package into
+// internal/gateway, and the alias keeps existing call sites compiling.
+type GPUView = gateway.Replica
 
-// Balancer routes a request to a GPU.
-type Balancer interface {
-	// Name returns the balancer's short name.
-	Name() string
-	// Pick selects the target GPU for a request to the named model.
-	Pick(modelName string, gpus []GPUView) int
-}
-
-// roundRobin cycles through GPUs regardless of load.
-type roundRobin struct{ next int }
+// Balancer routes a request to a GPU. It is the gateway's Policy
+// interface; construct instances via the gateway registry (gateway.New) or
+// the re-exported constructors below.
+type Balancer = gateway.Policy
 
 // NewRoundRobin returns a load-oblivious rotating balancer.
-func NewRoundRobin() Balancer { return &roundRobin{} }
-
-func (b *roundRobin) Name() string { return "round-robin" }
-
-func (b *roundRobin) Pick(_ string, gpus []GPUView) int {
-	i := b.next % len(gpus)
-	b.next++
-	return i
-}
-
-// leastLoaded picks the GPU with the fewest in-flight jobs per unit of
-// capacity.
-type leastLoaded struct{}
+func NewRoundRobin() Balancer { return gateway.NewRoundRobin() }
 
 // NewLeastLoaded returns a capacity-normalized least-outstanding balancer.
-func NewLeastLoaded() Balancer { return leastLoaded{} }
-
-func (leastLoaded) Name() string { return "least-loaded" }
-
-func (leastLoaded) Pick(_ string, gpus []GPUView) int {
-	best, bestLoad := 0, -1.0
-	for _, g := range gpus {
-		load := g.loadOf()
-		if bestLoad < 0 || load < bestLoad {
-			best, bestLoad = g.Index, load
-		}
-	}
-	return best
-}
-
-// modelAffinity hashes each model onto a home GPU (maximizing warm-model
-// locality, as real clusters do to avoid reloading weights), spilling to
-// the least-loaded GPU when the home is overloaded beyond the spill
-// factor.
-type modelAffinity struct {
-	spill float64
-}
+func NewLeastLoaded() Balancer { return gateway.NewLeastLoaded() }
 
 // NewModelAffinity returns an affinity balancer that spills when the home
 // GPU carries more than spillFactor× the cluster-average load.
 func NewModelAffinity(spillFactor float64) Balancer {
-	if spillFactor <= 0 {
-		spillFactor = 2
-	}
-	return &modelAffinity{spill: spillFactor}
-}
-
-func (b *modelAffinity) Name() string { return "model-affinity" }
-
-func (b *modelAffinity) Pick(modelName string, gpus []GPUView) int {
-	h := fnv.New32a()
-	h.Write([]byte(modelName))
-	home := int(h.Sum32()) % len(gpus)
-	if home < 0 {
-		home += len(gpus)
-	}
-	// Compare capacity-normalized loads: on a heterogeneous cluster a big
-	// GPU legitimately carries more raw in-flight jobs than a small one,
-	// and raw counts would make the affinity balancer spill off (or stick
-	// to) the wrong GPUs.
-	total := 0.0
-	for _, g := range gpus {
-		total += g.loadOf()
-	}
-	avg := total / float64(len(gpus))
-	if avg > 0 && gpus[home].loadOf() > b.spill*avg {
-		return leastLoaded{}.Pick(modelName, gpus)
-	}
-	return home
-}
-
-// residencyAware routes to a GPU that already holds the model's weights —
-// first preferring resident copies, then in-flight loads (the weights are
-// already on the wire; joining them avoids a duplicate multi-hundred-MB
-// transfer) — falling back to the wrapped balancer when no GPU has the
-// model. Within each preference tier ties break by capacity-normalized
-// load, so a hot model still spreads across its warm replicas.
-type residencyAware struct {
-	fallback Balancer
+	return gateway.NewModelAffinity(spillFactor)
 }
 
 // NewResidencyAware returns the residency-aware balancer; a nil fallback
 // defaults to least-loaded.
 func NewResidencyAware(fallback Balancer) Balancer {
-	if fallback == nil {
-		fallback = NewLeastLoaded()
-	}
-	return &residencyAware{fallback: fallback}
+	return gateway.NewResidencyAware(fallback)
 }
 
-func (b *residencyAware) Name() string { return "residency-aware" }
-
-func (b *residencyAware) Pick(modelName string, gpus []GPUView) int {
-	if g := pickLeastLoadedWhere(gpus, func(g GPUView) bool { return g.Warm }); g >= 0 {
-		return g
-	}
-	if g := pickLeastLoadedWhere(gpus, func(g GPUView) bool { return g.Loading }); g >= 0 {
-		return g
-	}
-	return b.fallback.Pick(modelName, gpus)
-}
-
-// pickLeastLoadedWhere returns the least-loaded GPU satisfying ok, or -1.
-func pickLeastLoadedWhere(gpus []GPUView, ok func(GPUView) bool) int {
-	best, bestLoad := -1, 0.0
-	for _, g := range gpus {
-		if !ok(g) {
-			continue
-		}
-		load := g.loadOf()
-		if best < 0 || load < bestLoad {
-			best, bestLoad = g.Index, load
-		}
-	}
-	return best
-}
-
-// Cluster is a set of Paella instances behind one balancer.
+// Cluster is a set of Paella instances behind one gateway policy.
 type Cluster struct {
 	env *sim.Env
 	// world is non-nil when the cluster runs on the conservative-window
@@ -198,6 +82,17 @@ type Cluster struct {
 	// maintained at the balancer, where the routing decision is made
 	// (backend admission counters lag by the channel latency).
 	inflight []int
+	// pendingNs tracks each replica's routed-but-unfinished predicted work
+	// in nanoseconds of its own profiled service time — the queue signal
+	// behind predicted-latency routing. Charged at route time, refunded at
+	// the terminal event (or failover), using the same per-model cost so
+	// the account always drains to zero.
+	pendingNs []sim.Time
+	// costNs maps model → per-replica profiled service estimate
+	// (Profile.TotalTime of the per-device compilation); weightBytes maps
+	// model → weight footprint for the cold-start penalty estimate.
+	costNs      map[string][]sim.Time
+	weightBytes map[string]int64
 	// alive marks replicas that have not crashed; the balancer only ever
 	// sees live replicas. conns tracks every cluster-level connection for
 	// crash failover.
@@ -205,10 +100,67 @@ type Cluster struct {
 	crashes int
 	conns   []*Conn
 
+	// admission is the gateway's per-tenant token-bucket controller (nil =
+	// no admission control). shedCol collects the failed records of shed
+	// requests so Collector() preserves the conservation invariant.
+	admission *gateway.Admission
+	shedCol   *metrics.Collector
+
 	// rec is the structured tracing recorder (nil = disabled); routing
 	// decisions are instants on routeTrack.
 	rec        *trace.Recorder
 	routeTrack trace.TrackID
+
+	// gw holds the lazily registered gateway telemetry instruments. They
+	// register on first use of a gateway feature (admission, tenants, or a
+	// prediction-driven policy), never for classic balancer runs — keeping
+	// pre-gateway telemetry exports byte-identical.
+	gw gwMetrics
+}
+
+// gwMetrics is the cluster's gateway-layer instrument set on the control
+// timeline's meter: one routed counter and predicted-latency histogram per
+// policy, a fleet-wide shed counter, and per-tenant admitted/shed
+// counters created as tenants first appear.
+type gwMetrics struct {
+	on       bool
+	mt       *telemetry.Meter
+	routed   telemetry.MetricID
+	predNs   telemetry.MetricID
+	shed     telemetry.MetricID
+	admitted telemetry.MetricID
+	tenants  map[string]tenantMetrics
+}
+
+type tenantMetrics struct {
+	admitted telemetry.MetricID
+	shed     telemetry.MetricID
+}
+
+// activate registers the gateway instruments (idempotent).
+func (g *gwMetrics) activate(policy string) {
+	if g.on {
+		return
+	}
+	g.on = true
+	g.routed = g.mt.Counter("gateway/" + policy + "/routed")
+	g.predNs = g.mt.Histogram("gateway/" + policy + "/predicted_ns")
+	g.admitted = g.mt.Counter("gateway/admitted")
+	g.shed = g.mt.Counter("gateway/shed")
+	g.tenants = make(map[string]tenantMetrics)
+}
+
+// tenant returns (registering on first sight) the tenant's counters.
+func (g *gwMetrics) tenant(name string) tenantMetrics {
+	tm, ok := g.tenants[name]
+	if !ok {
+		tm = tenantMetrics{
+			admitted: g.mt.Counter("gateway/tenant/" + name + "/admitted"),
+			shed:     g.mt.Counter("gateway/tenant/" + name + "/shed"),
+		}
+		g.tenants[name] = tm
+	}
+	return tm
 }
 
 // New builds a cluster with one dispatcher per device configuration
@@ -254,7 +206,15 @@ func build(env *sim.Env, w *sim.World, devs []gpu.Config, mkCfg func(i int, dev 
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("cluster: no devices")
 	}
-	c := &Cluster{env: env, world: w, balancer: b, inflight: make([]int, len(devs)), alive: make([]bool, len(devs))}
+	c := &Cluster{
+		env: env, world: w, balancer: b,
+		inflight:    make([]int, len(devs)),
+		pendingNs:   make([]sim.Time, len(devs)),
+		alive:       make([]bool, len(devs)),
+		costNs:      make(map[string][]sim.Time),
+		weightBytes: make(map[string]int64),
+		shedCol:     metrics.NewCollector(),
+	}
 	for i := range c.alive {
 		c.alive[i] = true
 	}
@@ -262,6 +222,7 @@ func build(env *sim.Env, w *sim.World, devs []gpu.Config, mkCfg func(i int, dev 
 		c.rec = rec
 		c.routeTrack = rec.Thread(rec.Process("cluster"), "route")
 	}
+	c.gw.mt = telemetry.FromEnv(env)
 	for i, dev := range devs {
 		denv := env
 		if w != nil {
@@ -278,8 +239,28 @@ func build(env *sim.Env, w *sim.World, devs []gpu.Config, mkCfg func(i int, dev 
 			Capacity: dev.NumSMs * dev.SM.MaxThreads,
 		})
 	}
+	// A prediction-driven policy activates the gateway instruments up
+	// front; classic balancers stay instrument-free unless admission or
+	// tenancy appears.
+	if n := b.Name(); n == "predicted-latency" || n == "affinity" {
+		c.gw.activate(n)
+	}
 	return c, nil
 }
+
+// SetAdmission installs (or, with nil, removes) the gateway's per-tenant
+// token-bucket admission controller. Requests whose tenant is over its
+// rate terminate immediately with gateway.ErrTenantShed through
+// Conn.OnFailed and a failed record in Collector().
+func (c *Cluster) SetAdmission(a *gateway.Admission) {
+	c.admission = a
+	if a != nil {
+		c.gw.activate(c.balancer.Name())
+	}
+}
+
+// Admission returns the installed admission controller, or nil.
+func (c *Cluster) Admission() *gateway.Admission { return c.admission }
 
 // World returns the conservative-window engine the cluster runs on, or nil
 // when it runs on a single serial Env.
@@ -292,9 +273,13 @@ func (c *Cluster) Size() int { return len(c.disps) }
 func (c *Cluster) Dispatcher(i int) *core.Dispatcher { return c.disps[i] }
 
 // RegisterModel compiles the model per device configuration and registers
-// it everywhere (heterogeneous clusters profile separately per GPU).
+// it everywhere (heterogeneous clusters profile separately per GPU). The
+// per-device profiles also feed the gateway's latency predictor: each
+// replica advertises queue depth and request cost in its own profiled
+// nanoseconds.
 func (c *Cluster) RegisterModel(m *model.Model, cfg compiler.Config, profileRuns int) error {
-	for _, d := range c.disps {
+	costs := make([]sim.Time, len(c.disps))
+	for i, d := range c.disps {
 		ins, err := compiler.Compile(m, cfg, d.Device().Config(), profileRuns)
 		if err != nil {
 			return err
@@ -302,7 +287,10 @@ func (c *Cluster) RegisterModel(m *model.Model, cfg compiler.Config, profileRuns
 		if err := d.RegisterModel(ins); err != nil {
 			return err
 		}
+		costs[i] = ins.Profile.TotalTime()
 	}
+	c.costNs[m.Name] = costs
+	c.weightBytes[m.Name] = int64(m.WeightBytes)
 	return nil
 }
 
@@ -331,7 +319,8 @@ type Conn struct {
 	OnComplete func(reqID uint64)
 	// OnFailed receives every request id that terminated with a typed error
 	// (dispatcher-side failures pass through; ErrReplicaCrashed when
-	// failover was impossible).
+	// failover was impossible; gateway.ErrTenantShed when admission refused
+	// the request).
 	OnFailed func(reqID uint64, err error)
 }
 
@@ -378,7 +367,7 @@ func (cn *Conn) terminal(g int, id uint64, err error) {
 		return
 	}
 	delete(cn.pending, id)
-	cn.cluster.inflight[g]--
+	cn.cluster.unroute(g, rt.req)
 	if err != nil {
 		if cn.OnFailed != nil {
 			cn.OnFailed(id, err)
@@ -390,14 +379,90 @@ func (cn *Conn) terminal(g int, id uint64, err error) {
 	}
 }
 
-// Submit routes the request through the balancer to one live GPU. It
-// returns the chosen GPU index, or -1 if that GPU's ring was full or no
-// live replica remains.
+// unroute refunds a request's routing account on replica g.
+func (c *Cluster) unroute(g int, req core.Request) {
+	c.inflight[g]--
+	c.pendingNs[g] -= c.costOf(g, req.Model)
+}
+
+// costOf returns the profiled service estimate of the model on replica g
+// (zero for models registered outside RegisterModel).
+func (c *Cluster) costOf(g int, model string) sim.Time {
+	if costs, ok := c.costNs[model]; ok {
+		return costs[g]
+	}
+	return 0
+}
+
+// loadPenalty estimates the weight-load time a cold request would pay on
+// replica g: the model's weight footprint over the replica's PCIe link
+// (including any injected brownout), zero when the replica has no VRAM
+// budget or the model is unknown.
+func (c *Cluster) loadPenalty(g int, model string) sim.Time {
+	bytes := c.weightBytes[model]
+	if bytes <= 0 {
+		return 0
+	}
+	pcie := c.disps[g].PCIe()
+	if pcie == nil {
+		return 0
+	}
+	return pcie.Duration(int(bytes))
+}
+
+// Submit routes the request through the admission controller and the
+// gateway policy to one live GPU. It returns the chosen GPU index; -1 if
+// that GPU's ring was full or no live replica remains (retryable); or Shed
+// if admission refused the request (terminal — OnFailed has fired with
+// gateway.ErrTenantShed).
 func (cn *Conn) Submit(req core.Request) int {
 	c := cn.cluster
-	// The balancer only sees live replicas. Its contract returns either a
-	// position in the slice it was given or that element's Index field, so
-	// the compacted slice renumbers Index to its own positions and liveIdx
+	if err := c.admission.Admit(req.Tenant, c.env.Now()); err != nil {
+		cn.shed(req, err)
+		return Shed
+	}
+	if c.admission != nil {
+		c.gw.mt.Add(c.gw.admitted, c.env.Now(), 1)
+		if req.Tenant != "" {
+			c.gw.mt.Add(c.gw.tenant(req.Tenant).admitted, c.env.Now(), 1)
+		}
+	}
+	return cn.submitRouted(req)
+}
+
+// shed terminates an admission-refused request: a failed record with the
+// typed reason (conservation: every request still ends in exactly one
+// terminal event), telemetry counters, a trace instant, and the client
+// callback.
+func (cn *Conn) shed(req core.Request, err error) {
+	c := cn.cluster
+	now := c.env.Now()
+	c.shedCol.Add(metrics.JobRecord{
+		ID: req.ID, Model: req.Model, Client: req.Client, Tenant: req.Tenant,
+		Submit: req.Submit, Admit: now, ExecDone: now, Delivered: now,
+		Failed: true, FailureReason: err.Error(),
+	})
+	c.gw.mt.Add(c.gw.shed, now, 1)
+	if req.Tenant != "" {
+		c.gw.mt.Add(c.gw.tenant(req.Tenant).shed, now, 1)
+	}
+	if c.rec != nil {
+		c.rec.InstantArgs(c.routeTrack, req.Model, "shed", now,
+			trace.Int("id", int64(req.ID)),
+			trace.Str("tenant", req.Tenant))
+	}
+	if cn.OnFailed != nil {
+		cn.OnFailed(req.ID, err)
+	}
+}
+
+// submitRouted routes an already-admitted request (failover re-entries
+// skip admission — the request was charged once at first submission).
+func (cn *Conn) submitRouted(req core.Request) int {
+	c := cn.cluster
+	// The policy only sees live replicas. Its contract returns a position
+	// in the slice it was given, so the compacted slice renumbers Index to
+	// its own positions (ID keeps the stable physical index) and liveIdx
 	// maps the pick back to the real GPU.
 	views := c.views[:0:0]
 	var liveIdx []int
@@ -407,17 +472,23 @@ func (cn *Conn) Submit(req core.Request) int {
 		}
 		v := GPUView{
 			Index:    len(views),
+			ID:       i,
 			InFlight: c.inflight[i],
 			Capacity: c.views[i].Capacity,
+			QueueNs:  c.pendingNs[i],
+			CostNs:   c.costOf(i, req.Model),
 		}
 		v.Warm, v.Loading = c.residency(i, req.Model)
+		if !v.Warm {
+			v.LoadPenaltyNs = c.loadPenalty(i, req.Model)
+		}
 		views = append(views, v)
 		liveIdx = append(liveIdx, i)
 	}
 	if len(views) == 0 {
 		return -1
 	}
-	pick := c.balancer.Pick(req.Model, views)
+	pick := c.balancer.Pick(gateway.Request{Model: req.Model, Tenant: req.Tenant, Session: req.Session}, views)
 	if pick < 0 || pick >= len(views) {
 		panic(fmt.Sprintf("cluster: balancer %q picked GPU %d of %d", c.balancer.Name(), pick, len(views)))
 	}
@@ -428,6 +499,10 @@ func (cn *Conn) Submit(req core.Request) int {
 			trace.Str("balancer", c.balancer.Name()),
 			trace.Bool("warm", views[pick].Warm),
 			trace.Bool("loading", views[pick].Loading))
+	}
+	if c.gw.on {
+		c.gw.mt.Add(c.gw.routed, c.env.Now(), 1)
+		c.gw.mt.Observe(c.gw.predNs, c.env.Now(), float64(views[pick].Predicted()))
 	}
 	orig := req
 	req.Client = cn.conns[g].ID
@@ -440,6 +515,7 @@ func (cn *Conn) Submit(req core.Request) int {
 		cn.compactOrder()
 	}
 	c.inflight[g]++
+	c.pendingNs[g] += views[pick].CostNs
 	return g
 }
 
@@ -482,7 +558,8 @@ func (c *Cluster) Crash(i int) {
 
 // failover re-routes the connection's requests pending on crashed GPU g, in
 // submission order (via the insertion-ordered id list — never map
-// iteration, whose order varies run to run).
+// iteration, whose order varies run to run). Re-entries skip admission:
+// each request was charged against its tenant once, at first submission.
 func (cn *Conn) failover(g int) {
 	var ids []uint64
 	for _, id := range cn.order {
@@ -498,8 +575,8 @@ func (cn *Conn) failover(g int) {
 			continue
 		}
 		delete(cn.pending, id)
-		cn.cluster.inflight[g]--
-		if cn.Submit(rt.req) < 0 {
+		cn.cluster.unroute(g, rt.req)
+		if cn.submitRouted(rt.req) < 0 {
 			if cn.OnFailed != nil {
 				cn.OnFailed(id, ErrReplicaCrashed)
 			}
@@ -541,13 +618,17 @@ func (c *Cluster) residency(i int, modelName string) (warm, loading bool) {
 	}
 }
 
-// Collector returns a merged view of all GPUs' completion records.
+// Collector returns a merged view of all GPUs' completion records, plus
+// the failed records of gateway-shed requests.
 func (c *Cluster) Collector() *metrics.Collector {
 	merged := metrics.NewCollector()
 	for _, d := range c.disps {
 		for _, r := range d.Collector().Records() {
 			merged.Add(r)
 		}
+	}
+	for _, r := range c.shedCol.Records() {
+		merged.Add(r)
 	}
 	return merged
 }

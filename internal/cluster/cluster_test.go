@@ -5,6 +5,7 @@ import (
 
 	"paella/internal/compiler"
 	"paella/internal/core"
+	"paella/internal/gateway"
 	"paella/internal/gpu"
 	"paella/internal/model"
 	"paella/internal/sched"
@@ -90,7 +91,7 @@ func TestLeastLoadedCapacityNormalized(t *testing.T) {
 		{Index: 0, InFlight: 2, Capacity: big.NumSMs * big.SM.MaxThreads},
 		{Index: 1, InFlight: 1, Capacity: small.NumSMs * small.SM.MaxThreads},
 	}
-	if got := NewLeastLoaded().Pick("m", views); got != 0 {
+	if got := NewLeastLoaded().Pick(gateway.Request{Model: "m"}, views); got != 0 {
 		t.Fatalf("capacity-normalized pick = %d, want 0 (big GPU)", got)
 	}
 }
@@ -98,16 +99,16 @@ func TestLeastLoadedCapacityNormalized(t *testing.T) {
 func TestModelAffinityStable(t *testing.T) {
 	b := NewModelAffinity(100) // never spill
 	views := []GPUView{{Index: 0}, {Index: 1}, {Index: 2}}
-	first := b.Pick("resnet18", views)
+	first := b.Pick(gateway.Request{Model: "resnet18"}, views)
 	for i := 0; i < 5; i++ {
-		if got := b.Pick("resnet18", views); got != first {
+		if got := b.Pick(gateway.Request{Model: "resnet18"}, views); got != first {
 			t.Fatalf("affinity not stable: %d then %d", first, got)
 		}
 	}
 	// Different models should (for these names) not all land together.
 	spread := map[int]bool{first: true}
 	for _, m := range []string{"mobilenetv2", "inceptionv3", "densenet", "googlenet"} {
-		spread[b.Pick(m, views)] = true
+		spread[b.Pick(gateway.Request{Model: m}, views)] = true
 	}
 	if len(spread) < 2 {
 		t.Fatal("affinity hashed every model to one GPU")
@@ -117,12 +118,12 @@ func TestModelAffinityStable(t *testing.T) {
 func TestModelAffinitySpills(t *testing.T) {
 	b := NewModelAffinity(1.5)
 	views := []GPUView{{Index: 0, InFlight: 0, Capacity: 1}, {Index: 1, InFlight: 0, Capacity: 1}}
-	home := b.Pick("resnet18", views)
+	home := b.Pick(gateway.Request{Model: "resnet18"}, views)
 	// Overload the home GPU: with spill factor 1.5 and average load 5,
 	// home load 10 > 7.5 ⇒ spill to the other GPU.
 	views[home].InFlight = 10
 	views[1-home].InFlight = 0
-	if got := b.Pick("resnet18", views); got == home {
+	if got := b.Pick(gateway.Request{Model: "resnet18"}, views); got == home {
 		t.Fatalf("affinity did not spill from overloaded home %d", home)
 	}
 }
@@ -199,13 +200,13 @@ func TestModelAffinityHeterogeneousNormalized(t *testing.T) {
 		{Index: 0, Capacity: 10},
 		{Index: 1, Capacity: 100},
 	}
-	home := b.Pick("resnet18", views)
+	home := b.Pick(gateway.Request{Model: "resnet18"}, views)
 
 	// Load both GPUs to identical normalized load (0.4): raw counts differ
 	// 10×, but neither is relatively overloaded, so the home sticks.
 	views[0].InFlight = 4
 	views[1].InFlight = 40
-	if got := b.Pick("resnet18", views); got != home {
+	if got := b.Pick(gateway.Request{Model: "resnet18"}, views); got != home {
 		t.Fatalf("affinity spilled from proportionally-loaded home %d to %d", home, got)
 	}
 
@@ -224,7 +225,7 @@ func TestModelAffinityHeterogeneousNormalized(t *testing.T) {
 		// the normalized comparison does.
 		views[1].InFlight = 20 // load 0.2
 	}
-	if got := b.Pick("resnet18", views); got == home {
+	if got := b.Pick(gateway.Request{Model: "resnet18"}, views); got == home {
 		t.Fatalf("affinity failed to spill from overloaded home %d (views %+v)", home, views)
 	}
 }
@@ -238,23 +239,23 @@ func TestResidencyAwarePickPrefersWarm(t *testing.T) {
 		{Index: 0, InFlight: 9, Capacity: 10, Warm: true},
 		{Index: 1, InFlight: 0, Capacity: 10},
 	}
-	if got := b.Pick("m", views); got != 0 {
+	if got := b.Pick(gateway.Request{Model: "m"}, views); got != 0 {
 		t.Fatalf("picked cold idle GPU %d over warm busy one", got)
 	}
 	// Two warm replicas: normalized load breaks the tie.
 	views[1].Warm = true
-	if got := b.Pick("m", views); got != 1 {
+	if got := b.Pick(gateway.Request{Model: "m"}, views); got != 1 {
 		t.Fatalf("picked busier warm replica %d", got)
 	}
 	// No warm copy, one loading: join the in-flight load.
 	views[0].Warm, views[1].Warm = false, false
 	views[0].Loading = true
-	if got := b.Pick("m", views); got != 0 {
+	if got := b.Pick(gateway.Request{Model: "m"}, views); got != 0 {
 		t.Fatalf("did not join in-flight load, picked %d", got)
 	}
 	// All cold: fall back to least-loaded.
 	views[0].Loading = false
-	if got := b.Pick("m", views); got != 1 {
+	if got := b.Pick(gateway.Request{Model: "m"}, views); got != 1 {
 		t.Fatalf("fallback picked %d, want least-loaded 1", got)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"paella/internal/compiler"
 	"paella/internal/core"
 	"paella/internal/fault"
+	"paella/internal/gateway"
 	"paella/internal/gpu"
 	"paella/internal/llm"
 	"paella/internal/metrics"
@@ -332,6 +333,143 @@ func TestWorldSerialParallelBitIdenticalLLM(t *testing.T) {
 					t.Fatal("telemetry export diverges between serial and parallel")
 				}
 			})
+		}
+	}
+}
+
+// runWorldGateway executes one cell of the matrix's gateway column: a
+// tenant-tagged workload routed by a gateway policy (predicted-latency or
+// affinity) with optional token-bucket admission, on the World engine. The
+// control timeline carries its own meter so the gateway's routing and
+// admission instruments join the bit-identity comparison.
+func runWorldGateway(t *testing.T, seed int64, mkBal func() cluster.Balancer, admitPS float64, parallel bool) worldRunResult {
+	t.Helper()
+	w := sim.NewWorld()
+	w.SetParallel(parallel)
+	defer w.Close()
+	ctrlMt := telemetry.NewMeter("front", 0)
+	w.Ctrl().SetMeter(ctrlMt)
+	shardMts := []*telemetry.Meter{ctrlMt}
+	devs := []gpu.Config{gpu.TeslaT4(), gpu.TeslaT4(), gpu.TeslaT4(), gpu.TeslaT4()}
+	c, err := cluster.NewWorldWithConfig(w, devs, func(int, gpu.Config) core.Config {
+		return core.DefaultConfig(sched.NewPaella(10000))
+	}, mkBal(), func(i int, shard *sim.Env) {
+		mt := telemetry.NewMeter(fmt.Sprintf("replica%d", i), 0)
+		shard.SetMeter(mt)
+		shardMts = append(shardMts, mt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterModel(model.TinyNet(), compiler.DefaultConfig(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if admitPS > 0 {
+		// A shallow bucket (Burst 4) against the trace's ~28k req/s arrival
+		// spike guarantees the shed path is exercised in-cell.
+		c.SetAdmission(gateway.NewAdmission(gateway.AdmissionConfig{
+			Default: gateway.TenantLimit{RatePerSec: admitPS, Burst: 4},
+		}))
+	}
+	conn := c.Connect()
+	res := worldRunResult{}
+	fails := map[uint64]string{}
+	conn.OnComplete = func(uint64) { res.completed++ }
+	conn.OnFailed = func(id uint64, err error) {
+		res.failed++
+		fails[id] = err.Error()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const n = 90
+	at := sim.Time(0)
+	last := sim.Time(0)
+	tenants := []string{"tenant-a", "tenant-b", "tenant-c"}
+	for i := 0; i < n; i++ {
+		at += sim.Time(rng.Intn(60)+5) * sim.Microsecond
+		last = at
+		id := uint64(i + 1)
+		tn := tenants[i%len(tenants)]
+		session := uint64(i%5) + 1
+		w.Ctrl().At(at, func() {
+			conn.Submit(core.Request{ID: id, Model: "tinynet", Tenant: tn,
+				Session: session, Submit: w.Ctrl().Now()})
+		})
+	}
+	w.RunUntil(last + 4*sim.Second)
+	recs := c.Collector().Records()
+	sort.Slice(recs, func(a, b int) bool { return recs[a].ID < recs[b].ID })
+	mj, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.metricsJSON = string(mj)
+	var fids []uint64
+	for id := range fails {
+		fids = append(fids, id)
+	}
+	sort.Slice(fids, func(a, b int) bool { return fids[a] < fids[b] })
+	for _, id := range fids {
+		res.failures += fmt.Sprintf("%d:%s;", id, fails[id])
+	}
+	var tbuf bytes.Buffer
+	if err := telemetry.WriteJSON(&tbuf, w.Ctrl().Now(), telemetry.Export{Meters: shardMts}); err != nil {
+		t.Fatal(err)
+	}
+	res.telemetryJSON = tbuf.String()
+	return res
+}
+
+// TestWorldSerialParallelBitIdenticalGateway extends the acceptance matrix
+// with the gateway column: seeds × {predicted-latency, affinity} ×
+// {admission off, admission on}, each run serially and in parallel. The
+// comparison covers per-request metrics (including tenant tags and shed
+// records), failure summaries, and the telemetry export with the gateway's
+// routing, prediction, and per-tenant admission instruments.
+func TestWorldSerialParallelBitIdenticalGateway(t *testing.T) {
+	balancers := []struct {
+		name string
+		mk   func() cluster.Balancer
+	}{
+		{"predicted-latency", gateway.NewPredictedLatency},
+		{"affinity", func() cluster.Balancer { return gateway.NewAffinity(0) }},
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		for _, b := range balancers {
+			for _, admitPS := range []float64{0, 3000} {
+				mode := "admit-off"
+				if admitPS > 0 {
+					mode = "admit-on"
+				}
+				name := fmt.Sprintf("seed%d/%s/%s", seed, b.name, mode)
+				t.Run(name, func(t *testing.T) {
+					serial := runWorldGateway(t, seed, b.mk, admitPS, false)
+					par := runWorldGateway(t, seed, b.mk, admitPS, true)
+					if serial.completed == 0 {
+						t.Fatal("no requests completed; workload broken")
+					}
+					if serial.completed+serial.failed != 90 {
+						t.Fatalf("conservation: %d completed + %d failed != 90",
+							serial.completed, serial.failed)
+					}
+					if admitPS > 0 && serial.failed == 0 {
+						t.Fatal("admission cell shed nothing; tighten the rate")
+					}
+					if serial.completed != par.completed || serial.failed != par.failed {
+						t.Fatalf("outcome counts diverge: serial %d/%d, parallel %d/%d",
+							serial.completed, serial.failed, par.completed, par.failed)
+					}
+					if serial.metricsJSON != par.metricsJSON {
+						t.Fatal("per-request metrics JSON diverges between serial and parallel")
+					}
+					if serial.failures != par.failures {
+						t.Fatalf("failure summaries diverge:\n serial: %s\n parallel: %s",
+							serial.failures, par.failures)
+					}
+					if serial.telemetryJSON != par.telemetryJSON {
+						t.Fatal("telemetry export diverges between serial and parallel")
+					}
+				})
+			}
 		}
 	}
 }

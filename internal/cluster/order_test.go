@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"paella/internal/core"
+	"paella/internal/gateway"
 	"paella/internal/sim"
 )
 
@@ -41,7 +42,7 @@ func TestFailoverSubmissionOrder(t *testing.T) {
 type pinned struct{ gpu int }
 
 func (p *pinned) Name() string { return "pinned" }
-func (p *pinned) Pick(_ string, gpus []GPUView) int {
+func (p *pinned) Pick(_ gateway.Request, gpus []GPUView) int {
 	if p.gpu < len(gpus) {
 		return p.gpu
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"paella/internal/cudart"
+	"paella/internal/gateway"
 	"paella/internal/llm"
 	"paella/internal/metrics"
 	"paella/internal/sim"
@@ -31,6 +32,21 @@ type PDConfig struct {
 	// per-shard trace recorders or telemetry meters. On a serial Env it
 	// runs once per engine with the shared Env.
 	ShardSetup func(i int, env *sim.Env)
+	// MakePolicy, if set, replaces the built-in least-outstanding routing
+	// with a gateway policy: one instance routes submissions (across the
+	// prefill replicas, or the whole colocated fleet) and a second,
+	// independent instance places KV handoffs across the decode replicas.
+	// Replica views carry queued work and request cost in profiled
+	// token-time, so predicted-latency and affinity compose with
+	// disaggregation. Nil keeps the legacy router bit-for-bit.
+	MakePolicy func() gateway.Policy
+	// Engines, if set, overrides the per-engine llm config (length must be
+	// Prefills+Decodes). This models heterogeneous pools — a degraded or
+	// throttled replica, a mixed-generation fleet — and each engine's
+	// profiled kernel means price its own replica view, so the gateway's
+	// predicted-latency policy sees the speed difference that a raw
+	// in-flight count hides. Nil uses LLM for every engine.
+	Engines []llm.Config
 }
 
 func (c *PDConfig) withDefaults() (PDConfig, error) {
@@ -47,7 +63,20 @@ func (c *PDConfig) withDefaults() (PDConfig, error) {
 	if out.LinkBytesPerNs == 0 {
 		out.LinkBytesPerNs = 12.0
 	}
+	if out.Engines != nil && len(out.Engines) != out.Prefills+out.Decodes {
+		return out, fmt.Errorf("cluster: %d engine configs for %d replicas",
+			len(out.Engines), out.Prefills+out.Decodes)
+	}
 	return out, nil
+}
+
+// engineCfg returns engine i's llm config: the per-engine override when
+// PDConfig.Engines is set, the shared LLM config otherwise.
+func (c *PDConfig) engineCfg(i int) llm.Config {
+	if c.Engines != nil {
+		return c.Engines[i]
+	}
+	return c.LLM
 }
 
 // PD fronts a set of llm engines with least-outstanding routing and, when
@@ -67,6 +96,20 @@ type PD struct {
 	// maintained at the front where routing decides.
 	inflight []int
 	link     *cudart.PCIeLink
+
+	// Gateway-policy state (all inert when cfg.MakePolicy is nil): the
+	// submit- and handoff-side policy instances, per-engine queued
+	// token-time, each request's outstanding charge, each engine's profiled
+	// prefill/decode means, the admission controller, and shed records.
+	routePol  gateway.Policy
+	decodePol gateway.Policy
+	pendingNs []sim.Time
+	charge    map[uint64]chargeEntry
+	prefillNs []sim.Time
+	decodeNs  []sim.Time
+	admission *gateway.Admission
+	shedCol   *metrics.Collector
+	gw        gwMetrics
 
 	transfers int
 	kvBytes   int64
@@ -101,12 +144,19 @@ func buildPD(env *sim.Env, w *sim.World, cfg PDConfig) (*PD, error) {
 	if err != nil {
 		return nil, err
 	}
-	pd := &PD{env: env, world: w, cfg: cfg}
+	pd := &PD{env: env, world: w, cfg: cfg, shedCol: metrics.NewCollector()}
 	pd.link = cudart.NewPCIeLink(env, cfg.LinkLatency, cfg.LinkBytesPerNs)
 	if mt := telemetry.FromEnv(env); mt != nil {
 		pd.mt = mt
 		pd.mtHandoffs = mt.Counter("pd/kv_handoffs")
 		pd.mtKVNs = mt.Histogram("pd/kv_handoff_ns")
+	}
+	pd.gw.mt = telemetry.FromEnv(env)
+	if cfg.MakePolicy != nil {
+		pd.routePol = cfg.MakePolicy()
+		pd.decodePol = cfg.MakePolicy()
+		pd.charge = make(map[uint64]chargeEntry)
+		pd.gw.activate(pd.routePol.Name())
 	}
 	n := cfg.Prefills + cfg.Decodes
 	for i := 0; i < n; i++ {
@@ -119,11 +169,15 @@ func buildPD(env *sim.Env, w *sim.World, cfg PDConfig) (*PD, error) {
 		}
 		// Each engine compiles its own copy: the Compiled's launch-spec
 		// caches are mutated at runtime and must not be shared across
-		// shards. Profiling is deterministic, so the copies agree.
-		comp, err := llm.CompileSpec(cfg.LLM)
+		// shards. Profiling is deterministic, so same-config copies agree.
+		comp, err := llm.CompileSpec(cfg.engineCfg(i))
 		if err != nil {
 			return nil, err
 		}
+		// Each engine's own profiled means price its replica view — on a
+		// heterogeneous pool a slow engine quotes honest (higher) costs.
+		pd.prefillNs = append(pd.prefillNs, comp.PrefillMean())
+		pd.decodeNs = append(pd.decodeNs, comp.DecodeMean())
 		col := metrics.NewCollector()
 		eng, err := llm.NewEngine(senv, comp, col)
 		if err != nil {
@@ -138,9 +192,56 @@ func buildPD(env *sim.Env, w *sim.World, cfg PDConfig) (*PD, error) {
 		pd.envs = append(pd.envs, senv)
 		pd.cols = append(pd.cols, col)
 		pd.inflight = append(pd.inflight, 0)
+		pd.pendingNs = append(pd.pendingNs, 0)
 	}
 	return pd, nil
 }
+
+// chargeEntry is one outstanding request's routing account: the engine it
+// is charged to and the profiled token-time charged.
+type chargeEntry struct {
+	engine int
+	cost   sim.Time
+}
+
+// prefillCost prices one request's prefill pass on engine g by scaling
+// g's profiled mean (measured at Spec.ProfilePromptTokens) to the actual
+// prompt length — the prefill grid grows with tokens, so a 2000-token
+// prompt is not one unit of load but ten.
+func (pd *PD) prefillCost(g, promptTokens int) sim.Time {
+	basis := pd.cfg.engineCfg(g).Spec.ProfilePromptTokens
+	if basis <= 0 || promptTokens <= 0 {
+		return pd.prefillNs[g]
+	}
+	return pd.prefillNs[g] * sim.Time(promptTokens) / sim.Time(basis)
+}
+
+// requestCost prices one request on engine g: its prefill pass plus, when
+// the engine also decodes (colocated deployments), its decode iterations.
+func (pd *PD) requestCost(g int, req llm.Request) sim.Time {
+	cost := pd.prefillCost(g, req.Prompt)
+	if !pd.split() {
+		cost += sim.Time(req.Output) * pd.decodeNs[g]
+	}
+	return cost
+}
+
+// SetAdmission installs (or removes) per-tenant token-bucket admission on
+// the PD front. Shed requests terminate through OnFinish with a failed
+// record carrying gateway.ErrTenantShed.
+func (pd *PD) SetAdmission(a *gateway.Admission) {
+	pd.admission = a
+	if a != nil {
+		name := "least-loaded"
+		if pd.routePol != nil {
+			name = pd.routePol.Name()
+		}
+		pd.gw.activate(name)
+	}
+}
+
+// Admission returns the installed admission controller, or nil.
+func (pd *PD) Admission() *gateway.Admission { return pd.admission }
 
 // split reports whether the deployment is disaggregated.
 func (pd *PD) split() bool { return pd.cfg.Decodes > 0 }
@@ -181,16 +282,83 @@ func (pd *PD) leastLoadedIn(lo, hi int) int {
 	return best
 }
 
-// Submit routes one request: to the least-loaded prefill replica
-// (disaggregated) or the least-loaded engine (colocated). It returns the
-// chosen engine index. Call on the control timeline.
+// views builds gateway replica views over engines [lo, hi): queued work in
+// profiled token-time, this request's estimated cost on each engine (a
+// slow replica quotes more), all replicas warm (generative weights stay
+// resident; affinity differentiates by session).
+func (pd *PD) views(lo, hi int, costOf func(g int) sim.Time) []gateway.Replica {
+	out := make([]gateway.Replica, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, gateway.Replica{
+			Index: i - lo, ID: i,
+			InFlight: pd.inflight[i], Capacity: 1,
+			QueueNs: pd.pendingNs[i], CostNs: costOf(i),
+			Warm: true,
+		})
+	}
+	return out
+}
+
+// pickIn routes within engines [lo, hi): the configured gateway policy
+// when present, the legacy least-outstanding scan otherwise.
+func (pd *PD) pickIn(pol gateway.Policy, lo, hi int, req llm.Request, costOf func(g int) sim.Time) int {
+	if pol == nil {
+		return pd.leastLoadedIn(lo, hi)
+	}
+	views := pd.views(lo, hi, costOf)
+	pick := pol.Pick(gateway.Request{Model: pd.cfg.LLM.Spec.Name, Tenant: req.Tenant, Session: req.Session}, views)
+	if pick < 0 || pick >= len(views) {
+		panic(fmt.Sprintf("cluster: pd policy %q picked engine %d of %d", pol.Name(), pick, len(views)))
+	}
+	if pd.gw.on {
+		pd.gw.mt.Add(pd.gw.routed, pd.env.Now(), 1)
+		pd.gw.mt.Observe(pd.gw.predNs, pd.env.Now(), float64(views[pick].Predicted()))
+	}
+	return lo + pick
+}
+
+// Submit routes one request: through the admission controller, then to a
+// prefill replica (disaggregated) or a full engine (colocated) — picked by
+// the gateway policy when configured, least-outstanding otherwise. It
+// returns the chosen engine index, or Shed when admission refused the
+// request (terminal: OnFinish has observed the failed record). Call on the
+// control timeline.
 func (pd *PD) Submit(req llm.Request) int {
+	now := pd.env.Now()
+	if err := pd.admission.Admit(req.Tenant, now); err != nil {
+		rec := metrics.JobRecord{
+			ID: req.ID, Model: pd.cfg.LLM.Spec.Name, Client: req.Client,
+			Tenant: req.Tenant, Submit: req.Submit, Admit: now,
+			ExecDone: now, Delivered: now, PromptTokens: req.Prompt,
+			Failed: true, FailureReason: err.Error(),
+		}
+		pd.shedCol.Add(rec)
+		pd.gw.mt.Add(pd.gw.shed, now, 1)
+		if req.Tenant != "" {
+			pd.gw.mt.Add(pd.gw.tenant(req.Tenant).shed, now, 1)
+		}
+		if pd.OnFinish != nil {
+			pd.OnFinish(rec)
+		}
+		return Shed
+	}
+	if pd.admission != nil {
+		pd.gw.mt.Add(pd.gw.admitted, now, 1)
+		if req.Tenant != "" {
+			pd.gw.mt.Add(pd.gw.tenant(req.Tenant).admitted, now, 1)
+		}
+	}
 	hi := len(pd.engines)
 	if pd.split() {
 		hi = pd.cfg.Prefills
 	}
-	g := pd.leastLoadedIn(0, hi)
+	g := pd.pickIn(pd.routePol, 0, hi, req, func(i int) sim.Time { return pd.requestCost(i, req) })
 	pd.inflight[g]++
+	if pd.charge != nil {
+		cost := pd.requestCost(g, req)
+		pd.pendingNs[g] += cost
+		pd.charge[req.ID] = chargeEntry{engine: g, cost: cost}
+	}
 	pd.toEngine(g, func(eng *llm.Engine) { eng.Admit(req) })
 	return g
 }
@@ -200,9 +368,19 @@ func (pd *PD) Submit(req llm.Request) int {
 // the sequence with its transferred KV state.
 func (pd *PD) handoff(from int, h llm.Handoff) {
 	pd.inflight[from]--
-	d := pd.leastLoadedIn(pd.cfg.Prefills, len(pd.engines))
+	decodeCost := func(g int) sim.Time { return sim.Time(h.Req.Output) * pd.decodeNs[g] }
+	if pd.charge != nil {
+		if ch, ok := pd.charge[h.Req.ID]; ok {
+			pd.pendingNs[ch.engine] -= ch.cost
+		}
+	}
+	d := pd.pickIn(pd.decodePol, pd.cfg.Prefills, len(pd.engines), h.Req, decodeCost)
 	pd.inflight[d]++
-	bytes := int(int64(h.Req.Prompt) * pd.cfg.LLM.Spec.KVBytesPerToken)
+	if pd.charge != nil {
+		pd.pendingNs[d] += decodeCost(d)
+		pd.charge[h.Req.ID] = chargeEntry{engine: d, cost: decodeCost(d)}
+	}
+	bytes := int(int64(h.Req.Prompt) * pd.cfg.engineCfg(from).Spec.KVBytesPerToken)
 	pd.transfers++
 	pd.kvBytes += int64(bytes)
 	enq := pd.env.Now()
@@ -221,6 +399,12 @@ func (pd *PD) handoff(from int, h llm.Handoff) {
 
 func (pd *PD) finished(idx int, rec metrics.JobRecord) {
 	pd.inflight[idx]--
+	if pd.charge != nil {
+		if ch, ok := pd.charge[rec.ID]; ok {
+			pd.pendingNs[ch.engine] -= ch.cost
+			delete(pd.charge, rec.ID)
+		}
+	}
 	if pd.OnFinish != nil {
 		pd.OnFinish(rec)
 	}
@@ -267,13 +451,17 @@ func (pd *PD) KVPeakPages() int {
 	return peak
 }
 
-// Collector returns a merged view of all engines' completion records.
+// Collector returns a merged view of all engines' completion records, plus
+// the failed records of gateway-shed requests.
 func (pd *PD) Collector() *metrics.Collector {
 	merged := metrics.NewCollector()
 	for _, col := range pd.cols {
 		for _, r := range col.Records() {
 			merged.Add(r)
 		}
+	}
+	for _, r := range pd.shedCol.Records() {
+		merged.Add(r)
 	}
 	return merged
 }

@@ -179,6 +179,7 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 			ID:          req.ID,
 			Model:       req.Model,
 			Client:      req.Client,
+			Tenant:      req.Tenant,
 			Submit:      req.Submit,
 			Admit:       now,
 			FrameworkNs: d.cfg.AdmitCost,
@@ -224,7 +225,7 @@ func (d *Dispatcher) admit(p *sim.Proc, req Request) {
 func (d *Dispatcher) rejectRequest(req Request, err error) {
 	now := d.env.Now()
 	rec := metrics.JobRecord{
-		ID: req.ID, Model: req.Model, Client: req.Client,
+		ID: req.ID, Model: req.Model, Client: req.Client, Tenant: req.Tenant,
 		Submit: req.Submit, Admit: now,
 		ExecDone: now, Delivered: now + d.cfg.ShmLatency,
 		Failed: true, FailureReason: err.Error(),

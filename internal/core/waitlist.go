@@ -242,6 +242,7 @@ func (d *Dispatcher) admitAdaptor(req Request, entry *adaptorEntry) {
 			ID:          req.ID,
 			Model:       req.Model,
 			Client:      req.Client,
+			Tenant:      req.Tenant,
 			Submit:      req.Submit,
 			Admit:       now,
 			FrameworkNs: d.cfg.AdmitCost,

@@ -1,0 +1,206 @@
+package gateway
+
+import (
+	"testing"
+
+	"paella/internal/sim"
+)
+
+func reps(n int) []Replica {
+	out := make([]Replica, n)
+	for i := range out {
+		out[i] = Replica{Index: i, ID: i, Capacity: 1000}
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{
+		"round-robin", "least-loaded", "model-affinity",
+		"residency-aware", "predicted-latency", "affinity",
+	} {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("no-such-policy"); err == nil {
+		t.Fatal("New of unknown policy succeeded")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	// Instances must not share state: two round-robins rotate
+	// independently.
+	a, _ := New("round-robin")
+	b, _ := New("round-robin")
+	rs := reps(3)
+	a.Pick(Request{}, rs)
+	if got := b.Pick(Request{}, rs); got != 0 {
+		t.Fatalf("fresh round-robin picked %d, want 0", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	rs := reps(3)
+	want := []int{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if got := p.Pick(Request{}, rs); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastLoadedNormalizesByCapacity(t *testing.T) {
+	rs := reps(2)
+	rs[0].InFlight, rs[0].Capacity = 4, 4000 // load 0.001
+	rs[1].InFlight, rs[1].Capacity = 2, 1000 // load 0.002
+	if got := NewLeastLoaded().Pick(Request{}, rs); got != 0 {
+		t.Fatalf("pick = %d, want the big replica with lower normalized load", got)
+	}
+}
+
+func TestResidencyAwarePrefersWarmThenLoading(t *testing.T) {
+	p := NewResidencyAware(nil)
+	rs := reps(3)
+	rs[2].Warm = true
+	if got := p.Pick(Request{Model: "m"}, rs); got != 2 {
+		t.Fatalf("warm pick = %d, want 2", got)
+	}
+	rs[2].Warm = false
+	rs[1].Loading = true
+	if got := p.Pick(Request{Model: "m"}, rs); got != 1 {
+		t.Fatalf("loading pick = %d, want 1", got)
+	}
+	rs[1].Loading = false
+	rs[0].InFlight = 5
+	if got := p.Pick(Request{Model: "m"}, rs); got == 0 {
+		t.Fatal("fallback picked the loaded replica")
+	}
+}
+
+func TestPredictedLatencyWeighsQueueCostAndPenalty(t *testing.T) {
+	p := NewPredictedLatency()
+	rs := reps(3)
+	// Replica 0: short queue but cold — pays the load penalty.
+	rs[0].QueueNs, rs[0].CostNs, rs[0].LoadPenaltyNs = 1*sim.Millisecond, 1*sim.Millisecond, 10*sim.Millisecond
+	// Replica 1: longer queue, warm.
+	rs[1].QueueNs, rs[1].CostNs, rs[1].Warm = 3*sim.Millisecond, 1*sim.Millisecond, true
+	// Replica 2: loading — pays half the penalty.
+	rs[2].QueueNs, rs[2].CostNs, rs[2].LoadPenaltyNs = 1*sim.Millisecond, 1*sim.Millisecond, 10*sim.Millisecond
+	rs[2].Loading = true
+	if got := p.Pick(Request{}, rs); got != 1 {
+		t.Fatalf("pick = %d, want the warm replica despite its longer queue", got)
+	}
+	// Make the warm queue long enough that joining the in-flight load wins.
+	rs[1].QueueNs = 20 * sim.Millisecond
+	if got := p.Pick(Request{}, rs); got != 2 {
+		t.Fatalf("pick = %d, want the loading replica", got)
+	}
+}
+
+func TestPredictedLatencyTieBreaksLowestIndex(t *testing.T) {
+	p := NewPredictedLatency()
+	rs := reps(4)
+	for i := range rs {
+		rs[i].QueueNs, rs[i].CostNs, rs[i].Warm = sim.Millisecond, sim.Millisecond, true
+	}
+	if got := p.Pick(Request{}, rs); got != 0 {
+		t.Fatalf("tie pick = %d, want 0", got)
+	}
+}
+
+func TestAffinitySessionSticksAndSurvivesRenumbering(t *testing.T) {
+	p := NewAffinity(0)
+	rs := reps(3)
+	for i := range rs {
+		rs[i].Warm = true
+	}
+	req := Request{Model: "m", Session: 7}
+	first := p.Pick(req, rs)
+	if got := p.Pick(req, rs); got != first {
+		t.Fatalf("session re-pick = %d, want sticky %d", got, first)
+	}
+	// Crash a different replica: positions renumber, but the session must
+	// follow the stable ID.
+	var survivors []Replica
+	pos := 0
+	for _, r := range rs {
+		if r.ID == first {
+			r.Index = pos
+			survivors = append(survivors, r)
+			pos++
+		} else if len(survivors) == pos { // drop exactly one other replica
+			continue
+		} else {
+			r.Index = pos
+			survivors = append(survivors, r)
+			pos++
+		}
+	}
+	got := p.Pick(req, survivors)
+	if survivors[got].ID != first {
+		t.Fatalf("after renumbering, session landed on ID %d, want %d", survivors[got].ID, first)
+	}
+}
+
+func TestAffinitySpillsOnPredictedLatency(t *testing.T) {
+	p := NewAffinity(2)
+	rs := reps(2)
+	rs[0].Warm = true
+	rs[0].QueueNs, rs[0].CostNs = 100*sim.Millisecond, sim.Millisecond
+	rs[1].QueueNs, rs[1].CostNs, rs[1].LoadPenaltyNs = 0, sim.Millisecond, 2*sim.Millisecond
+	// The warm home is 100ms behind a 3ms cold alternative: spill.
+	if got := p.Pick(Request{Model: "m"}, rs); got != 1 {
+		t.Fatalf("pick = %d, want spill to the idle cold replica", got)
+	}
+}
+
+func TestAffinityRendezvousStableUnderCrash(t *testing.T) {
+	// Removing one replica must not re-home models that lived elsewhere.
+	full := reps(4)
+	p := NewAffinity(0)
+	homes := map[string]int{}
+	models := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, m := range models {
+		homes[m] = full[p.Pick(Request{Model: m}, full)].ID
+	}
+	// Drop replica 2; survivors renumber.
+	var survivors []Replica
+	for _, r := range full {
+		if r.ID == 2 {
+			continue
+		}
+		r.Index = len(survivors)
+		survivors = append(survivors, r)
+	}
+	q := NewAffinity(0)
+	for _, m := range models {
+		got := survivors[q.Pick(Request{Model: m}, survivors)].ID
+		if homes[m] != 2 && got != homes[m] {
+			t.Fatalf("model %s re-homed %d → %d after an unrelated crash", m, homes[m], got)
+		}
+	}
+}
+
+func TestReplicaPredicted(t *testing.T) {
+	r := Replica{QueueNs: 10, CostNs: 5, LoadPenaltyNs: 8}
+	if got := r.Predicted(); got != 23 {
+		t.Fatalf("cold Predicted = %d, want 23", got)
+	}
+	r.Loading = true
+	if got := r.Predicted(); got != 19 {
+		t.Fatalf("loading Predicted = %d, want 19", got)
+	}
+	r.Loading, r.Warm = false, true
+	if got := r.Predicted(); got != 15 {
+		t.Fatalf("warm Predicted = %d, want 15", got)
+	}
+}

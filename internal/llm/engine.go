@@ -43,6 +43,14 @@ type Request struct {
 	Submit sim.Time
 	Prompt int
 	Output int
+	// Tenant identifies the workload owner for multi-tenant QoS accounting
+	// (copied into the request's JobRecord; the PD front's admission
+	// control keys on it). Empty means untenanted.
+	Tenant string
+	// Session groups turns of one conversation: the PD front's affinity
+	// routing keeps a session on the replica holding its KV state. Zero
+	// means sessionless.
+	Session uint64
 }
 
 // Handoff carries a prefilled sequence between engines in a disaggregated
@@ -186,7 +194,8 @@ func (e *Engine) Admit(req Request) {
 	s := &seqState{req: req, needCompute: true, tag: fmt.Sprintf("llm-%d", req.ID)}
 	s.rec = metrics.JobRecord{
 		ID: req.ID, Model: e.comp.Cfg.Spec.Name, Client: req.Client,
-		Submit: req.Submit, Admit: now, PromptTokens: req.Prompt,
+		Tenant: req.Tenant, Submit: req.Submit, Admit: now,
+		PromptTokens: req.Prompt,
 	}
 	e.admit(s, now, e.comp.PrefillMean()+sim.Time(req.Output)*e.comp.DecodeMean())
 }

@@ -253,9 +253,13 @@ func (c *Compiled) DecodeSpec(n int) *gpu.KernelSpec {
 	return k
 }
 
-// DecodeMean returns the profiled solo decode-iteration time; PrefillMean
-// the profiled representative prefill time. Both feed the SRPT estimates.
-func (c *Compiled) DecodeMean() sim.Time  { return c.Profile.MeanTime(DecodeKernel) }
+// DecodeMean returns the profiled solo decode-iteration time. It feeds
+// the SRPT estimates and the gateway's per-replica cost pricing.
+func (c *Compiled) DecodeMean() sim.Time { return c.Profile.MeanTime(DecodeKernel) }
+
+// PrefillMean returns the profiled prefill time for a representative
+// Spec.ProfilePromptTokens-token prompt. It feeds the SRPT estimates and
+// the gateway's per-replica cost pricing.
 func (c *Compiled) PrefillMean() sim.Time { return c.Profile.MeanTime(PrefillKernel) }
 
 func pagesCeil(n, per int) int {

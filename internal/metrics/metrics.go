@@ -19,6 +19,10 @@ type JobRecord struct {
 	ID     uint64
 	Model  string
 	Client int
+	// Tenant identifies the workload owner for multi-tenant QoS accounting
+	// (gateway admission control, per-tenant latency slices). Empty for
+	// untenanted traffic.
+	Tenant string
 
 	// Submit is when the client called predict.
 	Submit sim.Time
@@ -171,6 +175,32 @@ func (c *Collector) FilterModel(name string) *Collector {
 			out.Add(r)
 		}
 	}
+	return out
+}
+
+// FilterTenant returns a collector restricted to one tenant.
+func (c *Collector) FilterTenant(tenant string) *Collector {
+	out := NewCollector()
+	for _, r := range c.records {
+		if r.Tenant == tenant {
+			out.Add(r)
+		}
+	}
+	return out
+}
+
+// Tenants returns the distinct tenant names present, sorted; untenanted
+// records (empty tenant) are excluded.
+func (c *Collector) Tenants() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range c.records {
+		if r.Tenant != "" && !seen[r.Tenant] {
+			seen[r.Tenant] = true
+			out = append(out, r.Tenant)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 
@@ -453,6 +483,7 @@ type jsonRec struct {
 	ID            uint64 `json:"id"`
 	Model         string `json:"model"`
 	Client        int    `json:"client"`
+	Tenant        string `json:"tenant,omitempty"`
 	SubmitNs      int64  `json:"submit_ns"`
 	AdmitNs       int64  `json:"admit_ns"`
 	FirstDispatch int64  `json:"first_dispatch_ns"`
@@ -483,7 +514,7 @@ func (c *Collector) WriteJSON(w io.Writer) error {
 	out := make([]jsonRec, len(c.records))
 	for i, r := range c.records {
 		out[i] = jsonRec{
-			ID: r.ID, Model: r.Model, Client: r.Client,
+			ID: r.ID, Model: r.Model, Client: r.Client, Tenant: r.Tenant,
 			SubmitNs: int64(r.Submit), AdmitNs: int64(r.Admit),
 			FirstDispatch: int64(r.FirstDispatch), ExecDoneNs: int64(r.ExecDone),
 			DeliveredNs: int64(r.Delivered), JCTNs: int64(r.JCT()),
@@ -514,7 +545,7 @@ func ReadJSON(r io.Reader) (*Collector, error) {
 	c := NewCollector()
 	for _, jr := range in {
 		c.Add(JobRecord{
-			ID: jr.ID, Model: jr.Model, Client: jr.Client,
+			ID: jr.ID, Model: jr.Model, Client: jr.Client, Tenant: jr.Tenant,
 			Submit: sim.Time(jr.SubmitNs), Admit: sim.Time(jr.AdmitNs),
 			FirstDispatch: sim.Time(jr.FirstDispatch), ExecDone: sim.Time(jr.ExecDoneNs),
 			Delivered: sim.Time(jr.DeliveredNs),

@@ -183,6 +183,7 @@ func (s *paellaSystem) Submit(req workload.Request) {
 		ID:     s.nextID,
 		Model:  req.Model,
 		Client: req.Client,
+		Tenant: req.Tenant,
 		Submit: s.env.Now(),
 	})
 	if !ok {

@@ -23,6 +23,7 @@ const (
 	KindHist
 )
 
+// String names the instrument kind as it appears in exports.
 func (k Kind) String() string {
 	switch k {
 	case KindCounter:

@@ -18,6 +18,7 @@ const (
 	SLOTTFT
 )
 
+// String names the scored population as it appears in exports.
 func (m SLOMetric) String() string {
 	if m == SLOTTFT {
 		return "ttft"

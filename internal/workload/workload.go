@@ -24,6 +24,9 @@ type Request struct {
 	Model string
 	// Client is the submitting client index in [0, Clients).
 	Client int
+	// Tenant is the workload owner ("tenant-<i>"), empty when the trace was
+	// generated without tenancy (Spec.Tenants == 0).
+	Tenant string
 }
 
 // Mix is a weighted model mixture.
@@ -90,6 +93,10 @@ type Spec struct {
 	Clients int
 	// Seed makes the trace reproducible.
 	Seed int64
+	// Tenants tags each request with a tenant drawn uniformly from
+	// {"tenant-0" … "tenant-<Tenants-1>"}. Zero disables tenancy (and draws
+	// no extra random numbers, leaving untenanted traces bit-identical).
+	Tenants int
 }
 
 // Validate reports parameter errors.
@@ -105,6 +112,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("workload: jobs %d", s.Jobs)
 	case s.Clients <= 0:
 		return fmt.Errorf("workload: clients %d", s.Clients)
+	case s.Tenants < 0:
+		return fmt.Errorf("workload: tenants %d", s.Tenants)
 	}
 	for _, w := range s.Mix.Weights {
 		if w < 0 {
@@ -139,6 +148,9 @@ func Generate(s Spec) ([]Request, error) {
 			At:     sim.Time(t),
 			Model:  pickModel(rng, s.Mix, wsum),
 			Client: rng.Intn(s.Clients),
+		}
+		if s.Tenants > 0 {
+			reqs[i].Tenant = fmt.Sprintf("tenant-%d", rng.Intn(s.Tenants))
 		}
 	}
 	return reqs, nil
@@ -185,10 +197,11 @@ func WriteJSON(w io.Writer, reqs []Request) error {
 		AtNs   int64  `json:"at_ns"`
 		Model  string `json:"model"`
 		Client int    `json:"client"`
+		Tenant string `json:"tenant,omitempty"`
 	}
 	out := make([]jsonReq, len(reqs))
 	for i, r := range reqs {
-		out[i] = jsonReq{AtNs: int64(r.At), Model: r.Model, Client: r.Client}
+		out[i] = jsonReq{AtNs: int64(r.At), Model: r.Model, Client: r.Client, Tenant: r.Tenant}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -201,6 +214,7 @@ func ReadJSON(r io.Reader) ([]Request, error) {
 		AtNs   int64  `json:"at_ns"`
 		Model  string `json:"model"`
 		Client int    `json:"client"`
+		Tenant string `json:"tenant,omitempty"`
 	}
 	var in []jsonReq
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -215,7 +229,7 @@ func ReadJSON(r io.Reader) ([]Request, error) {
 		if jr.Model == "" || jr.Client < 0 {
 			return nil, fmt.Errorf("workload: malformed entry %d", i)
 		}
-		out[i] = Request{At: sim.Time(jr.AtNs), Model: jr.Model, Client: jr.Client}
+		out[i] = Request{At: sim.Time(jr.AtNs), Model: jr.Model, Client: jr.Client, Tenant: jr.Tenant}
 		prev = out[i].At
 	}
 	return out, nil
