@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"paella/internal/autoscale"
 	"paella/internal/cluster"
 	"paella/internal/core"
 	"paella/internal/fault"
@@ -79,6 +80,11 @@ func main() {
 		maxTok  = flag.Int("max-tokens", 0, "cap sampled output-token counts (with -llm; 0 = distribution default)")
 		kvBlock = flag.Int64("kv-block", 0, "KV-cache page size in KiB (with -llm; 0 = 2048)")
 		pdStr   = flag.String("pd-split", "", "disaggregate prefill/decode as \"P:D\" replica pools (with -llm; empty = colocated -replicas engines)")
+		asName  = flag.String("autoscale", "", "autoscaling policy from the internal/autoscale registry ('list' to enumerate); elastic cluster engine")
+		traffic = flag.String("traffic", "", "open-loop traffic envelope: constant | diurnal | spike | replay:<ndjson> | <spec>.json (overrides the flat generator)")
+		minRepl = flag.Int("min-replicas", 1, "autoscaler floor on the active pool (with -autoscale)")
+		maxRepl = flag.Int("max-replicas", 0, "autoscaler ceiling / provisioned fleet size (with -autoscale; 0 = -replicas)")
+		scaleI  = flag.Duration("scale-interval", 5*time.Millisecond, "autoscaler control-loop tick in virtual time (with -autoscale)")
 		telOut  = flag.String("telemetry-out", "", "write the windowed telemetry export (JSON, or CSV when the path ends in .csv)")
 		telWin  = flag.Duration("telemetry-window", 10*time.Millisecond, "telemetry aggregation window (virtual time)")
 		sloDur  = flag.Duration("slo", 50*time.Millisecond, "latency SLO deadline for the burn-rate monitor (JCT; TTFT@200ms is added on -llm)")
@@ -95,6 +101,12 @@ func main() {
 		if _, err := gateway.New(*gwName); err != nil {
 			fatal("%v", err)
 		}
+	}
+	if *asName == "list" {
+		for _, name := range autoscale.Names() {
+			fmt.Printf("  %s\n", name)
+		}
+		return
 	}
 	if *system == "list" {
 		for _, row := range serving.Table3() {
@@ -150,9 +162,16 @@ func main() {
 		names[i] = m.Name
 	}
 
+	mix := workload.Uniform(names...)
+	if *zipf > 0 {
+		mix = workload.ZipfMix(names, *zipf)
+	}
 	var reqs []workload.Request
 	var err error
-	if *traceIn != "" {
+	switch {
+	case *traceIn != "" && *traffic != "":
+		fatal("-trace and -traffic are mutually exclusive")
+	case *traceIn != "":
 		f, ferr := os.Open(*traceIn)
 		if ferr != nil {
 			fatal("%v", ferr)
@@ -162,11 +181,25 @@ func main() {
 		if err == nil && len(reqs) > 0 {
 			*jobs = len(reqs)
 		}
-	} else {
-		mix := workload.Uniform(names...)
-		if *zipf > 0 {
-			mix = workload.ZipfMix(names, *zipf)
+	case *traffic != "":
+		spec, serr := trafficSpecFromFlag(*traffic, mix, *sigma, *rate, *jobs, *clients, *seed, *tenants)
+		if serr != nil {
+			fatal("%v", serr)
 		}
+		if spec.Shape == workload.ShapeReplay {
+			f, ferr := os.Open(spec.ReplayPath)
+			if ferr != nil {
+				fatal("%v", ferr)
+			}
+			reqs, err = workload.ReadNDJSON(f)
+			f.Close()
+		} else {
+			reqs, err = workload.GenerateTraffic(spec)
+		}
+		if err == nil && len(reqs) > 0 {
+			*jobs = len(reqs)
+		}
+	default:
 		reqs, err = workload.Generate(workload.Spec{
 			Mix:        mix,
 			Sigma:      *sigma,
@@ -201,6 +234,34 @@ func main() {
 		opts.Faults = fault.Synthesize(*seed, *chaosI, reqs[len(reqs)-1].At, opts.DevCfg.NumSMs)
 	}
 
+	if *asName != "" {
+		if *system != "Paella" {
+			fatal("-autoscale runs the gated Paella dispatcher per replica; -system must be Paella")
+		}
+		if opts.Faults != nil || *gwName != "" || *admitPS > 0 || *trcOut != "" || *trcCSV != "" {
+			fatal("-autoscale does not compose with -faults/-chaos, -gateway, -admit-rate, or trace output")
+		}
+		maxR := *maxRepl
+		if maxR == 0 {
+			maxR = *nrepl
+		}
+		initial := *nrepl
+		if initial > maxR {
+			initial = maxR
+		}
+		desc := *traffic
+		if desc == "" {
+			desc = fmt.Sprintf("constant %.0f req/s", *rate)
+		}
+		runAutoscaled(opts, reqs, *asName, *minRepl, maxR, initial, *par,
+			sim.Time((*window).Nanoseconds()), sim.Time((*scaleI).Nanoseconds()),
+			desc, presetPrice(*device), names, *asJSON, *perMod,
+			*telOut, sim.Time((*telWin).Nanoseconds()), sim.Time((*sloDur).Nanoseconds()))
+		return
+	}
+	if *minRepl != 1 || *maxRepl != 0 {
+		fatal("-min-replicas and -max-replicas require -autoscale")
+	}
 	if *nrepl > 1 {
 		if *system != "Paella" {
 			fatal("-replicas > 1 runs the gated Paella dispatcher per replica; -system must be Paella")

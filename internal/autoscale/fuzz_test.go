@@ -1,0 +1,59 @@
+package autoscale
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAutoscalePolicyConfig fuzzes the policy-config codec:
+// ParsePolicyConfig must never panic, any config it accepts must build a
+// working policy, and marshal→parse→marshal must be a fixed point — the
+// property `paella-sim -autoscale` and the frontier experiment rely on to
+// reproduce a recorded policy parameterization exactly. Built policies
+// also run a short synthetic signal sweep: targets must be finite and the
+// policy must never panic on extreme signals.
+func FuzzAutoscalePolicyConfig(f *testing.F) {
+	f.Add([]byte(`{"name":"static","fixed":6}`))
+	f.Add([]byte(`{"name":"queue-depth","hi_queue":12,"lo_queue":3}`))
+	f.Add([]byte(`{"name":"step"}`))
+	f.Add([]byte(`{"name":"slo-burn","hold_ticks":20}`))
+	f.Add([]byte(`{"name":"predictive","headroom":1.5,"lookahead":8}`))
+	f.Add([]byte(`{"name":"oracle"}`))                                // invalid: unknown policy
+	f.Add([]byte(`{"name":"queue-depth","hi_queue":2,"lo_queue":5}`)) // invalid: inverted
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pc, err := ParsePolicyConfig(data)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		if err := pc.Validate(); err != nil {
+			t.Fatalf("accepted config fails Validate: %v", err)
+		}
+		enc := pc.Marshal()
+		pc2, err := ParsePolicyConfig(enc)
+		if err != nil {
+			t.Fatalf("marshal of a valid config does not re-parse: %v\n%s", err, enc)
+		}
+		if enc2 := pc2.Marshal(); !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not stable:\n%s\nvs\n%s", enc, enc2)
+		}
+		p, err := NewFromConfig(pc)
+		if err != nil {
+			t.Fatalf("valid config does not build: %v", err)
+		}
+		if p.Name() == "" {
+			t.Fatal("unnamed policy")
+		}
+		// Sweep synthetic signals: extreme queues, zero fleets, firing SLOs.
+		for _, sig := range []Signals{
+			{},
+			{Active: 1, Target: 1, InFlight: 1 << 20, ArrivalRate: 1e6, ReplicaRate: 1},
+			{Active: 64, Warming: 8, Draining: 8, Target: 64, SLOFiring: true, ReplicaRate: 500, ArrivalRate: 3},
+			{Active: 2, Target: 2, ArrivalRate: 0, CompletionRate: 0, ReplicaRate: 1000},
+		} {
+			got := p.Target(sig)
+			if got < -(1<<30) || got > 1<<30 {
+				t.Fatalf("policy %s target %d unreasonable for %+v", p.Name(), got, sig)
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 
 	"paella/internal/compiler"
 	"paella/internal/core"
+	"paella/internal/cudart"
 	"paella/internal/gateway"
 	"paella/internal/gpu"
 	"paella/internal/metrics"
@@ -99,6 +100,16 @@ type Cluster struct {
 	alive   []bool
 	crashes int
 	conns   []*Conn
+
+	// routable marks replicas the gateway may route new work to. Unlike
+	// alive (a crash — involuntary, with failover), clearing routable is the
+	// autoscaler's voluntary drain: in-flight requests finish where they
+	// are, only new arrivals skip the replica. All replicas start routable.
+	routable []bool
+	// modelOrder lists registered models in registration order, the
+	// deterministic iteration order for Warmup/EvictAll (map iteration
+	// would vary run to run).
+	modelOrder []string
 
 	// admission is the gateway's per-tenant token-bucket controller (nil =
 	// no admission control). shedCol collects the failed records of shed
@@ -215,8 +226,10 @@ func build(env *sim.Env, w *sim.World, devs []gpu.Config, mkCfg func(i int, dev 
 		weightBytes: make(map[string]int64),
 		shedCol:     metrics.NewCollector(),
 	}
+	c.routable = make([]bool, len(devs))
 	for i := range c.alive {
 		c.alive[i] = true
+		c.routable[i] = true
 	}
 	if rec := trace.FromEnv(env); rec != nil {
 		c.rec = rec
@@ -291,7 +304,133 @@ func (c *Cluster) RegisterModel(m *model.Model, cfg compiler.Config, profileRuns
 	}
 	c.costNs[m.Name] = costs
 	c.weightBytes[m.Name] = int64(m.WeightBytes)
+	c.modelOrder = append(c.modelOrder, m.Name)
 	return nil
+}
+
+// SetRoutable marks replica i eligible (or not) for new routing decisions.
+// Draining a replica — SetRoutable(i, false) — is voluntary: requests
+// already routed there run to their terminal event (watch InFlight reach
+// zero), only new arrivals go elsewhere. Contrast Crash, which is
+// involuntary and fails pending work over.
+func (c *Cluster) SetRoutable(i int, ok bool) { c.routable[i] = ok }
+
+// Routable reports whether the gateway may route new work to replica i.
+func (c *Cluster) Routable(i int) bool { return c.routable[i] }
+
+// RoutableReplicas returns the number of live, routable replicas.
+func (c *Cluster) RoutableReplicas() int {
+	n := 0
+	for i := range c.routable {
+		if c.alive[i] && c.routable[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// InFlight returns the number of requests routed to replica i and not yet
+// terminal — the autoscaler's drain-completion signal.
+func (c *Cluster) InFlight(i int) int { return c.inflight[i] }
+
+// QueuedNs returns replica i's routed-but-unfinished predicted work in its
+// own profiled nanoseconds (the predicted-latency queue signal).
+func (c *Cluster) QueuedNs(i int) sim.Time { return c.pendingNs[i] }
+
+// Models returns the registered model names in registration order.
+func (c *Cluster) Models() []string { return c.modelOrder }
+
+// WeightBytesOf returns the registered weight footprint of a model (zero
+// for models registered outside RegisterModel).
+func (c *Cluster) WeightBytesOf(model string) int64 { return c.weightBytes[model] }
+
+// ModelCostNs returns replica g's profiled service estimate for the model
+// (zero for models registered outside RegisterModel) — the gateway's
+// per-replica cost view, exposed for the autoscaler's capacity math.
+func (c *Cluster) ModelCostNs(g int, model string) sim.Time { return c.costOf(g, model) }
+
+// Warmup pages every registered model's weights into replica i's device
+// memory — the autoscaler's cold-start: a newly activated replica pays the
+// real host→device transfer over its PCIe link before it can serve warm.
+// Models already resident (or loading) are skipped, as are models that do
+// not fit the free budget — warmup never evicts a warmer neighbor. Without
+// a VRAM budget the full registered weight set pays one bulk transfer at
+// the link's modeled bandwidth. done fires exactly once on the control
+// timeline when the last transfer lands (immediately-after-now when there
+// is nothing to page). Returns the number of bytes being paged.
+func (c *Cluster) Warmup(i int, done func()) int64 {
+	d := c.disps[i]
+	if c.rec != nil {
+		c.rec.InstantArgs(c.routeTrack, "replica", "warmup", c.env.Now(),
+			trace.Int("gpu", int64(i)))
+	}
+	// Transfer completions fire as replica-shard events; the autoscaler's
+	// state lives on the control timeline, so cross back through the
+	// barrier's canonical post order (bit-identical serial vs parallel).
+	finish := done
+	if w := c.world; w != nil {
+		finish = func() { w.Post(i, done) }
+	}
+	mgr := d.VRAM()
+	if mgr == nil {
+		var total int64
+		for _, name := range c.modelOrder {
+			total += c.weightBytes[name]
+		}
+		c.env.DoAfter(d.ColdLoadDuration(total), done)
+		return total
+	}
+	shard := d.Env()
+	var bytes int64
+	outstanding := 0
+	for _, name := range c.modelOrder {
+		wb := c.weightBytes[name]
+		if wb <= 0 || !mgr.Registered(name) || mgr.State(name) != vram.Cold {
+			continue
+		}
+		if wb > mgr.FreeBytes() {
+			continue
+		}
+		if err := mgr.BeginLoad(name, shard.Now()); err != nil {
+			continue
+		}
+		outstanding++
+		bytes += wb
+		name := name
+		d.PCIe().Transfer(cudart.HostToDevice, int(wb), func() {
+			mgr.FinishLoad(name, shard.Now())
+			outstanding--
+			if outstanding == 0 {
+				finish()
+			}
+		})
+	}
+	if outstanding == 0 {
+		// Nothing to page — already warm, or nothing fits. Still deliver
+		// done asynchronously so the caller sees one consistent shape.
+		c.env.DoAfter(0, done)
+	}
+	return bytes
+}
+
+// EvictAll drops every resident, unpinned model from replica i's device
+// memory (no-op without a VRAM budget) — the autoscaler's park step: a
+// retired replica releases its weights, so a later re-activation pays the
+// full cold-start again.
+func (c *Cluster) EvictAll(i int) {
+	mgr := c.disps[i].VRAM()
+	if mgr == nil {
+		return
+	}
+	for _, name := range mgr.ResidentModels() {
+		if mgr.Pinned(name) == 0 {
+			_ = mgr.Evict(name)
+		}
+	}
+	if c.rec != nil {
+		c.rec.InstantArgs(c.routeTrack, "replica", "park-evict", c.env.Now(),
+			trace.Int("gpu", int64(i)))
+	}
 }
 
 // Conn is a client connection spanning the whole cluster: one shared
@@ -467,7 +606,7 @@ func (cn *Conn) submitRouted(req core.Request) int {
 	views := c.views[:0:0]
 	var liveIdx []int
 	for i := range c.disps {
-		if !c.alive[i] {
+		if !c.alive[i] || !c.routable[i] {
 			continue
 		}
 		v := GPUView{

@@ -580,6 +580,21 @@ func (d *Dispatcher) VRAM() *vram.Manager { return d.vramMgr }
 // configuration.
 func (d *Dispatcher) PCIe() *cudart.PCIeLink { return d.pcie }
 
+// ColdLoadDuration returns the modeled host→device time to page the given
+// weight bytes onto this device: the shared DMA link's transfer duration
+// when device memory is constrained, the analytic memcpy estimate (with any
+// injected brownout factor) otherwise. The cluster autoscaler uses it to
+// price replica cold-starts even on unconstrained-memory fleets.
+func (d *Dispatcher) ColdLoadDuration(bytes int64) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	if d.pcie != nil {
+		return d.pcie.Duration(int(bytes))
+	}
+	return d.cfg.MemcpyLatency + sim.Time(float64(bytes)/(d.cfg.PCIeBytesPerNs*d.pcieFactor))
+}
+
 // ModelResident reports whether the named model's weights are in device
 // memory. Always true when memory is unconstrained, and for models the
 // residency manager does not track (adaptor jobs).

@@ -46,7 +46,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig13", "fig14", "fig15", "table2", "table3",
 		"ablation-b", "ablation-queues", "ablation-agg",
 		"ablation-batching", "ablation-edf", "ablation-cluster", "ablation-biggpu",
-		"llm",
+		"llm", "autoscale",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {
