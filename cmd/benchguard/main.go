@@ -5,15 +5,20 @@
 //   - Hard failures (exit 1): the committed file is missing, unparsable,
 //     or structurally wrong; the committed largest cell does not carry a
 //     ≥2× speedup over the seed baseline; any freshly-run cell reports
-//     World serial and parallel as non-identical.
+//     World serial and parallel as non-identical; the hot loop's measured
+//     steady-state allocation rate reaches max-allocs-per-event (default
+//     0.5 — the point where a `go test -benchmem` report would round to
+//     ≥1 alloc per event).
 //   - Advisory (exit 0 with a warning): the fresh quick run's engine
 //     throughput falls below a generous floor relative to the committed
 //     numbers. Timing on shared CI machines is noisy, so only an order-of-
-//     magnitude collapse is treated as a real regression.
+//     magnitude collapse is treated as a real regression. (The allocation
+//     gate has no such latitude: allocation counts are deterministic, so
+//     it is a hard gate even on noisy hardware.)
 //
 // Usage:
 //
-//	go run ./cmd/benchguard [-ref BENCH_scale.json] [-min-speedup 2.0] [-floor 0.1]
+//	go run ./cmd/benchguard [-ref BENCH_scale.json] [-min-speedup 2.0] [-floor 0.1] [-max-allocs-per-event 0.5]
 package main
 
 import (
@@ -29,6 +34,7 @@ func main() {
 	ref := flag.String("ref", "BENCH_scale.json", "committed scale benchmark document")
 	minSpeedup := flag.Float64("min-speedup", 2.0, "required speedup over the seed baseline in the committed document")
 	floor := flag.Float64("floor", 0.1, "fresh events/s may not fall below this fraction of the committed rate (hard gate)")
+	maxAllocs := flag.Float64("max-allocs-per-event", 0.5, "steady-state heap allocations per engine event must stay below this (hard gate)")
 	flag.Parse()
 
 	data, err := os.ReadFile(*ref)
@@ -49,8 +55,8 @@ func main() {
 		if !c.Identical {
 			fatal("%s: committed cell replicas=%d recorded serial/parallel divergence", *ref, c.Replicas)
 		}
-		if len(c.Engines) != 3 {
-			fatal("%s: committed cell replicas=%d has %d engines, want 3", *ref, c.Replicas, len(c.Engines))
+		if len(c.Engines) < 3 {
+			fatal("%s: committed cell replicas=%d has %d engines, want ≥3", *ref, c.Replicas, len(c.Engines))
 		}
 	}
 	last := committed.Cells[len(committed.Cells)-1]
@@ -92,6 +98,17 @@ func main() {
 		fatal("engine event rate collapsed below %.0f%% of the committed rate", *floor*100)
 	case ratio < 0.5:
 		fmt.Println("warning: engine event rate below half the committed rate (advisory; CI hardware varies)")
+	}
+
+	// Allocation gate: the hot loop must stay allocation-free per event in
+	// steady state. Unlike wall clocks, this number is machine-independent.
+	apew, err := experiments.MeasureAllocsPerEvent(1, 600)
+	if err != nil {
+		fatal("measuring allocs/event: %v", err)
+	}
+	fmt.Printf("hot loop: %.4f allocs/event steady-state (gate: < %.2f)\n", apew, *maxAllocs)
+	if apew >= *maxAllocs {
+		fatal("hot loop allocates %.4f per event (≥ %.2f): the zero-allocation invariant regressed", apew, *maxAllocs)
 	}
 	fmt.Println("benchguard: OK")
 }

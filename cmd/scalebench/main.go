@@ -1,8 +1,17 @@
 // Command scalebench times the cluster event loop on a zipf workload —
 // the measurement driver behind BENCH_scale.json's seed baseline.
+//
+// Usage:
+//
+//	scalebench [-cpuprofile cpu.out] [-memprofile mem.out] <replicas> <jobs>
+//
+// The profile flags (or the SCALEBENCH_CPUPROFILE / SCALEBENCH_MEMPROFILE
+// environment variables, kept for script compatibility) bracket only the
+// measured event loop, not cluster construction or model registration.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -19,8 +28,28 @@ import (
 )
 
 func main() {
-	replicas, _ := strconv.Atoi(os.Args[1])
-	jobs, _ := strconv.Atoi(os.Args[2])
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the event loop to this file")
+	memprofile := flag.String("memprofile", "", "write an allocs profile (post-loop) to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: scalebench [-cpuprofile file] [-memprofile file] <replicas> <jobs>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	replicas, err := strconv.Atoi(flag.Arg(0))
+	if err != nil || replicas < 1 {
+		fmt.Fprintf(os.Stderr, "scalebench: bad replica count %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	jobs, err := strconv.Atoi(flag.Arg(1))
+	if err != nil || jobs < 1 {
+		fmt.Fprintf(os.Stderr, "scalebench: bad job count %q\n", flag.Arg(1))
+		os.Exit(2)
+	}
+
 	models := model.SyntheticZoo(8)
 	names := make([]string, len(models))
 	for i, m := range models {
@@ -53,7 +82,7 @@ func main() {
 			conn.Submit(core.Request{ID: id, Model: mdl, Submit: env.Now()})
 		})
 	}
-	stop := startProfile()
+	stop := startProfile(*cpuprofile, *memprofile)
 	start := time.Now()
 	env.RunUntil(reqs[len(reqs)-1].At + 8*sim.Second)
 	el := time.Since(start)

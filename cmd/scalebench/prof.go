@@ -6,9 +6,16 @@ import (
 	"runtime/pprof"
 )
 
-func startProfile() func() {
-	cpu := os.Getenv("SCALEBENCH_CPUPROFILE")
-	mem := os.Getenv("SCALEBENCH_MEMPROFILE")
+// startProfile begins the requested profiles and returns the function that
+// finishes them. Flags win; the SCALEBENCH_* environment variables remain
+// as a fallback for the regeneration scripts in EXPERIMENTS.md.
+func startProfile(cpu, mem string) func() {
+	if cpu == "" {
+		cpu = os.Getenv("SCALEBENCH_CPUPROFILE")
+	}
+	if mem == "" {
+		mem = os.Getenv("SCALEBENCH_MEMPROFILE")
+	}
 	var f *os.File
 	if cpu != "" {
 		var err error

@@ -468,6 +468,18 @@ type route struct {
 	req core.Request
 }
 
+// termCrossing is the PostCall context for a connection's completions from
+// one replica; terminalOK is the matching callback (arg = request id).
+type termCrossing struct {
+	cn *Conn
+	g  int
+}
+
+var terminalOK sim.EventFn = func(ctx any, arg uint64) {
+	t := ctx.(*termCrossing)
+	t.cn.terminal(t.g, arg, nil)
+}
+
 // Connect attaches a client to every GPU in the cluster.
 func (c *Cluster) Connect() *Conn {
 	cn := &Conn{cluster: c, pending: make(map[uint64]route)}
@@ -478,11 +490,14 @@ func (c *Cluster) Connect() *Conn {
 			// The dispatcher's callbacks fire as replica-shard events;
 			// terminal touches cluster-wide state (pending, inflight, the
 			// user callbacks), so it must cross to the control timeline.
-			// Post stamps the true delivery time and the barrier replays
+			// The post stamps the true delivery time and the barrier replays
 			// posts in canonical order, keeping runs bit-identical whether
-			// shards executed serially or in parallel.
+			// shards executed serially or in parallel. Completions ride the
+			// typed PostCall form — one per request, so a closure per
+			// message would be a steady-state allocation.
+			tc := &termCrossing{cn: cn, g: g}
 			conn.OnComplete = func(id uint64) {
-				w.Post(g, func() { cn.terminal(g, id, nil) })
+				w.PostCall(g, terminalOK, tc, id)
 			}
 			conn.OnFailed = func(id uint64, err error) {
 				w.Post(g, func() { cn.terminal(g, id, err) })

@@ -275,11 +275,10 @@ func (d *Dispatcher) dispatchBatch(members []*Job) {
 
 	d.nextKernelID++
 	kid := d.nextKernelID
-	mcopy := make([]*Job, n)
-	copy(mcopy, members)
-	d.inflight[kid] = &inflightKernel{
-		job: head, spec: bspec, members: mcopy, sentAt: now, actBytes: actBytes,
-	}
+	fl := d.newInflight()
+	fl.job, fl.spec, fl.sentAt, fl.actBytes = head, bspec, now, actBytes
+	fl.members = append(fl.members[:0], members...)
+	d.inflight[kid] = fl
 	d.mirror.Reserve(bspec)
 	d.stats.KernelsSent++
 	d.stats.Batches++
@@ -295,16 +294,14 @@ func (d *Dispatcher) dispatchBatch(members []*Job) {
 	}
 	d.traceCounters()
 	d.queueCursor = (d.queueCursor + 1) % d.dev.NumQueues()
-	d.dev.Submit(d.queueCursor, &gpu.Launch{
-		Spec:         bspec,
-		KernelID:     kid,
-		JobTag:       head.Req.Model,
-		Instrumented: true,
-	})
+	l := d.newLaunch()
+	l.Spec, l.KernelID, l.JobTag, l.Instrumented = bspec, kid, head.Req.Model, true
+	fl.launch = l
+	d.dev.Submit(d.queueCursor, l)
 	if d.cfg.KernelTimeout > 0 {
 		bound := sim.Time(bspec.Blocks)*bspec.BlockDuration + d.cfg.KernelTimeout
 		bound <<= uint(head.retries)
-		d.env.After(bound, func() { d.onKernelTimeout(kid) })
+		d.env.DoCallAfter(bound, watchdogFire, d, uint64(kid))
 	}
 }
 

@@ -284,7 +284,7 @@ type inflightKernel struct {
 	// op links back to the waitlist entry for adaptor-backed jobs (nil for
 	// the standard model path).
 	op *wlOp
-	// members holds every job riding a batched launch (nil for an
+	// members holds every job riding a batched launch (empty for an
 	// unbatched kernel; members[0] == job). Completion fans out to each
 	// member in formation order.
 	members []*Job
@@ -292,6 +292,49 @@ type inflightKernel struct {
 	// activation scratch reserved for the batch's members (vram gauge).
 	sentAt   sim.Time
 	actBytes int64
+	// launch is the device-side Launch this record tracks, recycled with
+	// the record when its fate is certain (LaunchDone).
+	launch *gpu.Launch
+}
+
+// newInflight returns a zeroed inflight record, reusing a pooled one when
+// available (its members slice keeps its capacity for batch reuse).
+func (d *Dispatcher) newInflight() *inflightKernel {
+	if n := len(d.flFree); n > 0 {
+		fl := d.flFree[n-1]
+		d.flFree = d.flFree[:n-1]
+		return fl
+	}
+	return &inflightKernel{}
+}
+
+// putInflight retires an inflight record to the pool. The Launch is
+// recycled alongside only when Recycle vouches for it (LaunchDone); a
+// launch reconciled by the watchdog while the device may still hold it is
+// left to the garbage collector.
+func (d *Dispatcher) putInflight(fl *inflightKernel) {
+	if fl.launch != nil && fl.launch.Recycle() {
+		d.launchFree = append(d.launchFree, fl.launch)
+	}
+	members := fl.members
+	for i := range members {
+		members[i] = nil
+	}
+	*fl = inflightKernel{}
+	if members != nil {
+		fl.members = members[:0]
+	}
+	d.flFree = append(d.flFree, fl)
+}
+
+// newLaunch returns a zeroed Launch, pooled when available.
+func (d *Dispatcher) newLaunch() *gpu.Launch {
+	if n := len(d.launchFree); n > 0 {
+		l := d.launchFree[n-1]
+		d.launchFree = d.launchFree[:n-1]
+		return l
+	}
+	return &gpu.Launch{}
 }
 
 // Dispatcher is the Paella service. Construct with New, register models,
@@ -322,6 +365,13 @@ type Dispatcher struct {
 	// release, and a per-pass closure literal was its only steady-state
 	// heap allocation.
 	fitsFn func(*sched.JobEntry) bool
+
+	// flFree and launchFree pool inflight-kernel records and device Launch
+	// structs: every kernel dispatch needs one of each, and both die at
+	// the matching completion notification, so steady state recirculates a
+	// population bounded by the in-flight window instead of allocating.
+	flFree     []*inflightKernel
+	launchFree []*gpu.Launch
 
 	// Dynamic batching state (inert unless Config.MaxBatch > 1; see
 	// batch.go). batchIndex groups ready same-model, same-position jobs by

@@ -436,7 +436,9 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 	d.nextKernelID++
 	kid := d.nextKernelID
 	j.kernelsInFlight++
-	d.inflight[kid] = &inflightKernel{job: j, spec: spec, op: wlop}
+	fl := d.newInflight()
+	fl.job, fl.spec, fl.op = j, spec, wlop
+	d.inflight[kid] = fl
 	d.mirror.Reserve(spec)
 	d.stats.KernelsSent++
 	if d.rec != nil {
@@ -451,12 +453,10 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 	// dependencies. Virtual streams bind to hardware queues round-robin at
 	// launch time (§5.2's stream replacement).
 	d.queueCursor = (d.queueCursor + 1) % d.dev.NumQueues()
-	d.dev.Submit(d.queueCursor, &gpu.Launch{
-		Spec:         spec,
-		KernelID:     kid,
-		JobTag:       j.Req.Model,
-		Instrumented: true,
-	})
+	l := d.newLaunch()
+	l.Spec, l.KernelID, l.JobTag, l.Instrumented = spec, kid, j.Req.Model, true
+	fl.launch = l
+	d.dev.Submit(d.queueCursor, l)
 	if d.cfg.KernelTimeout > 0 && j.wl == nil {
 		// Watchdog (fault recovery): the serial upper bound — every block
 		// of the kernel running one after another — plus the configured
@@ -465,7 +465,7 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 		// stretch the window, a cheap exponential backoff.
 		bound := sim.Time(spec.Blocks)*spec.BlockDuration + d.cfg.KernelTimeout
 		bound <<= uint(j.retries)
-		d.env.After(bound, func() { d.onKernelTimeout(kid) })
+		d.env.DoCallAfter(bound, watchdogFire, d, uint64(kid))
 	}
 	if j.wl != nil {
 		// Another stream of this job may expose a further active kernel.
@@ -487,12 +487,20 @@ func (d *Dispatcher) dispatchKernel(j *Job) {
 //
 // Late notifications for the reconciled kernel id are counted as stale and
 // ignored (see applyNotif).
+//
+// watchdogFire is the timer payload: ctx is the Dispatcher, arg the kernel
+// id — a typed event instead of a per-dispatch closure.
+var watchdogFire sim.EventFn = func(ctx any, arg uint64) {
+	ctx.(*Dispatcher).onKernelTimeout(uint32(arg))
+}
+
 func (d *Dispatcher) onKernelTimeout(kid uint32) {
 	fl, ok := d.inflight[kid]
 	if !ok {
 		return // completed normally before the watchdog fired
 	}
 	delete(d.inflight, kid)
+	defer d.putInflight(fl)
 	j := fl.job
 	spec := fl.spec
 	d.stats.KernelTimeouts++
@@ -511,7 +519,7 @@ func (d *Dispatcher) onKernelTimeout(kid uint32) {
 			trace.Int("placed", int64(fl.placed)), trace.Int("completed", int64(fl.completed)),
 			trace.Int("retries", int64(j.retries)))
 	}
-	if fl.members != nil {
+	if len(fl.members) > 0 {
 		d.batchTimeout(fl)
 		return
 	}
@@ -639,8 +647,9 @@ func (d *Dispatcher) applyNotif(n channel.Notification) {
 		d.mirror.Complete(fl.spec, count)
 		if fl.completed == fl.spec.Blocks {
 			delete(d.inflight, n.KernelID())
-			if fl.members != nil {
+			if len(fl.members) > 0 {
 				d.batchComplete(n.KernelID(), fl)
+				d.putInflight(fl)
 				return
 			}
 			fl.job.execsDone++
@@ -648,10 +657,14 @@ func (d *Dispatcher) applyNotif(n channel.Notification) {
 			if d.cfg.RefineOnline {
 				d.refineProfile(fl)
 			}
-			if fl.op != nil {
-				fl.job.wl.opFinished(fl.op)
+			j, op := fl.job, fl.op
+			// Retire the record before fan-out: opDone may dispatch the
+			// job's next kernel, which then reuses it from the pool.
+			d.putInflight(fl)
+			if op != nil {
+				j.wl.opFinished(op)
 			} else {
-				d.opDone(fl.job)
+				d.opDone(j)
 			}
 			d.traceCounters()
 		}

@@ -125,9 +125,14 @@ func runScaleEngine(engine string, replicas, jobs int) (ScaleEngineResult, error
 	case "legacy":
 		env = sim.NewEnv()
 		c, err = cluster.New(env, devs, mkPolicy, cluster.NewLeastLoaded())
-	case "world-serial", "world-parallel":
+	case "world-serial", "world-parallel", "world-spec":
 		w = sim.NewWorld()
 		w.SetParallel(engine == "world-parallel")
+		// The speculative engine runs shards past the conservative horizon
+		// under the adaptive window; cross-timeline traffic defers to the
+		// barrier, so it is a different (equally valid) simulation than the
+		// conservative pair and is excluded from their identity check.
+		w.SetSpeculative(engine == "world-spec")
 		defer w.Close()
 		env = w.Ctrl()
 		c, err = cluster.NewWorld(w, devs, mkPolicy, cluster.NewLeastLoaded())
@@ -183,6 +188,50 @@ func MeasureScaleCell(replicas, jobs int) (ScaleEngineResult, error) {
 	return runScaleEngine("legacy", replicas, jobs)
 }
 
+// MeasureAllocsPerEvent measures steady-state heap allocations per engine
+// event on the scale workload: the first half of the trace warms every pool
+// and arena to its high-water mark, then the second half is measured with
+// runtime.MemStats. The result is fractional — per-job admission still
+// allocates a few records, amortized over thousands of events per job — and
+// cmd/benchguard fails if it reaches 0.5 (i.e. would round to ≥1 alloc per
+// event on a `go test -benchmem` report).
+func MeasureAllocsPerEvent(replicas, jobs int) (float64, error) {
+	models, reqs := scaleWorkload(replicas, jobs)
+	devs := make([]gpu.Config, replicas)
+	for i := range devs {
+		devs[i] = gpu.TeslaT4()
+	}
+	env := sim.NewEnv()
+	c, err := cluster.New(env, devs, func() sched.Policy { return sched.NewPaella(10000) }, cluster.NewLeastLoaded())
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range models {
+		if err := c.RegisterModel(m, compiler.DefaultConfig(), 1); err != nil {
+			return 0, err
+		}
+	}
+	conn := c.Connect()
+	for i, r := range reqs {
+		id, mdl := uint64(i+1), r.Model
+		env.At(r.At, func() {
+			conn.Submit(core.Request{ID: id, Model: mdl, Submit: env.Now()})
+		})
+	}
+	env.RunUntil(reqs[len(reqs)/2].At)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	s0 := env.Steps()
+	env.RunUntil(reqs[len(reqs)-1].At + 8*sim.Second)
+	runtime.ReadMemStats(&m1)
+	steps := env.Steps() - s0
+	if steps == 0 {
+		return 0, fmt.Errorf("scale: allocs probe measured no events")
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(steps), nil
+}
+
 // runScale sweeps replica counts and, per cell, times the three engines on
 // the identical workload. World serial and parallel must agree exactly on
 // every job metric (the bit-identity contract the property tests enforce
@@ -209,7 +258,7 @@ func runScale(out io.Writer, d Detail) error {
 	for _, replicas := range replicaSweep {
 		jobs := jobsPer * replicas
 		cell := ScaleCell{Replicas: replicas, Jobs: jobs}
-		for _, engine := range []string{"legacy", "world-serial", "world-parallel"} {
+		for _, engine := range []string{"legacy", "world-serial", "world-parallel", "world-spec"} {
 			res, err := runScaleEngine(engine, replicas, jobs)
 			if err != nil {
 				return err

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"fmt"
+	"math/bits"
 	"strconv"
 
 	"paella/internal/channel"
@@ -109,9 +110,18 @@ type Device struct {
 	scheduled    bool // a scheduling pass is pending
 	rrCursor     int  // round-robin start queue for fairness
 	smCursor     int  // round-robin start SM for placement spreading
+	queued       int  // launches resident across all hardware queues
+	occ          uint64 // bitmask of non-empty queues (used when nq ≤ 64)
 	stats        Stats
 	lastUtilAt   sim.Time
 	threadsInUse int
+	// freeBlocks/freeThreads aggregate spare capacity across online SMs.
+	// Either being too small to host one block proves a wave places
+	// nothing, letting placeBlocks skip its per-SM scan (the dominant
+	// cost when the device is saturated, which is exactly when the block
+	// scheduler runs most often).
+	freeBlocks  int
+	freeThreads int
 
 	// rec is the structured tracing recorder picked up from the Env at
 	// construction (nil when tracing is disabled; every emission site is
@@ -147,8 +157,10 @@ type Device struct {
 	// kickFn is the device's single scheduling-pass closure, preallocated so
 	// every kick schedules without allocating.
 	kickFn func()
-	// perSM is placeBlocks' per-wave scratch, reused across calls.
-	perSM []smPlacement
+	// perSM is placeBlocks' per-wave scratch, reused across calls;
+	// capScratch holds the eligible-SM capacity snapshot for the wave.
+	perSM      []smPlacement
+	capScratch []smCap
 	// doneFree and postFree recycle the block-completion and
 	// notification-delivery event objects. Each carries a closure
 	// preallocated at construction, so the per-block hot path — the bulk of
@@ -224,6 +236,8 @@ func NewDevice(env *sim.Env, cfg Config, notifQ *channel.NotifQueue) *Device {
 		queues: make([]hwQueue, nq),
 		notifQ: notifQ,
 	}
+	d.freeBlocks = cfg.NumSMs * cfg.SM.MaxBlocks
+	d.freeThreads = cfg.NumSMs * cfg.SM.MaxThreads
 	d.kickFn = func() {
 		d.scheduled = false
 		d.schedulePass()
@@ -333,6 +347,8 @@ func (d *Device) RetireSM(i int) bool {
 	}
 	d.sms[i].offline = true
 	d.offlineSMs++
+	d.freeBlocks -= d.cfg.SM.MaxBlocks - d.sms[i].blocks
+	d.freeThreads -= d.cfg.SM.MaxThreads - d.sms[i].threads
 	d.stats.SMsRetired++
 	if d.rec != nil {
 		d.rec.InstantArgs(d.smTracks[i], "sm-retired", "fault", d.env.Now(),
@@ -352,6 +368,8 @@ func (d *Device) RestoreSM(i int) bool {
 	}
 	d.sms[i].offline = false
 	d.offlineSMs--
+	d.freeBlocks += d.cfg.SM.MaxBlocks - d.sms[i].blocks
+	d.freeThreads += d.cfg.SM.MaxThreads - d.sms[i].threads
 	d.stats.SMsRestored++
 	if d.rec != nil {
 		d.rec.Instant(d.smTracks[i], "sm-restored", "fault", d.env.Now())
@@ -386,13 +404,7 @@ func (d *Device) Utilization() float64 {
 func (d *Device) QueueDepth(q int) int { return d.queues[q].depth() }
 
 // TotalQueued returns the number of launches across all hardware queues.
-func (d *Device) TotalQueued() int {
-	n := 0
-	for i := range d.queues {
-		n += d.queues[i].depth()
-	}
-	return n
-}
+func (d *Device) TotalQueued() int { return d.queued }
 
 // FreeThreads returns the number of unoccupied thread slots device-wide.
 func (d *Device) FreeThreads() int {
@@ -430,18 +442,30 @@ func (d *Device) Submit(q int, l *Launch) {
 	}
 	l.toPlace = l.Spec.Blocks
 	l.toFinish = l.Spec.Blocks
+	l.dev = d
 	d.stats.KernelsSubmitted++
-	enqueue := func() {
-		l.queuedAt = d.env.Now()
-		d.queues[q].push(l)
-		d.traceQueueDepth(q)
-		d.kick()
-	}
 	if d.cfg.LaunchOverhead > 0 {
-		d.env.DoAfter(d.cfg.LaunchOverhead, enqueue)
+		d.env.DoCallAfter(d.cfg.LaunchOverhead, launchEnqueue, l, uint64(q))
 	} else {
-		enqueue()
+		d.enqueueLaunch(l, q)
 	}
+}
+
+// launchEnqueue is the launch-overhead expiry event: ctx is the Launch and
+// arg its hardware queue. A package-level EventFn, so Submit schedules the
+// driver-side delay without allocating a per-launch closure.
+var launchEnqueue sim.EventFn = func(ctx any, arg uint64) {
+	l := ctx.(*Launch)
+	l.dev.enqueueLaunch(l, int(arg))
+}
+
+func (d *Device) enqueueLaunch(l *Launch, q int) {
+	l.queuedAt = d.env.Now()
+	d.queues[q].push(l)
+	d.queued++
+	d.occ |= 1 << uint(q)
+	d.traceQueueDepth(q)
+	d.kick()
 }
 
 // Kick requests a scheduling pass (e.g., after a launch's dependencies
@@ -459,51 +483,41 @@ func (d *Device) kick() {
 // schedulePass is the block scheduler: it repeatedly scans the hardware
 // queues round-robin, placing blocks from ready head launches onto SMs
 // until nothing more fits. Per §2.1 it never looks past a queue's head.
+// When the queue count fits a word, the scan walks the occupancy bitmask
+// instead of all nq slots — empty queues contribute nothing to a scan, so
+// skipping them (in the same cursor-rotated order) is behavior-identical.
 func (d *Device) schedulePass() {
+	nq := len(d.queues)
 	for {
+		// Empty-device fast path: a scan over nq queues with every head nil
+		// makes no progress and only advances the fairness cursor — do
+		// exactly that (identical cursor evolution, no scan). Most kicks
+		// after a completion wave land here.
+		if d.queued == 0 {
+			d.rrCursor = (d.rrCursor + 1) % nq
+			return
+		}
 		progressed := false
-		nq := len(d.queues)
-		for i := 0; i < nq; i++ {
-			qi := (d.rrCursor + i) % nq
-			q := &d.queues[qi]
-			head := q.head()
-			if head == nil {
-				continue
-			}
-			if head.Ready != nil && !head.Ready() {
-				// Queue stalls on an unready head. If anything is queued
-				// behind it, that is head-of-line blocking.
-				if q.depth() > 1 {
-					d.stats.HoLBlockedKernels++
-					if d.rec != nil {
-						d.rec.InstantArgs(d.qTracks[qi], "hol-blocked", "sched", d.env.Now(),
-							trace.Str("head", head.Spec.Name), trace.Int("behind", int64(q.depth()-1)))
-					}
+		if nq <= 64 {
+			// Queues can only empty mid-pass (popHead), never fill — a
+			// stale set bit is re-checked harmlessly by scanQueue.
+			mask := uint64(1)<<uint(d.rrCursor) - 1
+			w := d.occ
+			for seg := w &^ mask; seg != 0; seg &= seg - 1 {
+				if d.scanQueue(bits.TrailingZeros64(seg)) {
+					progressed = true
 				}
-				continue
 			}
-			placed := d.placeBlocks(head)
-			if placed > 0 {
-				progressed = true
+			for seg := w & mask; seg != 0; seg &= seg - 1 {
+				if d.scanQueue(bits.TrailingZeros64(seg)) {
+					progressed = true
+				}
 			}
-			if head.toPlace == 0 {
-				// Fully placed: the launch leaves the queue, exposing the
-				// next kernel (if any) to the scheduler.
-				head.state = LaunchRunning
-				head.placedAt = d.env.Now()
-				q.popHead()
-				if d.rec != nil {
-					// The launch's residence in the hardware queue, from
-					// enqueue to full placement.
-					d.rec.SpanArgs(d.qTracks[qi], head.Spec.Name, "hwqueue",
-						head.queuedAt, d.env.Now(),
-						trace.Str("job", head.JobTag), trace.Int("kernel_id", int64(head.KernelID)))
+		} else {
+			for i := 0; i < nq; i++ {
+				if d.scanQueue((d.rrCursor + i) % nq) {
+					progressed = true
 				}
-				d.traceQueueDepth(qi)
-				if head.OnAllPlaced != nil {
-					d.env.DoAfter(0, head.OnAllPlaced)
-				}
-				progressed = true
 			}
 		}
 		d.rrCursor = (d.rrCursor + 1) % nq
@@ -511,6 +525,53 @@ func (d *Device) schedulePass() {
 			return
 		}
 	}
+}
+
+// scanQueue examines one hardware queue's head launch, placing blocks when
+// it is ready, and reports whether the pass made progress on this queue.
+func (d *Device) scanQueue(qi int) bool {
+	q := &d.queues[qi]
+	head := q.head()
+	if head == nil {
+		return false
+	}
+	if head.Ready != nil && !head.Ready() {
+		// Queue stalls on an unready head. If anything is queued
+		// behind it, that is head-of-line blocking.
+		if q.depth() > 1 {
+			d.stats.HoLBlockedKernels++
+			if d.rec != nil {
+				d.rec.InstantArgs(d.qTracks[qi], "hol-blocked", "sched", d.env.Now(),
+					trace.Str("head", head.Spec.Name), trace.Int("behind", int64(q.depth()-1)))
+			}
+		}
+		return false
+	}
+	progressed := d.placeBlocks(head) > 0
+	if head.toPlace == 0 {
+		// Fully placed: the launch leaves the queue, exposing the
+		// next kernel (if any) to the scheduler.
+		head.state = LaunchRunning
+		head.placedAt = d.env.Now()
+		q.popHead()
+		d.queued--
+		if q.count == 0 {
+			d.occ &^= 1 << uint(qi)
+		}
+		if d.rec != nil {
+			// The launch's residence in the hardware queue, from
+			// enqueue to full placement.
+			d.rec.SpanArgs(d.qTracks[qi], head.Spec.Name, "hwqueue",
+				head.queuedAt, d.env.Now(),
+				trace.Str("job", head.JobTag), trace.Int("kernel_id", int64(head.KernelID)))
+		}
+		d.traceQueueDepth(qi)
+		if head.OnAllPlaced != nil {
+			d.env.DoAfter(0, head.OnAllPlaced)
+		}
+		progressed = true
+	}
+	return progressed
 }
 
 // placeBlocks places as many blocks of l as currently fit, spreading them
@@ -526,55 +587,145 @@ type smPlacement struct {
 	sm, n int
 }
 
+// smCap snapshots one eligible SM's remaining block capacity during a wave.
+type smCap struct {
+	sm, cap, got int
+}
+
 func (d *Device) placeBlocks(l *Launch) int {
 	_, th, rg, sh := l.Spec.BlockCost()
-	totalPlaced := 0
 	nsm := len(d.sms)
-	// perSM counts blocks placed per SM in this wave so completions and
-	// notifications can be chunked per SM (device-owned scratch, reused
-	// across waves).
-	perSM := d.perSM[:0]
-	for l.toPlace > 0 {
-		placedThisRound := false
-		for i := 0; i < nsm && l.toPlace > 0; i++ {
-			smi := (d.smCursor + i) % nsm
-			sm := &d.sms[smi]
-			if sm.offline {
-				continue
-			}
-			if sm.blocks+1 > d.cfg.SM.MaxBlocks ||
-				sm.threads+th > d.cfg.SM.MaxThreads ||
-				sm.regs+rg > d.cfg.SM.MaxRegisters ||
-				sm.shmem+sh > d.cfg.SM.MaxSharedMem {
-				continue
-			}
-			d.accrueUtil()
-			sm.blocks++
-			sm.threads += th
-			sm.regs += rg
-			sm.shmem += sh
-			d.threadsInUse += th
-			l.toPlace--
-			l.state = LaunchPlacing
-			d.stats.BlocksPlaced++
-			pi := -1
-			for k := range perSM {
-				if perSM[k].sm == smi {
-					pi = k
-					break
-				}
-			}
-			if pi < 0 {
-				perSM = append(perSM, smPlacement{sm: smi})
-				pi = len(perSM) - 1
-			}
-			perSM[pi].n++
-			totalPlaced++
-			placedThisRound = true
+	// Saturation fast path: per-SM free capacity never exceeds the
+	// device-wide aggregate, so an aggregate too small for one block
+	// proves the scan below would come up empty. The empty wave's one
+	// side effect — the placement cursor advancing a step — is kept.
+	if d.freeBlocks == 0 || (th > 0 && d.freeThreads < th) {
+		d.smCursor = (d.smCursor + 1) % nsm
+		return 0
+	}
+	// Snapshot each SM's capacity for this kernel's block shape, in cursor
+	// order. Capacities are fixed for the whole wave (placement on one SM
+	// never consumes another's resources), which admits a closed-form
+	// round-robin fill instead of the historical one-block-per-SM-per-round
+	// loop. The outcome is bit-identical: the old loop gave one block per
+	// round to every SM still below its cap, stopping mid-round in cursor
+	// order when the kernel ran out of blocks — exactly the water-filling
+	// levels computed below.
+	// The scan divides only when a resource limit actually binds below the
+	// running block cap (a multiply-compare detects that first), and skips
+	// block-saturated SMs before touching the other three limits.
+	maxB, maxT, maxR, maxS := d.cfg.SM.MaxBlocks, d.cfg.SM.MaxThreads, d.cfg.SM.MaxRegisters, d.cfg.SM.MaxSharedMem
+	caps := d.capScratch[:0]
+	minRem := 0
+	smi := d.smCursor
+	for i := 0; i < nsm; i++ {
+		idx := smi
+		smi++
+		if smi == nsm {
+			smi = 0
 		}
-		if !placedThisRound {
+		sm := &d.sms[idx]
+		if sm.offline {
+			continue
+		}
+		c := maxB - sm.blocks
+		if c <= 0 {
+			continue
+		}
+		if th > 0 {
+			if rem := maxT - sm.threads; rem < c*th {
+				c = rem / th
+			}
+		}
+		if rg > 0 {
+			if rem := maxR - sm.regs; rem < c*rg {
+				c = rem / rg
+			}
+		}
+		if sh > 0 {
+			if rem := maxS - sm.shmem; rem < c*sh {
+				c = rem / sh
+			}
+		}
+		if c > 0 {
+			if len(caps) == 0 || c < minRem {
+				minRem = c
+			}
+			caps = append(caps, smCap{sm: idx, cap: c})
+		}
+	}
+	d.capScratch = caps
+
+	// Water-fill: give every still-eligible SM the same number of blocks
+	// per level, peeling off SMs as they reach capacity; a final partial
+	// round hands one block each to the leading unsaturated SMs in cursor
+	// order. The level count is bounded by the number of distinct capacity
+	// values, so this is O(levels × SMs) instead of O(blocks × SMs). The
+	// first level's k/minRem come from the snapshot scan above; later
+	// levels (rare: only when some SM saturates mid-fill) rescan.
+	remaining := l.toPlace
+	k := len(caps)
+	for remaining > 0 {
+		if k == 0 {
 			break
 		}
+		if remaining < k {
+			for j := range caps {
+				if remaining == 0 {
+					break
+				}
+				if caps[j].cap-caps[j].got > 0 {
+					caps[j].got++
+					remaining--
+				}
+			}
+			break
+		}
+		give := remaining / k
+		if give > minRem {
+			give = minRem
+		}
+		for j := range caps {
+			if caps[j].cap-caps[j].got > 0 {
+				caps[j].got += give
+			}
+		}
+		remaining -= give * k
+		k = 0
+		for j := range caps {
+			if r := caps[j].cap - caps[j].got; r > 0 {
+				if k == 0 || r < minRem {
+					minRem = r
+				}
+				k++
+			}
+		}
+	}
+
+	totalPlaced := l.toPlace - remaining
+	// perSM lists the wave's placements in first-placement (cursor) order —
+	// identical to the order the per-block loop discovered SMs — so the
+	// completion/notification emission below stays deterministic.
+	perSM := d.perSM[:0]
+	if totalPlaced > 0 {
+		d.accrueUtil()
+		for _, e := range caps {
+			if e.got == 0 {
+				continue
+			}
+			sm := &d.sms[e.sm]
+			sm.blocks += e.got
+			sm.threads += e.got * th
+			sm.regs += e.got * rg
+			sm.shmem += e.got * sh
+			d.threadsInUse += e.got * th
+			d.freeBlocks -= e.got
+			d.freeThreads -= e.got * th
+			perSM = append(perSM, smPlacement{sm: e.sm, n: e.got})
+		}
+		d.stats.BlocksPlaced += uint64(totalPlaced)
+		l.toPlace = remaining
+		l.state = LaunchPlacing
 	}
 	d.smCursor = (d.smCursor + 1) % nsm
 	d.perSM = perSM
@@ -613,6 +764,12 @@ func (d *Device) completeBlocks(l *Launch, smi, n int) {
 	sm.regs -= n * rg
 	sm.shmem -= n * sh
 	d.threadsInUse -= n * th
+	if !sm.offline {
+		// A retired SM's draining blocks free no usable capacity; its
+		// residual share was already deducted wholesale at retirement.
+		d.freeBlocks += n
+		d.freeThreads += n * th
+	}
 	if sm.blocks < 0 || sm.threads < 0 || sm.regs < 0 || sm.shmem < 0 {
 		panic("gpu: SM resource accounting went negative")
 	}

@@ -154,6 +154,10 @@ type Launch struct {
 	state    LaunchState
 	toPlace  int
 	toFinish int
+	// dev backlinks to the owning device from Submit on, letting the
+	// launch-overhead expiry run as a typed event instead of a per-launch
+	// closure.
+	dev *Device
 	// Kernel-wide notification counters (Figure 6's startCount/endCount)
 	// and how many blocks have been reported to the notifQ so far.
 	placedCount       int
@@ -186,6 +190,19 @@ func (l *Launch) PlacedAt() sim.Time { return l.placedAt }
 // CompletedAt returns when the launch's last block completed (valid once
 // the state is LaunchDone).
 func (l *Launch) CompletedAt() sim.Time { return l.completedAt }
+
+// Recycle prepares a finished launch for reuse, clearing identity,
+// callback, and progress state. It reports false — leaving the launch
+// untouched — unless the launch is LaunchDone: a launch whose fate is
+// uncertain (e.g. reconciled by a watchdog while the device may still hold
+// it) must be left to the garbage collector instead of being reused.
+func (l *Launch) Recycle() bool {
+	if l.state != LaunchDone {
+		return false
+	}
+	*l = Launch{}
+	return true
+}
 
 func min(a, b int) int {
 	if a < b {

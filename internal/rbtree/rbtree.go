@@ -224,6 +224,11 @@ func (t *Tree[T]) Delete(n *Node[T]) {
 // InTree reports whether the handle is currently a member of t.
 func (t *Tree[T]) InTree(n *Node[T]) bool { return n != nil && n.tree == t }
 
+// Attached reports whether the handle is currently a member of any tree.
+// Detached handles (nil, or previously Delete'd) may be re-inserted with
+// InsertNode.
+func (n *Node[T]) Attached() bool { return n != nil && n.tree != nil }
+
 func (t *Tree[T]) rotateLeft(x *Node[T]) {
 	y := x.right
 	x.right = y.left

@@ -123,25 +123,26 @@ func (p *PaellaPolicy) JobFinished(client int) {
 	}
 }
 
-// Add implements Policy.
+// Add implements Policy. A job's detached node handles are reused across
+// Remove/Add cycles (one per kernel dispatch), so the steady-state path
+// does not allocate.
 func (p *PaellaPolicy) Add(j *JobEntry) {
-	if j.primary != nil || j.secondary != nil {
+	if j.primary.Attached() || j.secondary.Attached() {
 		panic("sched: job added twice to Paella")
 	}
-	j.primary = p.srpt.Insert(j)
-	j.secondary = p.client(j.Client).jobs.Insert(j)
+	j.primary = insertEntry(p.srpt, j, j.primary)
+	j.secondary = insertEntry(p.client(j.Client).jobs, j, j.secondary)
 }
 
-// Remove implements Policy.
+// Remove implements Policy. The node handles stay on the JobEntry,
+// detached, for reuse by the next Add.
 func (p *PaellaPolicy) Remove(j *JobEntry) {
-	if j.primary == nil {
+	if !j.primary.Attached() {
 		panic("sched: removing job not in Paella")
 	}
 	p.srpt.Delete(j.primary)
-	j.primary = nil
 	c := p.clients[j.Client]
 	c.jobs.Delete(j.secondary)
-	j.secondary = nil
 }
 
 // Pick implements Policy: fairness override first, SRPT otherwise.

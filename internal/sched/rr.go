@@ -48,11 +48,11 @@ func (p *rrPolicy) client(id int) *rrClient {
 }
 
 func (p *rrPolicy) Add(j *JobEntry) {
-	if j.primary != nil {
+	if j.primary.Attached() {
 		panic("sched: job added twice to RR")
 	}
 	c := p.client(j.Client)
-	j.primary = c.jobs.Insert(j)
+	j.primary = insertEntry(c.jobs, j, j.primary)
 	if !c.inRing {
 		c.inRing = true
 		p.ring = append(p.ring, c)
@@ -60,12 +60,11 @@ func (p *rrPolicy) Add(j *JobEntry) {
 }
 
 func (p *rrPolicy) Remove(j *JobEntry) {
-	if j.primary == nil {
+	if !j.primary.Attached() {
 		panic("sched: removing job not in RR")
 	}
 	c := p.clients[j.Client]
 	c.jobs.Delete(j.primary)
-	j.primary = nil
 	if c.jobs.Len() == 0 {
 		p.dropFromRing(c)
 	}

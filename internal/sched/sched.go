@@ -136,18 +136,28 @@ func (p *treePolicy) Name() string { return p.name }
 func (p *treePolicy) Len() int     { return p.tree.Len() }
 
 func (p *treePolicy) Add(j *JobEntry) {
-	if j.primary != nil {
+	if j.primary.Attached() {
 		panic("sched: job added twice to " + p.name)
 	}
-	j.primary = p.tree.Insert(j)
+	j.primary = insertEntry(p.tree, j, j.primary)
 }
 
 func (p *treePolicy) Remove(j *JobEntry) {
-	if j.primary == nil {
+	if !j.primary.Attached() {
 		panic("sched: removing job not in " + p.name)
 	}
 	p.tree.Delete(j.primary)
-	j.primary = nil
+}
+
+// insertEntry inserts j, reusing a detached node handle from a previous
+// Remove when one exists — jobs re-enter their policy once per kernel
+// dispatch, and handle reuse keeps that hot path allocation-free.
+func insertEntry(t *rbtree.Tree[*JobEntry], j *JobEntry, h *rbtree.Node[*JobEntry]) *rbtree.Node[*JobEntry] {
+	if h == nil {
+		return t.Insert(j)
+	}
+	t.InsertNode(h)
+	return h
 }
 
 func (p *treePolicy) Pick() *JobEntry {

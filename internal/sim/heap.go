@@ -25,131 +25,145 @@ package sim
 // correctly. Determinism and golden traces are therefore unaffected:
 // only the constant factor changes.
 //
-// Cancellation: a timer records its bucket and slot. Cancelling a bucket's
-// front is eager (the cursor advances and the bucket's heap key is fixed
-// up) so that the heap key always describes a *live* front; cancelling a
-// mid-bucket timer just marks it and the pop path skips it when the cursor
-// gets there.
+// Storage: buckets hold arena indices (int32), not pointers, and the
+// buckets themselves live in a flat slice addressed by index, so the whole
+// queue is pointer-free — the GC never traces it, and no queue operation
+// allocates once the slices reach the run's high-water mark.
+//
+// Cancellation: a record remembers its bucket and slot. Cancelling a
+// bucket's front is eager (the cursor advances and the bucket's heap key is
+// fixed up) so that the heap key always describes a *live* front;
+// cancelling a mid-bucket record writes a tombstone (-1) that the pop path
+// skips when the cursor gets there.
 
-// bucket is a FIFO run of timers sharing one due time.
+// bucket is a FIFO run of timer records sharing one due time.
 type bucket struct {
 	at    Time
-	tms   []*Timer
-	first int // cursor: tms[first] is the bucket's earliest live timer
-	hidx  int // slot in eventQueue.h, -1 while on the freelist
+	tms   []int32 // arena indices; -1 is a cancelled-record tombstone
+	first int32   // cursor: tms[first] is the bucket's earliest live record
+	hidx  int32   // slot in eventQueue.h, -1 while on the freelist
 }
 
 // bktEntry is one heap slot: the bucket's ordering key (at, seq of its
-// current front) inlined next to the bucket pointer, so sift comparisons
+// current front) inlined next to the bucket index, so sift comparisons
 // read contiguous array memory instead of chasing pointers.
 type bktEntry struct {
 	at  Time
 	seq uint64
-	b   *bucket
+	bi  int32
 }
 
 // eventQueue is the bucketed 4-ary min-heap described above.
 type eventQueue struct {
-	h     []bktEntry
-	lastB *bucket   // bucket of the most recent push (the open run)
-	free  []*bucket // recycled buckets (slices keep their capacity)
-	size  int       // live timers resident in the queue
+	a       *arena
+	h       []bktEntry
+	buckets []bucket
+	bfree   []int32 // recycled bucket indices (slices keep their capacity)
+	lastB   int32   // bucket of the most recent push (the open run), -1 none
+	size    int     // live records resident in the queue
 }
 
-// len reports the number of live (uncancelled) timers in the queue.
+// len reports the number of live (uncancelled) records in the queue.
 func (q *eventQueue) len() int { return q.size }
 
-// minKey returns the (at, seq) of the earliest pending timer. Only valid
+// minKey returns the (at, seq) of the earliest pending record. Only valid
 // when len() > 0; the front of the minimum bucket is always live.
 func (q *eventQueue) minKey() (Time, uint64) { return q.h[0].at, q.h[0].seq }
 
-// push inserts t. Caller contract (upheld by Env): t.seq is strictly
-// greater than every seq previously pushed, and t is not stopped.
-func (q *eventQueue) push(t *Timer) {
+// push inserts record i with key (at, seq). Caller contract (upheld by
+// Env): seq is strictly greater than every seq previously pushed, and the
+// record is live.
+func (q *eventQueue) push(i int32, at Time, seq uint64) {
 	q.size++
-	// Fast path: the open run is resident and shares t's due time — append.
+	// Fast path: the open run is resident and shares the due time — append.
 	// Any resident bucket with a matching `at` works (appended seqs are
 	// globally increasing, keeping the bucket sorted), so a stale lastB
-	// that was recycled into a new same-timestamp bucket is still correct.
-	if b := q.lastB; b != nil && b.hidx >= 0 && b.at == t.at {
-		t.bkt, t.index = b, len(b.tms)
-		b.tms = append(b.tms, t)
-		return
+	// whose index was recycled into a new same-timestamp bucket is still
+	// correct.
+	if bi := q.lastB; bi >= 0 {
+		if b := &q.buckets[bi]; b.hidx >= 0 && b.at == at {
+			r := &q.a.recs[i]
+			r.bkt, r.slot = bi, int32(len(b.tms))
+			b.tms = append(b.tms, i)
+			return
+		}
 	}
-	var b *bucket
-	if n := len(q.free); n > 0 {
-		b = q.free[n-1]
-		q.free[n-1] = nil
-		q.free = q.free[:n-1]
+	var bi int32
+	if n := len(q.bfree); n > 0 {
+		bi = q.bfree[n-1]
+		q.bfree = q.bfree[:n-1]
 	} else {
-		b = &bucket{}
+		q.buckets = append(q.buckets, bucket{})
+		bi = int32(len(q.buckets) - 1)
 	}
-	b.at, b.first = t.at, 0
-	t.bkt, t.index = b, 0
-	b.tms = append(b.tms, t)
-	q.lastB = b
-	b.hidx = len(q.h)
-	q.h = append(q.h, bktEntry{at: t.at, seq: t.seq, b: b})
-	q.siftUp(b.hidx)
+	b := &q.buckets[bi]
+	b.at, b.first = at, 0
+	b.tms = append(b.tms, i)
+	r := &q.a.recs[i]
+	r.bkt, r.slot = bi, 0
+	q.lastB = bi
+	b.hidx = int32(len(q.h))
+	q.h = append(q.h, bktEntry{at: at, seq: seq, bi: bi})
+	q.siftUp(int(b.hidx))
 }
 
-// pop removes and returns the earliest pending timer.
-func (q *eventQueue) pop() *Timer {
-	b := q.h[0].b
-	t := b.tms[b.first]
-	b.tms[b.first] = nil
+// pop removes and returns the earliest pending record's arena index. The
+// record's queue linkage is cleared; the caller owns the record.
+func (q *eventQueue) pop() int32 {
+	bi := q.h[0].bi
+	b := &q.buckets[bi]
+	i := b.tms[b.first]
 	b.first++
-	t.bkt, t.index = nil, -1
+	q.a.recs[i].bkt = bktNone
 	q.size--
-	q.advance(b, 0)
-	return t
+	q.advance(bi, 0)
+	return i
 }
 
-// cancel unlinks a bucket-resident timer (t.bkt != nil). The caller has
-// already marked it stopped.
-func (q *eventQueue) cancel(t *Timer) {
-	b := t.bkt
-	pos := t.index
-	t.bkt, t.index = nil, -1
+// cancel unlinks a bucket-resident record. The caller handles the record's
+// generation and free-list bookkeeping.
+func (q *eventQueue) cancel(i int32) {
+	r := &q.a.recs[i]
+	bi, pos := r.bkt, r.slot
+	r.bkt = bktNone
 	q.size--
+	b := &q.buckets[bi]
 	if pos != b.first {
-		// Mid-bucket: leave the (stopped) pointer in place; advance skips
-		// it when the cursor arrives.
+		// Mid-bucket: leave a tombstone; advance skips it when the cursor
+		// arrives.
+		b.tms[pos] = -1
 		return
 	}
-	b.tms[b.first] = nil
 	b.first++
-	q.advance(b, b.hidx)
+	q.advance(bi, int(b.hidx))
 }
 
-// advance skips cancelled timers at b's cursor, then either retires the
-// drained bucket from heap slot i or refreshes the slot's front-seq key
-// and re-sinks it (the key only ever increases).
-func (q *eventQueue) advance(b *bucket, i int) {
-	// Skip cancelled timers (cancel already removed them from the size
-	// count and cleared their linkage).
-	for b.first < len(b.tms) && b.tms[b.first].stopped {
-		b.tms[b.first] = nil
+// advance skips tombstones at b's cursor, then either retires the drained
+// bucket from heap slot hi or refreshes the slot's front-seq key and
+// re-sinks it (the key only ever increases).
+func (q *eventQueue) advance(bi int32, hi int) {
+	b := &q.buckets[bi]
+	for int(b.first) < len(b.tms) && b.tms[b.first] < 0 {
 		b.first++
 	}
-	if b.first == len(b.tms) {
-		q.removeAt(i)
-		q.release(b)
+	if int(b.first) == len(b.tms) {
+		q.removeAt(hi)
+		q.release(bi)
 		return
 	}
-	q.h[i].seq = b.tms[b.first].seq
-	q.siftDown(i)
+	q.h[hi].seq = q.a.recs[b.tms[b.first]].seq
+	q.siftDown(hi)
 }
 
 // removeAt deletes heap slot i, restoring the heap property.
 func (q *eventQueue) removeAt(i int) {
 	n := len(q.h) - 1
-	q.h[i].b.hidx = -1
+	q.buckets[q.h[i].bi].hidx = -1
 	if i != n {
 		q.h[i] = q.h[n]
-		q.h[i].b.hidx = i
+		q.buckets[q.h[i].bi].hidx = int32(i)
 	}
-	q.h[n] = bktEntry{}
+	q.h[n] = bktEntry{bi: -1}
 	q.h = q.h[:n]
 	if i < n {
 		if !q.siftDown(i) {
@@ -159,13 +173,14 @@ func (q *eventQueue) removeAt(i int) {
 }
 
 // release returns a drained bucket to the freelist.
-func (q *eventQueue) release(b *bucket) {
-	if q.lastB == b {
-		q.lastB = nil
+func (q *eventQueue) release(bi int32) {
+	if q.lastB == bi {
+		q.lastB = -1
 	}
+	b := &q.buckets[bi]
 	b.tms = b.tms[:0]
 	b.first = 0
-	q.free = append(q.free, b)
+	q.bfree = append(q.bfree, bi)
 }
 
 // less orders heap slots by due time, then front insertion sequence.
@@ -178,8 +193,8 @@ func (q *eventQueue) less(i, j int) bool {
 
 func (q *eventQueue) swap(i, j int) {
 	q.h[i], q.h[j] = q.h[j], q.h[i]
-	q.h[i].b.hidx = i
-	q.h[j].b.hidx = j
+	q.buckets[q.h[i].bi].hidx = int32(i)
+	q.buckets[q.h[j].bi].hidx = int32(j)
 }
 
 func (q *eventQueue) siftUp(i int) {

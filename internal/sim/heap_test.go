@@ -6,20 +6,49 @@ import (
 	"testing"
 )
 
+// qrig wires an eventQueue to its backing arena the way NewEnv does,
+// letting the queue be exercised in isolation.
+type qrig struct {
+	a arena
+	q eventQueue
+}
+
+func newQrig() *qrig {
+	r := &qrig{}
+	r.a.freeHead = -1
+	r.q.a = &r.a
+	r.q.lastB = -1
+	return r
+}
+
+// qitem mirrors one pushed record in the model's own storage, so model
+// entries stay readable even after a cancelled record is recycled.
+type qitem struct {
+	idx int32
+	at  Time
+	seq uint64
+}
+
+func (r *qrig) push(at Time, seq uint64) qitem {
+	i := r.a.alloc()
+	rec := &r.a.recs[i]
+	rec.at, rec.seq = at, seq
+	r.q.push(i, at, seq)
+	return qitem{idx: i, at: at, seq: seq}
+}
+
 // queuePushPattern drives an eventQueue the way an Env does — strictly
 // increasing seq, with bursts of repeated timestamps to exercise the
 // open-run append path as well as fresh buckets.
-func queuePushPattern(rng *rand.Rand, q *eventQueue, seq *uint64, n int) []*Timer {
-	var out []*Timer
+func queuePushPattern(rng *rand.Rand, r *qrig, seq *uint64, n int) []qitem {
+	var out []qitem
 	at := Time(rng.Intn(50))
 	for i := 0; i < n; i++ {
 		if rng.Intn(3) == 0 { // start a new run two-thirds of the time not
 			at = Time(rng.Intn(50))
 		}
-		tm := &Timer{at: at, seq: *seq}
+		out = append(out, r.push(at, *seq))
 		*seq++
-		q.push(tm)
-		out = append(out, tm)
 	}
 	return out
 }
@@ -30,9 +59,9 @@ func queuePushPattern(rng *rand.Rand, q *eventQueue, seq *uint64, n int) []*Time
 func TestQueuePopOrderMatchesSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 50; trial++ {
-		var q eventQueue
+		r := newQrig()
 		seq := uint64(0)
-		ref := queuePushPattern(rng, &q, &seq, 1+rng.Intn(200))
+		ref := queuePushPattern(rng, r, &seq, 1+rng.Intn(200))
 		sort.Slice(ref, func(a, b int) bool {
 			if ref[a].at != ref[b].at {
 				return ref[a].at < ref[b].at
@@ -40,30 +69,33 @@ func TestQueuePopOrderMatchesSort(t *testing.T) {
 			return ref[a].seq < ref[b].seq
 		})
 		for i, want := range ref {
-			got := q.pop()
-			if got != want {
+			got := r.q.pop()
+			if got != want.idx {
+				rec := &r.a.recs[got]
 				t.Fatalf("trial %d: pop %d = (at=%d seq=%d), want (at=%d seq=%d)",
-					trial, i, got.at, got.seq, want.at, want.seq)
+					trial, i, rec.at, rec.seq, want.at, want.seq)
 			}
-			if got.index != -1 || got.bkt != nil {
-				t.Fatalf("popped timer retains queue linkage (index=%d)", got.index)
+			if r.a.recs[got].bkt != bktNone {
+				t.Fatalf("popped record retains queue linkage (bkt=%d)", r.a.recs[got].bkt)
 			}
 		}
-		if q.len() != 0 {
-			t.Fatalf("queue not drained: %d left", q.len())
+		if r.q.len() != 0 {
+			t.Fatalf("queue not drained: %d left", r.q.len())
 		}
 	}
 }
 
 // TestQueueAgainstModel cross-checks the bucketed queue against a sorted
 // reference under a randomized push/pop/cancel workload — including
-// cancels of bucket fronts (eager) and mid-bucket timers (lazy).
+// cancels of bucket fronts (eager) and mid-bucket records (lazy
+// tombstones). Cancelled records are recycled immediately, so the workload
+// also exercises arena index reuse under live traffic.
 func TestQueueAgainstModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	var q eventQueue
+	r := newQrig()
 	seq := uint64(0)
-	var live []*Timer
-	popMin := func() *Timer {
+	var live []qitem
+	popMin := func() qitem {
 		best := -1
 		for i, x := range live {
 			if best < 0 || x.at < live[best].at || (x.at == live[best].at && x.seq < live[best].seq) {
@@ -75,18 +107,19 @@ func TestQueueAgainstModel(t *testing.T) {
 		return x
 	}
 	for op := 0; op < 5000; op++ {
-		switch r := rng.Intn(10); {
-		case r < 5: // push a small same-timestamp run
-			live = append(live, queuePushPattern(rng, &q, &seq, 1+rng.Intn(4))...)
-		case r < 8: // pop min
-			if q.len() == 0 {
+		switch r2 := rng.Intn(10); {
+		case r2 < 5: // push a small same-timestamp run
+			live = append(live, queuePushPattern(rng, r, &seq, 1+rng.Intn(4))...)
+		case r2 < 8: // pop min
+			if r.q.len() == 0 {
 				continue
 			}
 			want := popMin()
-			got := q.pop()
-			if got != want {
+			got := r.q.pop()
+			if got != want.idx {
+				rec := &r.a.recs[got]
 				t.Fatalf("op %d: pop (at=%d seq=%d), want (at=%d seq=%d)",
-					op, got.at, got.seq, want.at, want.seq)
+					op, rec.at, rec.seq, want.at, want.seq)
 			}
 		default: // cancel arbitrary
 			if len(live) == 0 {
@@ -95,19 +128,20 @@ func TestQueueAgainstModel(t *testing.T) {
 			i := rng.Intn(len(live))
 			victim := live[i]
 			live = append(live[:i], live[i+1:]...)
-			victim.stopped = true
-			q.cancel(victim)
+			r.q.cancel(victim.idx)
+			r.a.freeCancelled(victim.idx)
 		}
-		if q.len() != len(live) {
-			t.Fatalf("op %d: queue len %d, model %d", op, q.len(), len(live))
+		if r.q.len() != len(live) {
+			t.Fatalf("op %d: queue len %d, model %d", op, r.q.len(), len(live))
 		}
 	}
-	for q.len() > 0 {
+	for r.q.len() > 0 {
 		want := popMin()
-		got := q.pop()
-		if got != want {
+		got := r.q.pop()
+		if got != want.idx {
+			rec := &r.a.recs[got]
 			t.Fatalf("drain: pop (at=%d seq=%d), want (at=%d seq=%d)",
-				got.at, got.seq, want.at, want.seq)
+				rec.at, rec.seq, want.at, want.seq)
 		}
 	}
 	if len(live) != 0 {
@@ -116,63 +150,67 @@ func TestQueueAgainstModel(t *testing.T) {
 }
 
 // TestQueueInvariants: after every operation, each heap slot's inline key
-// matches its bucket's live front, bucket back-pointers name their slots,
+// matches its bucket's live front, bucket back-links name their slots,
 // bucket seqs are strictly increasing, and the size counter equals the
-// number of live resident timers — the invariants Cancel and Step rest on.
+// number of live resident records — the invariants Cancel and Step rest on.
 func TestQueueInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	var q eventQueue
+	r := newQrig()
 	seq := uint64(0)
-	var live []*Timer
+	var live []qitem
 	check := func(op int) {
 		total := 0
-		for i, ent := range q.h {
-			b := ent.b
-			if b.hidx != i {
+		for i, ent := range r.q.h {
+			b := &r.q.buckets[ent.bi]
+			if b.hidx != int32(i) {
 				t.Fatalf("op %d: slot %d holds bucket with hidx %d", op, i, b.hidx)
 			}
-			if b.first >= len(b.tms) {
+			if int(b.first) >= len(b.tms) {
 				t.Fatalf("op %d: slot %d holds drained bucket", op, i)
 			}
 			front := b.tms[b.first]
-			if front.stopped {
-				t.Fatalf("op %d: slot %d front is cancelled", op, i)
+			if front < 0 {
+				t.Fatalf("op %d: slot %d front is a tombstone", op, i)
 			}
-			if ent.at != b.at || ent.at != front.at || ent.seq != front.seq {
+			fr := &r.a.recs[front]
+			if ent.at != b.at || ent.at != fr.at || ent.seq != fr.seq {
 				t.Fatalf("op %d: slot %d key (%d,%d) diverges from front (%d,%d)",
-					op, i, ent.at, ent.seq, front.at, front.seq)
+					op, i, ent.at, ent.seq, fr.at, fr.seq)
 			}
 			prev := uint64(0)
-			for j := b.first; j < len(b.tms); j++ {
-				tm := b.tms[j]
-				if tm.at != b.at {
-					t.Fatalf("op %d: bucket at=%d holds timer at=%d", op, b.at, tm.at)
+			seenLive := false
+			for j := int(b.first); j < len(b.tms); j++ {
+				ti := b.tms[j]
+				if ti < 0 {
+					continue // cancelled: tombstone
 				}
-				if j > b.first && tm.seq <= prev {
+				rec := &r.a.recs[ti]
+				if rec.at != b.at {
+					t.Fatalf("op %d: bucket at=%d holds record at=%d", op, b.at, rec.at)
+				}
+				if seenLive && rec.seq <= prev {
 					t.Fatalf("op %d: bucket seqs not increasing", op)
 				}
-				prev = tm.seq
-				if !tm.stopped {
-					total++
-					if tm.bkt != b || tm.index != j {
-						t.Fatalf("op %d: timer linkage wrong (bkt ok=%v index=%d want %d)",
-							op, tm.bkt == b, tm.index, j)
-					}
+				prev, seenLive = rec.seq, true
+				total++
+				if rec.bkt != ent.bi || rec.slot != int32(j) {
+					t.Fatalf("op %d: record linkage wrong (bkt=%d want %d, slot=%d want %d)",
+						op, rec.bkt, ent.bi, rec.slot, j)
 				}
 			}
 		}
-		if total != q.size {
-			t.Fatalf("op %d: size %d, counted %d live", op, q.size, total)
+		if total != r.q.size {
+			t.Fatalf("op %d: size %d, counted %d live", op, r.q.size, total)
 		}
 	}
 	for op := 0; op < 2000; op++ {
 		switch {
-		case rng.Intn(3) > 0 || q.len() == 0:
-			live = append(live, queuePushPattern(rng, &q, &seq, 1+rng.Intn(4))...)
+		case rng.Intn(3) > 0 || r.q.len() == 0:
+			live = append(live, queuePushPattern(rng, r, &seq, 1+rng.Intn(4))...)
 		case rng.Intn(2) == 0:
-			got := q.pop()
+			got := r.q.pop()
 			for i, x := range live {
-				if x == got {
+				if x.idx == got {
 					live = append(live[:i], live[i+1:]...)
 					break
 				}
@@ -181,17 +219,17 @@ func TestQueueInvariants(t *testing.T) {
 			i := rng.Intn(len(live))
 			victim := live[i]
 			live = append(live[:i], live[i+1:]...)
-			victim.stopped = true
-			q.cancel(victim)
+			r.q.cancel(victim.idx)
+			r.a.freeCancelled(victim.idx)
 		}
 		check(op)
 	}
 }
 
-// TestDoPoolingRecycles: Do/DoAfter timers return to the freelist after
-// firing and are reused; handle-returning At/After timers never enter the
-// pool (a held *Timer must stay valid for Cancel after firing).
-func TestDoPoolingRecycles(t *testing.T) {
+// TestArenaRecycles: fired records return to the index-linked free list and
+// are reused, so the arena's footprint is the run's high-water mark of
+// concurrently pending events — not the total event count.
+func TestArenaRecycles(t *testing.T) {
 	e := NewEnv()
 	ran := 0
 	for i := 0; i < 100; i++ {
@@ -199,38 +237,43 @@ func TestDoPoolingRecycles(t *testing.T) {
 	}
 	e.Run()
 	if ran != 100 {
-		t.Fatalf("ran %d pooled events, want 100", ran)
+		t.Fatalf("ran %d events, want 100", ran)
 	}
-	if len(e.free) == 0 {
-		t.Fatal("freelist empty after pooled events fired")
+	if e.arena.nfree == 0 {
+		t.Fatal("freelist empty after events fired")
 	}
-	highWater := len(e.free)
-	// Steady-state: one pooled event in flight at a time reuses one timer.
-	e.DoAfter(1, func() { ran++ })
-	e.Run()
-	if len(e.free) != highWater {
-		t.Fatalf("freelist grew in steady state: %d -> %d", highWater, len(e.free))
+	highWater := len(e.arena.recs)
+	// Steady-state: one event in flight at a time reuses one record.
+	for i := 0; i < 50; i++ {
+		e.DoAfter(1, func() { ran++ })
+		e.Run()
 	}
-	// Handle path must not feed the pool.
+	if len(e.arena.recs) != highWater {
+		t.Fatalf("arena grew in steady state: %d -> %d", highWater, len(e.arena.recs))
+	}
+	// Handle-returning timers recycle too; the generation protects the
+	// stale handle.
 	tm := e.After(1, func() {})
 	e.Run()
-	for _, f := range e.free {
-		if f == tm {
-			t.Fatal("cancellable timer entered the pool")
-		}
-	}
 	if tm.Stopped() {
 		t.Fatal("fired timer reports stopped")
 	}
+	e.Cancel(tm) // no-op: the record already fired
+	if tm.Stopped() {
+		t.Fatal("cancel-after-fire reports stopped")
+	}
+	if e.arena.live() != 0 {
+		t.Fatalf("%d records leaked", e.arena.live())
+	}
 }
 
-// TestDoSchedulingAllocFree: in steady state the pooled path performs no
-// per-event allocations (the closure passed in is the caller's concern;
-// here it is preallocated, as on the Proc wakeup path).
+// TestDoSchedulingAllocFree: in steady state the schedule+fire cycle
+// performs no per-event allocations (the closure passed in is the caller's
+// concern; here it is preallocated, as on the Proc wakeup path).
 func TestDoSchedulingAllocFree(t *testing.T) {
 	e := NewEnv()
 	fn := func() {}
-	// Warm the pool.
+	// Warm the arena.
 	e.DoAfter(0, fn)
 	e.Run()
 	avg := testing.AllocsPerRun(1000, func() {
@@ -238,12 +281,34 @@ func TestDoSchedulingAllocFree(t *testing.T) {
 		e.Step()
 	})
 	if avg != 0 {
-		t.Fatalf("pooled schedule+fire allocates %.1f per event, want 0", avg)
+		t.Fatalf("schedule+fire allocates %.1f per event, want 0", avg)
+	}
+}
+
+// TestDoCallAllocFree: the typed-callback path stays allocation-free even
+// when the context is freshly boxed per call site — the arena record holds
+// the interface words inline.
+func TestDoCallAllocFree(t *testing.T) {
+	e := NewEnv()
+	type target struct{ hits uint64 }
+	tgt := &target{}
+	cb := func(ctx any, arg uint64) { ctx.(*target).hits += arg }
+	e.DoCallAfter(0, cb, tgt, 1)
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.DoCallAfter(1, cb, tgt, 2)
+		e.Step()
+	})
+	if avg != 0 {
+		t.Fatalf("DoCall schedule+fire allocates %.1f per event, want 0", avg)
+	}
+	if tgt.hits == 0 {
+		t.Fatal("typed callback never ran")
 	}
 }
 
 // TestProcSleepAllocFree: a process sleep cycle reuses the preallocated
-// dispatch closure and a pooled timer — zero allocations per wakeup.
+// dispatch closure and an arena record — zero allocations per wakeup.
 func TestProcSleepAllocFree(t *testing.T) {
 	e := NewEnv()
 	stop := false
@@ -280,7 +345,7 @@ func TestNextEventTime(t *testing.T) {
 	}
 }
 
-// TestDoPastPanics: the pooled path enforces the same no-past-scheduling
+// TestDoPastPanics: the hot path enforces the same no-past-scheduling
 // contract as At.
 func TestDoPastPanics(t *testing.T) {
 	e := NewEnv()
@@ -316,6 +381,24 @@ func BenchmarkEnvEventChurn(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.DoAfter(1024, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEnvDoCallChurn is the typed-callback twin of EnvEventChurn —
+// the path cluster hot loops use after the closure-interning work.
+func BenchmarkEnvDoCallChurn(b *testing.B) {
+	e := NewEnv()
+	type target struct{ hits uint64 }
+	tgt := &target{}
+	cb := func(ctx any, arg uint64) { ctx.(*target).hits++ }
+	for i := 0; i < 1024; i++ {
+		e.DoCallAfter(Time(i), cb, tgt, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DoCallAfter(1024, cb, tgt, 0)
 		e.Step()
 	}
 }

@@ -7,6 +7,9 @@ type Mutex struct {
 	env     *Env
 	held    bool
 	waiters []func()
+	// first is the dequeue cursor; popping moves it instead of reslicing so
+	// the waiter array's capacity is retained (no per-handoff allocation).
+	first int
 }
 
 // NewMutex returns an unlocked mutex bound to e.
@@ -16,7 +19,7 @@ func NewMutex(e *Env) *Mutex { return &Mutex{env: e} }
 func (m *Mutex) Held() bool { return m.held }
 
 // Waiters returns the number of processes queued on the mutex.
-func (m *Mutex) Waiters() int { return len(m.waiters) }
+func (m *Mutex) Waiters() int { return len(m.waiters) - m.first }
 
 // Lock blocks the process until it holds the mutex.
 func (m *Mutex) Lock(p *Proc) {
@@ -34,12 +37,17 @@ func (m *Mutex) Unlock() {
 	if !m.held {
 		panic("sim: unlock of unheld mutex")
 	}
-	if len(m.waiters) == 0 {
+	if m.first == len(m.waiters) {
 		m.held = false
+		m.waiters, m.first = m.waiters[:0], 0
 		return
 	}
-	next := m.waiters[0]
-	m.waiters = m.waiters[1:]
+	next := m.waiters[m.first]
+	m.waiters[m.first] = nil
+	m.first++
+	if m.first == len(m.waiters) {
+		m.waiters, m.first = m.waiters[:0], 0
+	}
 	// Ownership transfers directly; the waiter resumes as a fresh event.
 	m.env.DoAfter(0, next)
 }

@@ -148,6 +148,12 @@ func (p *Proc) Wait(c *Completion) {
 type Cond struct {
 	env *Env
 	fns []func()
+	// spare is the previous waiter slice, kept for reuse. Broadcast
+	// ping-pongs fns and spare so the wait→broadcast→re-wait cycle that
+	// dominates dispatcher hot loops stops reallocating a waiter slice per
+	// round: DoAfter copies each func value into its timer record before
+	// Broadcast returns, so the old backing array is immediately reusable.
+	spare []func()
 }
 
 // NewCond returns a condition bound to e.
@@ -159,10 +165,12 @@ func (c *Cond) Waiters() int { return len(c.fns) }
 // Broadcast wakes all current waiters (as fresh events at the current time).
 func (c *Cond) Broadcast() {
 	fns := c.fns
-	c.fns = nil
-	for _, fn := range fns {
+	c.fns = c.spare[:0]
+	for i, fn := range fns {
 		c.env.DoAfter(0, fn)
+		fns[i] = nil
 	}
+	c.spare = fns[:0]
 }
 
 // OnNext registers fn to run on the next Broadcast.

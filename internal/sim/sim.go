@@ -17,6 +17,11 @@
 //     and CUDA-style adaptor code use processes, mirroring the stackful
 //     Boost coroutines used by the paper's dispatcher (§4.2).
 //
+// Event storage is a flat struct-of-arrays arena (see arena.go): records
+// are addressed by index, recycled through an index-linked free list, and
+// guarded by generation counters, so the steady-state event loop performs
+// zero heap allocations per event.
+//
 // For multi-GPU cluster simulations, World composes several Envs — one
 // shard per replica plus a control shard — and executes replica windows
 // concurrently under a conservative synchronization protocol while keeping
@@ -61,38 +66,40 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 // Millis returns t as a floating-point number of milliseconds.
 func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 
-// Timer is a scheduled event. It may be cancelled with Cancel before it
-// fires; firing and cancellation are both idempotent.
+// Timer is a cancellation handle for a scheduled event, returned by At and
+// After. It is a small value (no allocation): it names an arena record by
+// index plus the generation observed at creation, so a handle held past the
+// record's recycling degrades gracefully — Cancel becomes a no-op and
+// Stopped keeps answering for the timer the handle originally named. The
+// zero Timer is valid and inert.
 type Timer struct {
+	env *Env
+	idx int32
+	gen uint32
 	at  Time
-	seq uint64
-	// bkt/index locate a queued timer: bkt is its run bucket and index its
-	// slot there (see heap.go); bkt == nil with index -2 means the
-	// immediate FIFO; bkt == nil with index -1 means not queued.
-	bkt     *bucket
-	index   int
-	fn      func()
-	stopped bool
-	// pooled marks a timer created through the handle-free Do/DoAfter
-	// path: no caller holds a reference, so the Env recycles it after it
-	// fires to keep the per-event allocation rate near zero.
-	pooled bool
 }
 
 // At reports the virtual time at which the timer is (or was) due.
-func (t *Timer) At() Time { return t.at }
+func (t Timer) At() Time { return t.at }
 
 // Stopped reports whether the timer was cancelled before firing.
-func (t *Timer) Stopped() bool { return t.stopped }
+func (t Timer) Stopped() bool {
+	if t.env == nil {
+		return false
+	}
+	// Parity protocol (see arena.go): cancellation leaves the record at
+	// exactly generation+1; firing or reuse moves it anywhere else.
+	return t.env.arena.recs[t.idx].gen == t.gen+1
+}
 
 // Env is a discrete-event simulation environment. The zero value is not
 // usable; construct with NewEnv.
 type Env struct {
-	now     Time
-	events  eventQueue
-	seq     uint64
-	steps   uint64
-	running bool
+	now    Time
+	arena  arena
+	events eventQueue
+	seq    uint64
+	steps  uint64
 	// imm is a circular FIFO of events due exactly at the current clock —
 	// the zero-delay handoffs (process wakeups, completion fires, mutex
 	// transfers) that dominate a DES run. Because every entry was scheduled
@@ -102,13 +109,20 @@ type Env struct {
 	// by (at, seq) therefore reproduces the exact global event order while
 	// keeping the common case O(1) instead of O(log n). The FIFO always
 	// drains before the clock can advance, so entries never go stale.
-	imm      []*Timer
+	imm      []int32
 	immFirst int
 	immLen   int
 	// immDead counts cancelled-but-unpopped FIFO entries (removed lazily).
 	immDead int
-	// free is the recycled-timer pool fed by pooled (Do/DoAfter) events.
-	free []*Timer
+	// mut counts queue mutations (schedule, fire, cancel); nextMut/nextAt/
+	// nextOK memoize NextEventTime against it. The World engine probes every
+	// shard's next event at least twice per window, and most shards are
+	// untouched between probes — the memo turns those probes into a counter
+	// compare.
+	mut     uint64
+	nextMut uint64
+	nextAt  Time
+	nextOK  bool
 	// procPanic carries a panic out of a process goroutine so that it
 	// surfaces on the main (test) goroutine instead of being lost.
 	procPanic any
@@ -142,7 +156,11 @@ func (e *Env) Meter() any { return e.meter }
 
 // NewEnv returns an environment with the clock at zero and no pending events.
 func NewEnv() *Env {
-	return &Env{}
+	e := &Env{mut: 1}
+	e.arena.freeHead = -1
+	e.events.a = &e.arena
+	e.events.lastB = -1
+	return e
 }
 
 // Now returns the current virtual time.
@@ -159,83 +177,99 @@ func (e *Env) Pending() int { return e.events.len() + e.immLen - e.immDead }
 // whether one exists. The World engine uses it to size conservative
 // execution windows.
 func (e *Env) NextEventTime() (Time, bool) {
-	if f := e.immFront(); f != nil {
+	if e.nextMut == e.mut {
+		return e.nextAt, e.nextOK
+	}
+	e.nextMut = e.mut
+	if f := e.immFront(); f >= 0 {
 		// FIFO entries are due at the current clock, which is ≤ any heap
 		// event's due time.
-		return f.at, true
+		e.nextAt, e.nextOK = e.arena.recs[f].at, true
+	} else if e.events.len() == 0 {
+		e.nextAt, e.nextOK = 0, false
+	} else {
+		at, _ := e.events.minKey()
+		e.nextAt, e.nextOK = at, true
 	}
-	if e.events.len() == 0 {
-		return 0, false
-	}
-	at, _ := e.events.minKey()
-	return at, true
+	return e.nextAt, e.nextOK
 }
 
-// immFront returns the earliest live immediate-FIFO entry, discarding
-// cancelled entries on the way (lazy removal), or nil when the FIFO is
-// empty.
-func (e *Env) immFront() *Timer {
+// immFront returns the arena index of the earliest live immediate-FIFO
+// entry, discarding cancelled entries on the way (lazy removal), or -1 when
+// the FIFO is empty.
+func (e *Env) immFront() int32 {
 	for e.immLen > 0 {
-		tm := e.imm[e.immFirst]
-		if !tm.stopped {
-			return tm
+		i := e.imm[e.immFirst]
+		if e.arena.recs[i].gen&1 == 0 {
+			return i
 		}
 		e.popImm()
+		e.arena.freeMarked(i)
 		e.immDead--
 	}
-	return nil
+	return -1
 }
 
 // pushImm appends an event due exactly now to the immediate FIFO.
-func (e *Env) pushImm(tm *Timer) {
+func (e *Env) pushImm(i int32) {
 	if e.immLen == len(e.imm) {
 		e.growImm()
 	}
-	tm.index = -2
-	e.imm[(e.immFirst+e.immLen)&(len(e.imm)-1)] = tm
+	e.arena.recs[i].bkt = bktImm
+	e.imm[(e.immFirst+e.immLen)&(len(e.imm)-1)] = i
 	e.immLen++
 }
 
 // popImm removes the FIFO front (which callers have already inspected).
-func (e *Env) popImm() *Timer {
-	tm := e.imm[e.immFirst]
-	e.imm[e.immFirst] = nil
+func (e *Env) popImm() int32 {
+	i := e.imm[e.immFirst]
 	e.immFirst = (e.immFirst + 1) & (len(e.imm) - 1)
 	e.immLen--
-	tm.index = -1
-	return tm
+	e.arena.recs[i].bkt = bktNone
+	return i
 }
 
 // growImm doubles the FIFO ring (minimum 16 slots, power of two),
 // relocating live entries to the front.
 func (e *Env) growImm() {
-	next := make([]*Timer, max(16, 2*len(e.imm)))
+	next := make([]int32, max(16, 2*len(e.imm)))
 	for i := 0; i < e.immLen; i++ {
 		next[i] = e.imm[(e.immFirst+i)&(len(e.imm)-1)]
 	}
 	e.imm, e.immFirst = next, 0
 }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently reorder causality. Scheduling exactly at Now is
-// allowed and runs after the current event completes.
-func (e *Env) At(t Time, fn func()) *Timer {
+// schedule allocates and enqueues a record; exactly one of fn or cb is set.
+func (e *Env) schedule(t Time, fn func(), cb EventFn, ctx any, arg uint64) int32 {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	i := e.arena.alloc()
+	r := &e.arena.recs[i]
+	r.at, r.seq = t, e.seq
+	r.fn, r.cb, r.ctx, r.arg = fn, cb, ctx, arg
 	e.seq++
+	e.mut++
 	if t == e.now {
-		e.pushImm(tm)
+		e.pushImm(i)
 	} else {
-		e.events.push(tm)
+		e.events.push(i, t, r.seq)
 	}
-	return tm
+	return i
+}
+
+// At schedules fn to run at absolute virtual time t and returns a
+// cancellation handle. Scheduling in the past panics: it would silently
+// reorder causality. Scheduling exactly at Now is allowed and runs after
+// the current event completes.
+func (e *Env) At(t Time, fn func()) Timer {
+	i := e.schedule(t, fn, nil, nil, 0)
+	return Timer{env: e, idx: i, gen: e.arena.recs[i].gen, at: t}
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
 // Negative d panics.
-func (e *Env) After(d Time, fn func()) *Timer {
+func (e *Env) After(d Time, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -243,30 +277,11 @@ func (e *Env) After(d Time, fn func()) *Timer {
 }
 
 // Do schedules fn at absolute time t without returning a cancellation
-// handle. Because no caller can hold (or Cancel) the timer, the Env
-// recycles it after it fires — the hot-path scheduling primitive for
-// events that are never cancelled (process wakeups, device kicks,
-// notification posts). Semantically identical to At.
+// handle — the hot-path scheduling primitive for events that are never
+// cancelled (process wakeups, device kicks, notification posts).
+// Semantically identical to At.
 func (e *Env) Do(t Time, fn func()) {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	var tm *Timer
-	if n := len(e.free); n > 0 {
-		tm = e.free[n-1]
-		e.free[n-1] = nil
-		e.free = e.free[:n-1]
-		tm.at, tm.fn, tm.stopped = t, fn, false
-	} else {
-		tm = &Timer{at: t, fn: fn, pooled: true}
-	}
-	tm.seq = e.seq
-	e.seq++
-	if t == e.now {
-		e.pushImm(tm)
-	} else {
-		e.events.push(tm)
-	}
+	e.schedule(t, fn, nil, nil, 0)
 }
 
 // DoAfter schedules fn after a delay without a cancellation handle; see Do.
@@ -274,67 +289,89 @@ func (e *Env) DoAfter(d Time, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
-	e.Do(e.now+d, fn)
+	e.schedule(e.now+d, fn, nil, nil, 0)
 }
 
-// Cancel stops a pending timer. Cancelling an already-fired or
-// already-cancelled timer is a no-op.
-func (e *Env) Cancel(t *Timer) {
-	if t == nil || t.stopped {
-		t.markStopped()
-		return
-	}
-	if t.index == -2 {
-		// Parked in the immediate FIFO: mark dead, removed lazily when it
-		// reaches the front.
-		t.stopped = true
-		e.immDead++
-		return
-	}
-	t.stopped = true
-	if t.bkt != nil {
-		e.events.cancel(t)
-	}
+// DoCall schedules the typed callback cb(ctx, arg) at absolute time t. The
+// two words are stored inline in the timer record, so — unlike a capturing
+// closure passed to Do — the call site allocates nothing. Use a top-level
+// function or a method value that is free of per-call state.
+func (e *Env) DoCall(t Time, cb EventFn, ctx any, arg uint64) {
+	e.schedule(t, nil, cb, ctx, arg)
 }
 
-func (t *Timer) markStopped() {
-	if t != nil {
-		t.stopped = true
+// DoCallAfter schedules the typed callback after a delay; see DoCall.
+func (e *Env) DoCallAfter(d Time, cb EventFn, ctx any, arg uint64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.schedule(e.now+d, nil, cb, ctx, arg)
+}
+
+// Cancel stops a pending timer. Cancelling an already-fired,
+// already-cancelled, or zero Timer is a no-op.
+func (e *Env) Cancel(t Timer) {
+	env := t.env
+	if env == nil {
+		return
+	}
+	r := &env.arena.recs[t.idx]
+	if r.gen != t.gen {
+		return // fired, cancelled, or recycled since the handle was issued
+	}
+	switch r.bkt {
+	case bktImm:
+		// Parked in the immediate FIFO: flip odd (stopped), removed lazily
+		// when it reaches the front.
+		env.arena.cancelMark(t.idx)
+		env.immDead++
+		env.mut++
+	case bktNone:
+		// Live but unqueued can only be the record currently firing; the
+		// parity check above already rejected everything else.
+	default:
+		env.events.cancel(t.idx)
+		env.arena.freeCancelled(t.idx)
+		env.mut++
 	}
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its due time. It returns false if no events are pending.
 func (e *Env) Step() bool {
-	var tm *Timer
-	if f := e.immFront(); f != nil {
+	var i int32
+	if f := e.immFront(); f >= 0 {
 		// The FIFO front is due now; it loses only to a queued event at the
 		// same timestamp scheduled earlier (smaller seq).
 		fromQueue := false
 		if e.events.len() > 0 {
-			if at, seq := e.events.minKey(); at == f.at && seq < f.seq {
+			fr := &e.arena.recs[f]
+			if at, seq := e.events.minKey(); at == fr.at && seq < fr.seq {
 				fromQueue = true
 			}
 		}
 		if fromQueue {
-			tm = e.events.pop()
+			i = e.events.pop()
 		} else {
-			tm = e.popImm()
+			i = e.popImm()
 		}
 	} else {
 		if e.events.len() == 0 {
 			return false
 		}
-		tm = e.events.pop()
+		i = e.events.pop()
 	}
-	e.now = tm.at
+	r := &e.arena.recs[i]
+	e.now = r.at
 	e.steps++
-	fn := tm.fn
-	if tm.pooled {
-		tm.fn = nil
-		e.free = append(e.free, tm)
+	e.mut++
+	fn, cb, ctx, arg := r.fn, r.cb, r.ctx, r.arg
+	e.arena.free(i)
+	if cb != nil {
+		cb(ctx, arg)
+	} else {
+		fn()
 	}
-	fn()
 	if e.hasPanic {
 		p := e.procPanic
 		e.procPanic, e.hasPanic = nil, false

@@ -82,7 +82,7 @@ func TestCancelAfterFire(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := NewEnv()
 	var got []int
-	var timers []*Timer
+	var timers []Timer
 	for i := 0; i < 20; i++ {
 		i := i
 		timers = append(timers, e.After(Time(i), func() { got = append(got, i) }))

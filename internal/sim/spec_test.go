@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// --- Env checkpoint/restore ---
+
+// TestEnvCheckpointRestore: restoring a checkpoint rewinds the clock and the
+// pending-event set, and a re-run fires the same events in the same order as
+// the original run past the checkpoint.
+func TestEnvCheckpointRestore(t *testing.T) {
+	run := func(rewind bool) []string {
+		e := NewEnv()
+		var log []string
+		for k := 0; k < 10; k++ {
+			k := k
+			e.At(Time(k)*Microsecond, func() {
+				log = append(log, fmt.Sprintf("%d/e%d", int64(e.Now()), k))
+				if k%3 == 0 {
+					e.DoAfter(500, func() {
+						log = append(log, fmt.Sprintf("%d/f%d", int64(e.Now()), k))
+					})
+				}
+			})
+		}
+		e.RunUntil(4 * Microsecond)
+		ck := e.Checkpoint()
+		mark := len(log)
+		if rewind {
+			e.RunUntil(7 * Microsecond) // speculate ahead...
+			log = log[:mark]            // ...discard the attempt's output...
+			e.Restore(ck)               // ...and rewind the engine
+		}
+		e.Run()
+		return log
+	}
+	straight := run(false)
+	rewound := run(true)
+	if len(straight) == 0 {
+		t.Fatal("empty log")
+	}
+	if fmt.Sprint(straight) != fmt.Sprint(rewound) {
+		t.Fatalf("replay diverged:\n straight: %v\n rewound:  %v", straight, rewound)
+	}
+}
+
+// TestEnvRestoreStaleHandles: timer handles minted before a restore go
+// inert — Cancel is a no-op against the replayed schedule.
+func TestEnvRestoreStaleHandles(t *testing.T) {
+	e := NewEnv()
+	fired := 0
+	tm := e.At(5*Microsecond, func() { fired++ })
+	ck := e.Checkpoint()
+	e.Restore(ck)
+	e.Cancel(tm) // stale: must not cancel the restored copy of the event
+	if tm.Stopped() {
+		t.Fatal("stale handle claims Stopped")
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("restored event fired %d times, want 1", fired)
+	}
+}
+
+// TestEnvCheckpointPreservesSeq: FIFO order among same-instant events
+// survives a checkpoint/restore cycle (seqs are preserved, not re-issued).
+func TestEnvCheckpointPreservesSeq(t *testing.T) {
+	e := NewEnv()
+	var order []int
+	for k := 0; k < 8; k++ {
+		k := k
+		e.At(Microsecond, func() { order = append(order, k) })
+	}
+	e.Restore(e.Checkpoint())
+	e.Run()
+	for k, got := range order {
+		if got != k {
+			t.Fatalf("FIFO order broken after restore: %v", order)
+		}
+	}
+}
+
+// --- speculative actor harness ---
+
+// specActor is a checkpointable shard occupant: a self-perpetuating tick
+// chain plus a log, all of it rewindable. Used to prove rollback-replay
+// exactness.
+type specActor struct {
+	env    *Env
+	period Time
+	limit  int
+	ticks  int
+	count  int
+	log    []string
+}
+
+type specActorSnap struct {
+	ticks, count int
+	log          []string
+}
+
+func (a *specActor) SaveCheckpoint() any {
+	return &specActorSnap{ticks: a.ticks, count: a.count, log: append([]string(nil), a.log...)}
+}
+
+func (a *specActor) RestoreCheckpoint(s any) {
+	sn := s.(*specActorSnap)
+	a.ticks, a.count = sn.ticks, sn.count
+	a.log = append(a.log[:0], sn.log...)
+}
+
+func (a *specActor) start() { a.env.DoAfter(a.period, a.tick) }
+
+func (a *specActor) tick() {
+	a.ticks++
+	a.count++
+	a.log = append(a.log, fmt.Sprintf("%d/tick%d/c%d", int64(a.env.Now()), a.ticks, a.count))
+	if a.ticks < a.limit {
+		a.env.DoAfter(a.period, a.tick)
+	}
+}
+
+// runInjectWorkload drives a single specActor shard with control-timeline
+// injections at awkward (mid-window) times and returns the actor transcript.
+func runInjectWorkload(speculative, parallel bool) []string {
+	w := NewWorld()
+	w.SetWindow(10 * Microsecond)
+	w.SetParallel(parallel)
+	defer w.Close()
+	s := w.AddShard()
+	a := &specActor{env: s, period: 3 * Microsecond, limit: 64}
+	a.start()
+	if speculative {
+		w.SetSpeculative(true)
+		w.SetSpeculationCeiling(160 * Microsecond)
+		w.RegisterCheckpoint(0, a)
+	}
+	for k := 0; k < 9; k++ {
+		k := k
+		at := Time(k)*23*Microsecond + 500 // lands mid-window on purpose
+		w.Ctrl().At(at, func() {
+			w.Inject(0, func() {
+				a.count += 100
+				a.log = append(a.log, fmt.Sprintf("%d/inject%d/c%d", int64(a.env.Now()), k, a.count))
+			})
+		})
+	}
+	w.Run()
+	return append([]string(nil), a.log...)
+}
+
+// TestSpecInjectExactness: for a checkpoint-registered shard, speculative
+// execution with rollback-replay produces the *exact* transcript of the
+// conservative engine — injections interleave with shard events at their
+// true timestamps, not at window barriers.
+func TestSpecInjectExactness(t *testing.T) {
+	conservative := runInjectWorkload(false, false)
+	if len(conservative) == 0 {
+		t.Fatal("empty transcript")
+	}
+	for _, par := range []bool{false, true} {
+		spec := runInjectWorkload(true, par)
+		if fmt.Sprint(spec) != fmt.Sprint(conservative) {
+			t.Fatalf("parallel=%v: speculative transcript diverged from conservative:\n cons: %v\n spec: %v",
+				par, conservative, spec)
+		}
+	}
+}
+
+// TestSpecRollbackCounters: the injection workload must actually exercise
+// the rollback machinery, not coast through on lucky window alignment.
+func TestSpecRollbackCounters(t *testing.T) {
+	w := NewWorld()
+	w.SetWindow(10 * Microsecond)
+	defer w.Close()
+	s := w.AddShard()
+	a := &specActor{env: s, period: 3 * Microsecond, limit: 64}
+	a.start()
+	w.SetSpeculative(true)
+	w.RegisterCheckpoint(0, a)
+	injections := 0
+	for k := 0; k < 9; k++ {
+		w.Ctrl().At(Time(k)*23*Microsecond+500, func() {
+			w.Inject(0, func() { a.count++ })
+			injections++
+		})
+	}
+	w.Run()
+	st := w.SpecStats()
+	if st.Windows == 0 {
+		t.Fatal("no speculative windows recorded")
+	}
+	if st.Rollbacks == 0 {
+		t.Fatal("workload never rolled back — injections missed the executed window")
+	}
+	if st.Replayed != uint64(injections) {
+		t.Fatalf("replayed %d of %d injections", st.Replayed, injections)
+	}
+	if st.Deferred != 0 {
+		t.Fatalf("registered shard took %d deferred injections", st.Deferred)
+	}
+}
+
+// TestSpecAdaptiveWindowWidens: with no cross-timeline traffic the adaptive
+// window must widen toward the ceiling, cutting barrier count well below the
+// conservative engine's.
+func TestSpecAdaptiveWindowWidens(t *testing.T) {
+	w := NewWorld()
+	w.SetWindow(Microsecond)
+	w.SetSpeculative(true)
+	w.SetSpeculationCeiling(64 * Microsecond)
+	defer w.Close()
+	s := w.AddShard()
+	a := &specActor{env: s, period: Microsecond, limit: 512}
+	a.start()
+	w.Run()
+	st := w.SpecStats()
+	if st.Widened == 0 {
+		t.Fatalf("quiet workload never widened the window: %+v", st)
+	}
+	if st.Windows >= 512 {
+		t.Fatalf("window count %d not reduced below one-per-event", st.Windows)
+	}
+	if a.ticks != 512 {
+		t.Fatalf("actor ran %d of 512 ticks", a.ticks)
+	}
+}
+
+// TestSpecSerialParallelIdentical: the determinism wall extended to
+// speculation — a speculative parallel run is bit-identical to a
+// speculative serial run on the mixed post/injection workload, across
+// seeds. (Speculative and conservative runs are *different* simulations for
+// post-carrying workloads — posts defer to the barrier — but each mode is
+// internally deterministic.)
+func TestSpecSerialParallelIdentical(t *testing.T) {
+	const shards = 4
+	run := func(seed int64, parallel bool) []string {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWorld()
+		w.SetWindow(Time(1+rng.Intn(40)) * Microsecond)
+		w.SetSpeculative(true)
+		w.SetParallel(parallel)
+		defer w.Close()
+		log := newWorldLog(shards)
+		for i := 0; i < shards; i++ {
+			i := i
+			s := w.AddShard()
+			n := 20 + rng.Intn(30)
+			for k := 0; k < n; k++ {
+				k := k
+				at := Time(rng.Intn(2000)) * 100
+				s.At(at, func() {
+					log.addShard(i, s.Now(), fmt.Sprintf("e%d", k))
+					if k%3 == 0 {
+						w.Post(i, func() {
+							log.addCtrl(w.Ctrl().Now(), fmt.Sprintf("p%d-%d", i, k))
+						})
+					}
+				})
+			}
+		}
+		for k := 0; k < 25; k++ {
+			k := k
+			at := Time(rng.Intn(2000)) * 100
+			w.Ctrl().At(at, func() {
+				log.addCtrl(w.Ctrl().Now(), fmt.Sprintf("c%d", k))
+				j := k % shards
+				tgt := w.Shard(j)
+				w.Inject(j, func() { // unregistered shard: deferred injection
+					tgt.DoAfter(Microsecond, func() {
+						log.addShard(j, tgt.Now(), fmt.Sprintf("cc%d", k))
+					})
+				})
+			})
+		}
+		w.Run()
+		return log.lines()
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		serial := run(seed, false)
+		par := run(seed, true)
+		if len(serial) == 0 {
+			t.Fatalf("seed %d: empty log", seed)
+		}
+		if len(serial) != len(par) {
+			t.Fatalf("seed %d: length divergence %d vs %d", seed, len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("seed %d: divergence at %d: %q vs %q", seed, i, serial[i], par[i])
+			}
+		}
+	}
+}
+
+// TestSpecPostStormIdentity: random post storms against a rollback-enabled
+// shard — rollbacks discard and regenerate speculative posts, and the
+// serial/parallel transcripts must still match bit-for-bit across seeds.
+func TestSpecPostStormIdentity(t *testing.T) {
+	run := func(seed int64, parallel bool) []string {
+		rng := rand.New(rand.NewSource(seed))
+		w := NewWorld()
+		w.SetWindow(5 * Microsecond)
+		w.SetSpeculative(true)
+		w.SetParallel(parallel)
+		defer w.Close()
+		s := w.AddShard()
+		a := &specActor{env: s, period: Time(1+rng.Intn(3)) * Microsecond, limit: 40}
+		a.start()
+		w.RegisterCheckpoint(0, a)
+		// A second, unregistered shard posting its own storm.
+		s2 := w.AddShard()
+		log := newWorldLog(2)
+		for k := 0; k < 30; k++ {
+			k := k
+			at := Time(rng.Intn(150)) * Microsecond
+			s2.At(at, func() {
+				log.addShard(1, s2.Now(), fmt.Sprintf("n%d", k))
+				w.Post(1, func() {
+					log.addCtrl(w.Ctrl().Now(), fmt.Sprintf("p%d", k))
+				})
+			})
+		}
+		for k := 0; k < 12; k++ {
+			k := k
+			at := Time(rng.Intn(150)) * Microsecond
+			w.Ctrl().At(at, func() {
+				w.Inject(0, func() {
+					a.count += 1000
+					a.log = append(a.log, fmt.Sprintf("%d/i%d", int64(a.env.Now()), k))
+				})
+			})
+		}
+		w.Run()
+		return append(log.lines(), a.log...)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		serial := run(seed, false)
+		par := run(seed, true)
+		if fmt.Sprint(serial) != fmt.Sprint(par) {
+			t.Fatalf("seed %d: serial/parallel divergence\n serial: %v\n parall: %v", seed, serial, par)
+		}
+	}
+}
+
+// --- arena invariants (testing/quick) ---
+
+// TestArenaInvariantsQuick drives the timer arena with random
+// alloc/free/freeCancelled sequences and checks the structural invariants:
+// live records never sit on the free list, the free list's length matches
+// the nfree counter, every free-list index is in range and distinct, and
+// live() conserves (allocated - freed).
+func TestArenaInvariantsQuick(t *testing.T) {
+	check := func(ops []byte) bool {
+		var a arena
+		a.freeHead = -1
+		live := make(map[int32]bool)
+		for _, op := range ops {
+			switch {
+			case op%3 == 0 || len(live) == 0: // alloc
+				i := a.alloc()
+				if live[i] {
+					t.Logf("alloc returned live record %d", i)
+					return false
+				}
+				if a.recs[i].gen&1 != 0 {
+					t.Logf("alloc returned odd generation %d", a.recs[i].gen)
+					return false
+				}
+				live[i] = true
+			default: // free one live record, fired or cancelled
+				var victim int32 = -1
+				for i := range live {
+					if victim < 0 || i < victim {
+						victim = i
+					}
+				}
+				if op%3 == 1 {
+					a.free(victim)
+				} else {
+					a.freeCancelled(victim)
+				}
+				delete(live, victim)
+			}
+		}
+		// Walk the free list: every entry distinct, in range, not live.
+		seen := make(map[int32]bool)
+		n := 0
+		for i := a.freeHead; i >= 0; i = a.recs[i].link {
+			if int(i) >= len(a.recs) || seen[i] || live[i] {
+				t.Logf("free list corrupt at %d (seen=%v live=%v)", i, seen[i], live[i])
+				return false
+			}
+			seen[i] = true
+			n++
+		}
+		if n != a.nfree {
+			t.Logf("free list length %d != nfree %d", n, a.nfree)
+			return false
+		}
+		if a.live() != len(live) {
+			t.Logf("live() = %d, model says %d", a.live(), len(live))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

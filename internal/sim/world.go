@@ -55,11 +55,34 @@ type World struct {
 	runners []*shardRunner // persistent per-shard goroutines (parallel mode)
 	active  []bool         // scratch: shards dispatched this window
 	merge   []int          // scratch: per-shard merge cursors
+	mheap   []mergeEnt     // scratch: k-way merge heap over shard outboxes
+
+	// Speculative execution mode (spec.go).
+	speculative        bool
+	specMax            Time             // adaptive window ceiling
+	curWindow          Time             // current adaptive window Δcur
+	ckpt               []Checkpointable // per-shard rollback support, nil entries = deferred injection
+	saved              []*EnvCheckpoint // per-window shard Env snapshots
+	savedState         []any            // per-window Checkpointable snapshots
+	inj                [][]injection    // per-shard injections recorded during the control window
+	specStats          SpecStats
+	deferredThisWindow int
 }
 
+// wpost is one cross-shard message: either a closure (fn) or a typed
+// callback (cb/ctx/arg, the allocation-free form posted by PostCall).
 type wpost struct {
-	at Time
-	fn func()
+	at  Time
+	fn  func()
+	cb  EventFn
+	ctx any
+	arg uint64
+}
+
+// mergeEnt is one shard's head-of-outbox key in the flushPosts merge heap.
+type mergeEnt struct {
+	at    Time
+	shard int32
 }
 
 type shardRunner struct {
@@ -125,8 +148,20 @@ func (w *World) Post(shard int, fn func()) {
 	w.posts[shard] = append(w.posts[shard], wpost{at: w.shards[shard].now, fn: fn})
 }
 
+// PostCall is the allocation-free form of Post: cb runs on the control
+// timeline as cb(ctx, arg) at the emitting shard's current time. Hot
+// cross-shard paths (per-request completions) use it to avoid minting a
+// closure per message.
+func (w *World) PostCall(shard int, cb EventFn, ctx any, arg uint64) {
+	w.posts[shard] = append(w.posts[shard], wpost{at: w.shards[shard].now, cb: cb, ctx: ctx, arg: arg})
+}
+
 // Run executes events until no shard and the control Env have any left.
 func (w *World) Run() {
+	if w.speculative {
+		w.runSpec(0, false)
+		return
+	}
 	w.flushPosts()
 	for {
 		t, ok := w.nextTime()
@@ -144,6 +179,10 @@ func (w *World) Run() {
 // RunUntil executes all events due at or before limit, then advances every
 // clock to exactly limit.
 func (w *World) RunUntil(limit Time) {
+	if w.speculative {
+		w.runSpec(limit, true)
+		return
+	}
 	w.flushPosts()
 	for {
 		t, ok := w.nextTime()
@@ -264,40 +303,81 @@ func runShardWindow(e *Env, h Time) (p any) {
 // flushPosts drains every shard outbox into the control heap. Outboxes are
 // individually time-sorted, so a k-way merge by (timestamp, shard index)
 // — with emission order preserved within a shard — yields the canonical
-// total order regardless of how the window was executed.
+// total order regardless of how the window was executed. The merge runs on
+// an index heap over the shard cursors: O(total·log k) instead of the
+// historical O(total·k) rescan of every outbox per message, which matters
+// once shard counts reach the dozens.
 func (w *World) flushPosts() {
-	total := 0
-	for i := range w.posts {
-		total += len(w.posts[i])
-	}
-	if total == 0 {
-		return
-	}
-	if w.merge == nil {
+	if w.merge == nil || len(w.merge) < len(w.posts) {
 		w.merge = make([]int, len(w.posts))
 	}
-	for i := range w.merge {
-		w.merge[i] = 0
+	h := w.mheap[:0]
+	for i := range w.posts {
+		if len(w.posts[i]) > 0 {
+			w.merge[i] = 0
+			h = append(h, mergeEnt{at: w.posts[i][0].at, shard: int32(i)})
+		}
 	}
-	for {
-		bi := -1
-		var bt Time
-		for i := range w.posts {
-			if w.merge[i] < len(w.posts[i]) {
-				if at := w.posts[i][w.merge[i]].at; bi < 0 || at < bt {
-					bi, bt = i, at
-				}
-			}
+	if len(h) == 0 {
+		w.mheap = h
+		return
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		mergeSiftDown(h, i)
+	}
+	for len(h) > 0 {
+		i := int(h[0].shard)
+		p := w.posts[i][w.merge[i]]
+		w.posts[i][w.merge[i]] = wpost{}
+		w.merge[i]++
+		if p.cb != nil {
+			w.ctrl.DoCall(p.at, p.cb, p.ctx, p.arg)
+		} else {
+			w.ctrl.Do(p.at, p.fn)
 		}
-		if bi < 0 {
-			break
+		if w.merge[i] < len(w.posts[i]) {
+			// Same shard continues: its next post's (nondecreasing)
+			// timestamp re-keys the root.
+			h[0].at = w.posts[i][w.merge[i]].at
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
 		}
-		p := w.posts[bi][w.merge[bi]]
-		w.posts[bi][w.merge[bi]] = wpost{}
-		w.merge[bi]++
-		w.ctrl.Do(p.at, p.fn)
+		if len(h) > 1 {
+			mergeSiftDown(h, 0)
+		}
 	}
 	for i := range w.posts {
 		w.posts[i] = w.posts[i][:0]
 	}
+	w.mheap = h[:0]
+}
+
+// mergeSiftDown restores the min-heap order of flushPosts' cursor heap at
+// index i. Ties on timestamp break toward the lower shard index — the
+// canonical (timestamp, shard, emission-order) total order.
+func mergeSiftDown(h []mergeEnt, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && mergeLess(h[r], h[l]) {
+			m = r
+		}
+		if !mergeLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func mergeLess(a, b mergeEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.shard < b.shard
 }

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchNop is the no-op typed callback delivered by the flushPosts
+// benchmarks; the work under measurement is the merge, not the callbacks.
+var benchNop EventFn = func(any, uint64) {}
+
+// benchmarkFlushPosts measures the k-way outbox merge at a given shard
+// count: every shard contributes a time-sorted outbox and flushPosts must
+// interleave them into the canonical total order on the control heap. The
+// indexed merge heap makes this O(total·log k); the historical
+// implementation rescanned every outbox per message, O(total·k), which at
+// 64+ shards dominated the barrier cost.
+func benchmarkFlushPosts(b *testing.B, shards, postsPer int) {
+	w := NewWorld()
+	defer w.Close()
+	for i := 0; i < shards; i++ {
+		w.AddShard()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		b.StopTimer()
+		// Refill the outboxes: shard-local timestamps nondecreasing, offset
+		// per shard so the merge actually interleaves, and based at the
+		// control clock so the drained control Env can be reused (its arena
+		// stays at the high-water mark — the steady-state merge is
+		// allocation-free).
+		base := w.ctrl.Now()
+		for i := range w.posts {
+			for j := 0; j < postsPer; j++ {
+				w.posts[i] = append(w.posts[i], wpost{at: base + Time(j*shards+i), cb: benchNop})
+			}
+		}
+		b.StartTimer()
+		w.flushPosts()
+		b.StopTimer()
+		w.ctrl.Run() // drain the no-op deliveries, recycling the arena
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFlushPosts(b *testing.B) {
+	for _, shards := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkFlushPosts(b, shards, 16)
+		})
+	}
+}
